@@ -1,0 +1,73 @@
+"""Ablation — labeling granularity: trivial vs finest consistent labeling.
+
+The paper notes the trivial all-same-label scheme is consistent but "will
+not likely yield an efficient use of queues": every competing message
+then needs a simultaneous queue. This bench quantifies that: the finest
+(constraint) labeling needs strictly less hardware on most programs, and
+where both are feasible the runs behave identically.
+"""
+
+from repro import ArrayConfig, constraint_labeling, simulate, trivial_labeling
+from repro.analysis import format_table
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.requirements import dynamic_queue_demand
+from repro.workloads import WorkloadSpec, random_program
+
+
+def test_labeling_granularity_vs_hardware(benchmark):
+    def measure():
+        rows = []
+        for seed in range(15):
+            prog = random_program(
+                WorkloadSpec(seed=seed, cells=6, messages=10, burst=2)
+            )
+            router = default_router(ExplicitLinear(tuple(prog.cells)))
+            fine = constraint_labeling(prog)
+            fine_q = max(
+                dynamic_queue_demand(prog, router, fine).values()
+            )
+            trivial_q = max(
+                dynamic_queue_demand(prog, router, trivial_labeling(prog)).values()
+            )
+            rows.append(
+                {"seed": seed, "fine_queues": fine_q, "trivial_queues": trivial_q}
+            )
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    summary = {
+        "programs": len(rows),
+        "mean_fine_q": sum(r["fine_queues"] for r in rows) / len(rows),
+        "mean_trivial_q": sum(r["trivial_queues"] for r in rows) / len(rows),
+        "fine_saves_hw_on": sum(
+            1 for r in rows if r["fine_queues"] < r["trivial_queues"]
+        ),
+    }
+    print(format_table([summary], title="Ablation: labeling granularity vs queue demand"))
+    assert all(r["fine_queues"] <= r["trivial_queues"] for r in rows)
+    assert summary["fine_saves_hw_on"] > len(rows) / 2
+
+
+def test_both_labelings_complete_when_provisioned(benchmark):
+    def run():
+        done = 0
+        for seed in range(8):
+            prog = random_program(WorkloadSpec(seed=seed, cells=5, messages=7))
+            router = default_router(ExplicitLinear(tuple(prog.cells)))
+            for labeling in (constraint_labeling(prog), trivial_labeling(prog)):
+                queues = max(
+                    dynamic_queue_demand(prog, router, labeling).values()
+                )
+                result = simulate(
+                    prog,
+                    config=ArrayConfig(queues_per_link=queues),
+                    policy="ordered",
+                    labeling=labeling,
+                )
+                done += result.completed
+        return done
+
+    done = benchmark(run)
+    assert done == 16  # Theorem 1 holds for *any* consistent labeling

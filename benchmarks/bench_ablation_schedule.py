@@ -1,0 +1,82 @@
+"""Ablation — structural schedule bounds vs simulated makespan.
+
+The maximal-parallel crossing-off trace bounds any execution from below
+(busiest-cell ops, transfer rounds). This bench measures how tight that
+bound is across the workload suite — high efficiency means the systolic
+execution is structure-limited, not contention-limited, which is the
+design goal the paper's machinery protects.
+"""
+
+from repro import ArrayConfig, simulate
+from repro.algorithms.backsub import backsub_program
+from repro.algorithms.figures import fig2_fir, fig2_registers
+from repro.algorithms.fir import fir_program, fir_registers
+from repro.algorithms.horner import horner_program, horner_registers
+from repro.algorithms.oddeven import oddeven_program, oddeven_registers
+from repro.analysis import format_table
+from repro.core.schedule import schedule_row
+
+
+def test_schedule_efficiency_suite(benchmark):
+    def measure():
+        rows = []
+        cases = [
+            (fig2_fir(), ArrayConfig(), fig2_registers()),
+            (fir_program(6, 12), ArrayConfig(), fir_registers((1.0,) * 6)),
+            (
+                oddeven_program(8),
+                ArrayConfig(),
+                oddeven_registers([float(8 - i) for i in range(8)]),
+            ),
+            (
+                horner_program(4, [1.0, 2.0, 3.0, 4.0]),
+                ArrayConfig(queues_per_link=2),
+                horner_registers([1.0, 0.0, -2.0, 1.0, 5.0]),
+            ),
+            (
+                backsub_program(
+                    [[2.0, 0, 0], [1.0, 2.0, 0], [1.0, 1.0, 2.0]],
+                    [2.0, 4.0, 8.0],
+                ),
+                ArrayConfig(queues_per_link=2),
+                None,
+            ),
+        ]
+        for prog, config, registers in cases:
+            result = simulate(prog, config=config, registers=registers)
+            assert result.completed, prog.name
+            rows.append(schedule_row(prog, result.time, config=config))
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    print(format_table(rows, title="Ablation: structural bounds vs measured makespan"))
+    for row in rows:
+        assert row["makespan"] >= row["cycle_lb"]  # soundness
+        assert row["efficiency"] > 0.15  # the bound is informative
+
+
+def test_buffering_tightens_efficiency(benchmark):
+    """More queue capacity moves the FIR pipeline toward its bound."""
+
+    def measure():
+        prog = fir_program(6, 24)
+        regs = fir_registers((1.0,) * 6)
+        out = {}
+        for cap in (0, 2, 8):
+            result = simulate(
+                prog,
+                config=ArrayConfig(queue_capacity=cap),
+                registers=regs,
+            )
+            row = schedule_row(
+                prog, result.time, config=ArrayConfig(queue_capacity=cap)
+            )
+            out[cap] = (result.time, row["efficiency"])
+        return out
+
+    out = benchmark(measure)
+    print()
+    print("FIR k=6 n=24: capacity -> (makespan, efficiency):", out)
+    times = [out[cap][0] for cap in (0, 2, 8)]
+    assert times[0] >= times[1] >= times[2]  # buffering only helps

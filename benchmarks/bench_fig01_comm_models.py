@@ -1,0 +1,35 @@
+"""E1 — Fig. 1 / Section 1: systolic vs memory-to-memory communication.
+
+Paper's claim: the memory-to-memory model needs at least four local-memory
+accesses per word flowing through a cell; systolic communication needs
+none, and is therefore much faster when memory access is the bottleneck.
+
+Expected shape: systolic accesses/word = 0, memory model = 4; the speedup
+grows monotonically with the per-access cost.
+"""
+
+from repro.algorithms.figures import fig2_fir, fig2_registers
+from repro.analysis import format_table
+from repro.sim.memory_model import compare_models
+
+
+def test_fig1_access_counts_and_speedup(benchmark):
+    rows = benchmark(
+        lambda: [
+            compare_models(
+                fig2_fir(), memory_access_cycles=cost, registers=fig2_registers()
+            ).row()
+            for cost in (1, 2, 4, 8)
+        ]
+    )
+    print()
+    print(
+        format_table(
+            rows, title="Fig. 1 / E1: communication models on the Fig. 2 filter"
+        )
+    )
+    assert all(row["systolic_accesses"] == 0 for row in rows)
+    assert all(row["mem_accesses_per_word"] == 4.0 for row in rows)
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0

@@ -1,0 +1,42 @@
+"""E2 — Fig. 2: the filtering program.
+
+Regenerates the listing, checks it against the paper's exact transfer
+sequences, and measures program construction + numeric execution across
+filter sizes.
+"""
+
+import pytest
+
+from repro import simulate
+from repro.algorithms.figures import (
+    fig2_expected_outputs,
+    fig2_fir,
+    fig2_registers,
+)
+from repro.algorithms.fir import fir_program, fir_registers
+from repro.lang import side_by_side
+
+
+def test_fig2_listing_and_values(benchmark):
+    def run():
+        prog = fig2_fir()
+        result = simulate(prog, registers=fig2_registers())
+        return prog, result
+
+    prog, result = benchmark(run)
+    print()
+    print(side_by_side(prog))
+    assert result.received["YA"] == list(fig2_expected_outputs())
+
+
+@pytest.mark.parametrize("taps,outputs", [(3, 2), (8, 16), (16, 32)])
+def test_fir_scaling(benchmark, taps, outputs):
+    xs = tuple(float(i % 5) for i in range(outputs + taps - 1))
+    ws = tuple(1.0 / (i + 1) for i in range(taps))
+
+    def run():
+        prog = fir_program(taps, outputs, xs=xs)
+        return simulate(prog, registers=fir_registers(ws))
+
+    result = benchmark(run)
+    assert result.completed

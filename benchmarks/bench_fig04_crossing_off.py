@@ -1,0 +1,33 @@
+"""E3 — Fig. 4: the crossing-off procedure on the Fig. 2 program.
+
+Expected shape: 12 steps crossing 15 pairs, with two pairs crossed at
+steps 3, 5 and 9 exactly as the figure shows.
+"""
+
+import pytest
+
+from repro import cross_off
+from repro.algorithms.figures import fig2_fir
+from repro.algorithms.fir import fir_program
+from repro.viz import render_steps
+
+
+def test_fig4_trace(benchmark):
+    prog = fig2_fir()
+    result = benchmark(lambda: cross_off(prog))
+    print()
+    print("Fig. 4 / E3: crossing-off on the Fig. 2 program")
+    print(render_steps(result))
+    assert result.deadlock_free
+    assert result.step_count == 12
+    assert result.pairs_crossed == 15
+    doubles = [i for i, s in enumerate(result.steps, start=1) if len(s) == 2]
+    assert doubles == [3, 5, 9]
+
+
+@pytest.mark.parametrize("taps,outputs", [(4, 8), (8, 32), (16, 64)])
+def test_crossing_off_scaling(benchmark, taps, outputs):
+    prog = fir_program(taps, outputs)
+    result = benchmark(lambda: cross_off(prog))
+    assert result.deadlock_free
+    assert result.pairs_crossed == prog.total_words

@@ -1,0 +1,53 @@
+"""E4 — Fig. 5: the deadlocked-program gallery P1/P2/P3.
+
+Expected shape: all three classified deadlocked by the strict procedure;
+all three deadlock at run time on unbuffered queues; P1 and P2 are
+rescued by buffering (Section 8), P3 never is (rule R1).
+"""
+
+import math
+
+from repro import ArrayConfig, is_deadlock_free, simulate, uniform_lookahead
+from repro.algorithms.figures import fig5_p1, fig5_p2, fig5_p3
+from repro.analysis import format_table
+
+
+def test_fig5_gallery(benchmark):
+    def classify():
+        rows = []
+        for build in (fig5_p1, fig5_p2, fig5_p3):
+            prog = build()
+            run = simulate(prog, policy="fcfs")
+            buffered = simulate(
+                prog,
+                config=ArrayConfig(queues_per_link=2, queue_capacity=2),
+                policy="static",
+            )
+            rows.append(
+                {
+                    "program": prog.name,
+                    "strict_free": is_deadlock_free(prog),
+                    "lookahead_cap2": is_deadlock_free(
+                        prog, uniform_lookahead(prog, 2)
+                    ),
+                    "lookahead_inf": is_deadlock_free(
+                        prog, uniform_lookahead(prog, math.inf)
+                    ),
+                    "unbuffered_run": run.summary().split()[0],
+                    "buffered_run": buffered.summary().split()[0],
+                }
+            )
+        return rows
+
+    rows = benchmark(classify)
+    print()
+    print(format_table(rows, title="Fig. 5 / E4: P1, P2, P3"))
+    assert [r["strict_free"] for r in rows] == [False, False, False]
+    assert [r["lookahead_cap2"] for r in rows] == [True, True, False]
+    assert [r["lookahead_inf"] for r in rows] == [True, True, False]
+    assert all(r["unbuffered_run"] == "DEADLOCK" for r in rows)
+    assert [r["buffered_run"] for r in rows] == [
+        "completed",
+        "completed",
+        "DEADLOCK",
+    ]

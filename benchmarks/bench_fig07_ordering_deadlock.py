@@ -1,0 +1,77 @@
+"""E6 — Fig. 7: queue-induced deadlock from mis-ordered assignment.
+
+Expected shape: with one queue per link, FCFS assigns B the C3-C4 queue
+before C and deadlocks (the figure's lower half); the ordered policy
+serves the smaller label C first and completes — across all segment
+lengths. The 'think' sweep shows the race the figure's D1/D2 constants
+encode: once C3 delays its B writes long enough, even FCFS survives.
+"""
+
+import pytest
+
+from repro import label_messages, simulate
+from repro.algorithms.figures import fig7_program
+from repro.analysis import format_table
+from repro.core.labeling import labels_as_str
+from repro.viz import render_assignments
+
+
+def test_fig7_contrast(benchmark):
+    prog = fig7_program()
+
+    def run():
+        return (
+            simulate(prog, policy="fcfs"),
+            simulate(prog, policy="ordered"),
+        )
+
+    fcfs, ordered = benchmark(run)
+    print()
+    print("Fig. 7 / E6: labels", labels_as_str(label_messages(prog)))
+    print("FCFS   :", fcfs.summary())
+    print("Ordered:", ordered.summary())
+    print(render_assignments(ordered.assignment_trace))
+    assert fcfs.deadlocked
+    assert ordered.completed
+    grants = [
+        e.message
+        for e in ordered.assignment_trace
+        if e.kind == "grant" and str(e.link) == "C3->C4"
+    ]
+    assert grants == ["C", "B"]  # label order beats arrival order
+
+
+@pytest.mark.parametrize("c_len,b_len", [(2, 2), (4, 2), (8, 4), (16, 8)])
+def test_fig7_segment_sweep(benchmark, c_len, b_len):
+    prog = fig7_program(c_len=c_len, b_len=b_len)
+
+    def run():
+        return (
+            simulate(prog, policy="fcfs"),
+            simulate(prog, policy="ordered"),
+        )
+
+    fcfs, ordered = benchmark(run)
+    assert fcfs.deadlocked
+    assert ordered.completed
+
+
+def test_fig7_think_time_race(benchmark):
+    def sweep():
+        rows = []
+        for think in (0, 2, 4, 6, 8, 12):
+            result = simulate(fig7_program(think_cycles=think), policy="fcfs")
+            rows.append(
+                {"think_cycles": think, "fcfs_outcome": result.summary().split()[0]}
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(rows, title="Fig. 7 / E6: FCFS vs C3 think time (D1/D2 race)"))
+    outcomes = [r["fcfs_outcome"] for r in rows]
+    assert outcomes[0] == "DEADLOCK"
+    assert outcomes[-1] == "completed"
+    # Single crossover: once C wins the race, it keeps winning.
+    flips = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a != b)
+    assert flips == 1

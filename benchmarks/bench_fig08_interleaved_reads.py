@@ -1,0 +1,47 @@
+"""E7 — Fig. 8: interleaved reads require simultaneously separate queues.
+
+Expected shape: A and B are related (equal labels); one queue on the
+shared C2-C3 interval deadlocks; two queues complete ("no deadlock if
+# queues greater than 1").
+"""
+
+import pytest
+
+from repro import ArrayConfig, constraint_labeling, simulate
+from repro.algorithms.figures import fig8_program
+from repro.analysis import format_table
+
+
+def test_fig8_queue_sweep(benchmark):
+    prog = fig8_program()
+
+    def sweep():
+        rows = []
+        for queues in (1, 2, 3):
+            result = simulate(
+                prog,
+                config=ArrayConfig(queues_per_link=queues),
+                policy="ordered",
+                strict=False,
+            )
+            rows.append(
+                {"queues_per_link": queues, "outcome": result.summary().split()[0]}
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    labeling = constraint_labeling(prog)
+    print("Fig. 8 / E7: interleaved reads; same label:",
+          labeling.same_label("A", "B"))
+    print(format_table(rows))
+    assert labeling.same_label("A", "B")
+    assert [r["outcome"] for r in rows] == ["DEADLOCK", "completed", "completed"]
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "static", "ordered"])
+def test_fig8_two_queues_all_policies(benchmark, policy):
+    prog = fig8_program()
+    config = ArrayConfig(queues_per_link=2)
+    result = benchmark(lambda: simulate(prog, config=config, policy=policy))
+    assert result.completed

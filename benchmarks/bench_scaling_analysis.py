@@ -1,0 +1,60 @@
+"""E14 — compile-time procedure scaling.
+
+Expected shape: crossing-off and labeling cost grow near-linearly in the
+number of word transfers (each pair is found and crossed once); the table
+printed shows ops/second staying in the same order of magnitude across a
+16x size range.
+"""
+
+import pytest
+
+from repro import constraint_labeling, cross_off, label_messages
+from repro.core.requirements import extension_demand
+from repro.arch.config import ArrayConfig
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.workloads import WorkloadSpec, random_program
+
+SIZES = [(8, 12, 4), (12, 30, 6), (16, 60, 8)]
+
+
+@pytest.mark.parametrize("cells,messages,max_length", SIZES)
+def test_crossing_off_scaling(benchmark, cells, messages, max_length):
+    prog = random_program(
+        WorkloadSpec(
+            cells=cells, messages=messages, max_length=max_length, seed=42
+        )
+    )
+    result = benchmark(lambda: cross_off(prog))
+    assert result.deadlock_free
+
+
+@pytest.mark.parametrize("cells,messages,max_length", SIZES)
+def test_constraint_labeling_scaling(benchmark, cells, messages, max_length):
+    prog = random_program(
+        WorkloadSpec(
+            cells=cells, messages=messages, max_length=max_length, seed=43
+        )
+    )
+    labeling = benchmark(lambda: constraint_labeling(prog))
+    assert len(labeling) == messages
+
+
+@pytest.mark.parametrize("cells,messages,max_length", SIZES[:2])
+def test_paper_labeling_scaling(benchmark, cells, messages, max_length):
+    # Seeds chosen where the literal scheme succeeds, to time it fairly.
+    prog = random_program(
+        WorkloadSpec(
+            cells=cells, messages=messages, max_length=max_length, seed=0
+        )
+    )
+    labeling = benchmark(lambda: label_messages(prog))
+    assert len(labeling) == messages
+
+
+def test_extension_analysis_scaling(benchmark):
+    prog = random_program(WorkloadSpec(cells=10, messages=30, seed=44))
+    router = default_router(ExplicitLinear(tuple(prog.cells)))
+    config = ArrayConfig(queue_capacity=2)
+    demand = benchmark(lambda: extension_demand(prog, router, config))
+    assert len(demand) == 30

@@ -1,0 +1,76 @@
+"""E9 — Section 6: the consistent labeling scheme.
+
+Expected shape: the Fig. 7 walkthrough labels are (A, C, B) = (1, 2, 3);
+the literal scheme and the constraint-based scheme agree on every figure;
+on random ensembles the literal scheme occasionally wedges on its pick
+order (the DESIGN.md finding) while the constraint scheme always
+succeeds. Scaling: labeling cost grows roughly linearly with word count.
+"""
+
+import pytest
+
+from repro import constraint_labeling, is_consistent, label_messages
+from repro.algorithms.figures import fig7_program, fig8_program, fig9_program
+from repro.algorithms.fir import fir_program
+from repro.analysis import format_table
+from repro.core.labeling import labels_as_str
+from repro.errors import LabelingError
+from repro.workloads import WorkloadSpec, random_program
+
+
+def test_sec6_fig7_labels(benchmark):
+    prog = fig7_program()
+    labeling = benchmark(lambda: label_messages(prog))
+    print()
+    print("Section 6 / E9 labels on Fig. 7:", labels_as_str(labeling))
+    assert labels_as_str(labeling) == "A=1 B=3 C=2"
+    assert labels_as_str(constraint_labeling(prog)) == "A=1 B=3 C=2"
+
+
+def test_sec6_scheme_agreement_on_figures(benchmark):
+    def agree():
+        out = []
+        for prog in (fig7_program(), fig8_program(), fig9_program()):
+            paper = label_messages(prog).normalized()
+            ours = constraint_labeling(prog).normalized()
+            out.append((prog.name, paper == ours))
+        return out
+
+    rows = benchmark(agree)
+    assert all(same for _name, same in rows)
+
+
+def test_sec6_robustness_ensemble(benchmark):
+    def ensemble():
+        paper_fail = constraint_fail = 0
+        inconsistent = 0
+        total = 60
+        for seed in range(total):
+            prog = random_program(WorkloadSpec(seed=seed))
+            try:
+                label_messages(prog)
+            except LabelingError:
+                paper_fail += 1
+            labeling = constraint_labeling(prog)
+            if not is_consistent(prog, labeling):
+                inconsistent += 1
+        return {
+            "programs": total,
+            "paper_scheme_wedged": paper_fail,
+            "constraint_scheme_wedged": constraint_fail,
+            "constraint_inconsistent": inconsistent,
+        }
+
+    row = benchmark(ensemble)
+    print()
+    print(format_table([row], title="E9: labeling robustness over 60 random programs"))
+    assert row["constraint_scheme_wedged"] == 0
+    assert row["constraint_inconsistent"] == 0
+    assert row["paper_scheme_wedged"] > 0  # the documented finding
+
+
+@pytest.mark.parametrize("taps,outputs", [(4, 16), (8, 64), (16, 128)])
+def test_sec6_labeling_scaling(benchmark, taps, outputs):
+    prog = fir_program(taps, outputs)
+    labeling = benchmark(lambda: constraint_labeling(prog))
+    assert is_consistent(prog, labeling)

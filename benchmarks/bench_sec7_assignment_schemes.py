@@ -1,0 +1,76 @@
+"""E12 — Section 7: static vs dynamic queue assignment.
+
+Expected shape: static assignment needs one queue per competing message
+(more hardware), the ordered dynamic scheme needs only the largest
+same-label group (less hardware, same completion guarantee); both produce
+identical results where both are feasible.
+"""
+
+from repro import ArrayConfig, constraint_labeling, simulate
+from repro.analysis import format_table
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.requirements import dynamic_queue_demand, static_queue_demand
+from repro.workloads import WorkloadSpec, random_program
+
+
+def test_sec7_demand_gap(benchmark):
+    def measure():
+        rows = []
+        for seed in range(20):
+            prog = random_program(
+                WorkloadSpec(seed=seed, cells=6, messages=10, burst=2)
+            )
+            router = default_router(ExplicitLinear(tuple(prog.cells)))
+            labeling = constraint_labeling(prog)
+            static = max(static_queue_demand(prog, router).values())
+            dynamic = max(dynamic_queue_demand(prog, router, labeling).values())
+            rows.append(
+                {"seed": seed, "static_q": static, "dynamic_q": dynamic}
+            )
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    summary = {
+        "programs": len(rows),
+        "mean_static_q": sum(r["static_q"] for r in rows) / len(rows),
+        "mean_dynamic_q": sum(r["dynamic_q"] for r in rows) / len(rows),
+        "dynamic_saves_hw": sum(
+            1 for r in rows if r["dynamic_q"] < r["static_q"]
+        ),
+    }
+    print(format_table([summary], title="Section 7 / E12: queue demand, static vs dynamic"))
+    assert all(r["dynamic_q"] <= r["static_q"] for r in rows)
+    assert summary["dynamic_saves_hw"] > len(rows) / 2
+
+
+def test_sec7_both_schemes_complete(benchmark):
+    def run():
+        outcomes = []
+        for seed in range(10):
+            prog = random_program(WorkloadSpec(seed=seed, cells=5, messages=8))
+            router = default_router(ExplicitLinear(tuple(prog.cells)))
+            labeling = constraint_labeling(prog)
+            static_q = max(static_queue_demand(prog, router).values())
+            dynamic_q = max(
+                dynamic_queue_demand(prog, router, labeling).values()
+            )
+            s = simulate(
+                prog,
+                config=ArrayConfig(queues_per_link=static_q),
+                policy="static",
+            )
+            d = simulate(
+                prog,
+                config=ArrayConfig(queues_per_link=dynamic_q),
+                policy="ordered",
+                labeling=labeling,
+            )
+            outcomes.append((s.completed, d.completed, static_q, dynamic_q))
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert all(s and d for s, d, _sq, _dq in outcomes)
+    # The dynamic scheme completed with no more hardware than static needed.
+    assert all(dq <= sq for _s, _d, sq, dq in outcomes)

@@ -1,0 +1,89 @@
+"""E11 — Section 8.1 / rule R2: the iWarp queue-extension mechanism.
+
+Expected shape: the compile-time analysis predicts extension exactly when
+skipped writes exceed the physical buffering along the route; at run time
+the extension absorbs the excess (completing runs that otherwise
+deadlock) at the cost of per-spilled-word penalty cycles.
+"""
+
+from repro import ArrayConfig, simulate
+from repro.analysis import format_table
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.core.requirements import extension_demand
+
+
+def burst_program(burst: int) -> ArrayProgram:
+    """Sender bursts ``burst`` words of A before B; receiver wants B first."""
+    return ArrayProgram(
+        ("C1", "C2"),
+        [Message("A", "C1", "C2", burst), Message("B", "C1", "C2", 1)],
+        {
+            "C1": [W("A")] * burst + [W("B")],
+            "C2": [R("B")] + [R("A")] * burst,
+        },
+        name=f"burst-{burst}",
+    )
+
+
+def test_sec8_extension_prediction_and_runtime(benchmark):
+    def sweep():
+        rows = []
+        capacity = 2
+        for burst in (1, 2, 3, 5, 8):
+            prog = burst_program(burst)
+            router = default_router(ExplicitLinear(tuple(prog.cells)))
+            config = ArrayConfig(queues_per_link=2, queue_capacity=capacity)
+            demand = extension_demand(prog, router, config)["A"]
+            plain = simulate(prog, config=config, policy="static")
+            extended = simulate(
+                prog, config=config.with_(allow_extension=True), policy="static"
+            )
+            spilled = sum(
+                s.spilled_words for s in extended.queue_stats.values()
+            )
+            rows.append(
+                {
+                    "burst": burst,
+                    "skipped_writes": demand.skipped_writes,
+                    "physical_cap": demand.physical_capacity,
+                    "predicted_ext": demand.needs_extension,
+                    "plain_run": plain.summary().split()[0],
+                    "extended_run": extended.summary().split()[0],
+                    "spilled": spilled,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(rows, title="Section 8 / E11: queue extension (capacity 2)"))
+    for row in rows:
+        # Prediction matches run-time behaviour exactly.
+        assert row["predicted_ext"] == (row["plain_run"] == "DEADLOCK")
+        assert row["extended_run"] == "completed"
+        assert (row["spilled"] > 0) == row["predicted_ext"]
+
+
+def test_sec8_extension_penalty_cost(benchmark):
+    prog = burst_program(8)
+
+    def run():
+        times = {}
+        for penalty in (0, 4, 16):
+            config = ArrayConfig(
+                queues_per_link=2,
+                queue_capacity=1,
+                allow_extension=True,
+                extension_penalty=penalty,
+            )
+            times[penalty] = simulate(prog, config=config, policy="static").time
+        return times
+
+    times = benchmark(run)
+    print()
+    print("E11: makespan vs extension penalty:", times)
+    assert times[0] < times[4] < times[16]

@@ -1,0 +1,71 @@
+"""E13 — Theorem 1 at ensemble scale (the paper's central guarantee).
+
+Expected shape: over random deadlock-free programs with assumption (ii)
+satisfied, the ordered policy completes 100% of runs; naive FCFS
+deadlocks on a measurable fraction; the cost of the guarantee (ordered
+makespan / FCFS makespan on FCFS's surviving runs) is modest.
+"""
+
+from repro import ArrayConfig, constraint_labeling, simulate, verify_theorem1
+from repro.analysis import format_table
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.requirements import dynamic_queue_demand
+from repro.workloads import WorkloadSpec, random_program
+
+
+def _provisioned(prog):
+    router = default_router(ExplicitLinear(tuple(prog.cells)))
+    labeling = constraint_labeling(prog)
+    demand = dynamic_queue_demand(prog, router, labeling)
+    queues = max(demand.values(), default=1)
+    return labeling, ArrayConfig(queues_per_link=queues)
+
+
+def test_theorem1_ensemble(benchmark):
+    def ensemble():
+        total = 40
+        ordered_ok = fcfs_ok = 0
+        overhead_num = overhead_den = 0
+        for seed in range(total):
+            prog = random_program(
+                WorkloadSpec(seed=seed, cells=6, messages=9, burst=3)
+            )
+            labeling, config = _provisioned(prog)
+            ordered = simulate(
+                prog, config=config, policy="ordered", labeling=labeling
+            )
+            fcfs = simulate(prog, config=config, policy="fcfs")
+            ordered_ok += ordered.completed
+            fcfs_ok += fcfs.completed
+            if fcfs.completed:
+                overhead_num += ordered.time
+                overhead_den += fcfs.time
+        return {
+            "programs": total,
+            "ordered_completed": ordered_ok,
+            "fcfs_completed": fcfs_ok,
+            "fcfs_deadlocks": total - fcfs_ok,
+            "ordered_overhead": round(overhead_num / max(overhead_den, 1), 3),
+        }
+
+    row = benchmark(ensemble)
+    print()
+    print(format_table([row], title="Theorem 1 / E13: ordered vs FCFS over random programs"))
+    assert row["ordered_completed"] == row["programs"]  # the theorem
+    assert row["fcfs_deadlocks"] > 0  # the hazard is real
+    assert row["ordered_overhead"] < 1.5  # safety is not expensive
+
+
+def test_theorem1_full_report_ensemble(benchmark):
+    def verify_all():
+        verified = 0
+        for seed in range(15):
+            prog = random_program(WorkloadSpec(seed=seed, cells=5, messages=7))
+            _labeling, config = _provisioned(prog)
+            report = verify_theorem1(prog, config=config)
+            verified += report.verified
+        return verified
+
+    verified = benchmark(verify_all)
+    assert verified == 15

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Each bench module regenerates one of the paper's figures (or a section's
+claim) and asserts its qualitative shape, while pytest-benchmark measures
+our implementation. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated paper-style tables.
+"""

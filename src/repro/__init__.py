@@ -1,0 +1,131 @@
+"""repro — a reproduction of H.T. Kung, "Deadlock Avoidance for Systolic
+Communication" (Journal of Complexity 4, 1988).
+
+The package implements the paper's full pipeline:
+
+1. declare messages and per-cell ``W``/``R`` programs
+   (:mod:`repro.core.program`);
+2. classify the program with the crossing-off procedure, optionally with
+   buffered-queue lookahead (:mod:`repro.core.crossing`);
+3. produce a consistent message labeling (:mod:`repro.core.labeling`);
+4. execute on a simulated programmable systolic array under a compatible
+   queue-assignment policy (:mod:`repro.sim`), with Theorem 1's guarantee
+   checked end to end (:mod:`repro.core.theorem`).
+
+Quickstart::
+
+    from repro import fig2_fir, fig2_registers, simulate, cross_off
+
+    program = fig2_fir()
+    assert cross_off(program).deadlock_free
+    result = simulate(program, registers=fig2_registers())
+    result.assert_completed()
+"""
+
+from repro.arch import (
+    ArrayConfig,
+    CommModel,
+    LinearArray,
+    Link,
+    Mesh2D,
+    RingArray,
+    Torus2D,
+    default_router,
+)
+from repro.core import (
+    COMPUTE,
+    ArrayProgram,
+    CrossingResult,
+    Labeling,
+    LookaheadConfig,
+    Message,
+    Op,
+    OpKind,
+    R,
+    W,
+    check_consistency,
+    competing_messages,
+    constraint_labeling,
+    cross_off,
+    is_consistent,
+    is_deadlock_free,
+    label_messages,
+    related_groups,
+    trivial_labeling,
+    uniform_lookahead,
+    verify_theorem1,
+)
+from repro.algorithms.figures import (
+    all_figures,
+    fig2_expected_outputs,
+    fig2_fir,
+    fig2_registers,
+    fig5_p1,
+    fig5_p2,
+    fig5_p3,
+    fig6_cycle,
+    fig7_program,
+    fig8_program,
+    fig9_program,
+)
+from repro.sim import (
+    FCFSPolicy,
+    OrderedPolicy,
+    SimulationResult,
+    Simulator,
+    StaticPolicy,
+    compare_models,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayConfig",
+    "ArrayProgram",
+    "COMPUTE",
+    "CommModel",
+    "CrossingResult",
+    "FCFSPolicy",
+    "Labeling",
+    "LinearArray",
+    "Link",
+    "LookaheadConfig",
+    "Mesh2D",
+    "Message",
+    "Op",
+    "OpKind",
+    "OrderedPolicy",
+    "R",
+    "RingArray",
+    "SimulationResult",
+    "Simulator",
+    "StaticPolicy",
+    "Torus2D",
+    "W",
+    "all_figures",
+    "check_consistency",
+    "compare_models",
+    "competing_messages",
+    "constraint_labeling",
+    "cross_off",
+    "default_router",
+    "fig2_expected_outputs",
+    "fig2_fir",
+    "fig2_registers",
+    "fig5_p1",
+    "fig5_p2",
+    "fig5_p3",
+    "fig6_cycle",
+    "fig7_program",
+    "fig8_program",
+    "fig9_program",
+    "is_consistent",
+    "is_deadlock_free",
+    "label_messages",
+    "related_groups",
+    "simulate",
+    "trivial_labeling",
+    "uniform_lookahead",
+    "verify_theorem1",
+]

@@ -1,0 +1,91 @@
+"""Systolic algorithm program generators and the paper's figure programs."""
+
+from repro.algorithms.figures import (
+    all_figures,
+    fig2_expected_outputs,
+    fig2_fir,
+    fig2_registers,
+    fig5_p1,
+    fig5_p2,
+    fig5_p3,
+    fig6_cycle,
+    fig7_program,
+    fig8_program,
+    fig9_program,
+)
+from repro.algorithms.backsub import (
+    backsub_expected,
+    backsub_program,
+    backsub_solution,
+)
+from repro.algorithms.fir import (
+    fir_expected,
+    fir_host_registers_expected,
+    fir_program,
+    fir_registers,
+)
+from repro.algorithms.horner import (
+    horner_expected,
+    horner_program,
+    horner_registers,
+)
+from repro.algorithms.matmul2d import (
+    matmul_expected,
+    matmul_program,
+    matmul_results,
+)
+from repro.algorithms.matvec import (
+    matvec_expected,
+    matvec_program,
+    matvec_registers,
+)
+from repro.algorithms.oddeven import (
+    oddeven_program,
+    oddeven_registers,
+    oddeven_result,
+)
+from repro.algorithms.seqcompare import (
+    encode,
+    lcs_expected,
+    lcs_program,
+    lcs_program_for,
+    lcs_registers,
+)
+
+__all__ = [
+    "all_figures",
+    "backsub_expected",
+    "backsub_program",
+    "backsub_solution",
+    "encode",
+    "fig2_expected_outputs",
+    "fig2_fir",
+    "fig2_registers",
+    "fig5_p1",
+    "fig5_p2",
+    "fig5_p3",
+    "fig6_cycle",
+    "fig7_program",
+    "fig8_program",
+    "fig9_program",
+    "fir_expected",
+    "fir_host_registers_expected",
+    "fir_program",
+    "fir_registers",
+    "horner_expected",
+    "horner_program",
+    "horner_registers",
+    "lcs_expected",
+    "lcs_program",
+    "lcs_program_for",
+    "lcs_registers",
+    "matmul_expected",
+    "matmul_program",
+    "matmul_results",
+    "matvec_expected",
+    "matvec_program",
+    "matvec_registers",
+    "oddeven_program",
+    "oddeven_registers",
+    "oddeven_result",
+]

@@ -1,0 +1,123 @@
+"""Systolic triangular solve (forward substitution) on a linear array.
+
+Solves ``L x = b`` for lower-triangular L — the classic Kung-Leiserson
+systolic workload. Cell ``Cj`` owns ``x_j``: rows stream in from the
+host, each cell folds ``L[i][j] * x_j`` into the travelling partial sum,
+and the diagonal cell completes ``x_i = (b_i - s) / L[i][i]``, storing it
+for later rows and shipping it back to the host over the reverse path.
+
+The solved values return only after a cell's last row work: collecting
+``x_i`` mid-stream would interleave the returns with the row stream at
+the host, making every ``X<i>`` related to the row message (equal labels,
+one queue each — n queues on the first reverse link). Deferring the
+returns keeps the labels distinct, so a single queue per link suffices
+under the ordered policy, and the row stream still pipelines freely.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _fold(s: float, coeff: float, x: float) -> float:
+    return s + coeff * x
+
+
+def _solve(b: float, s: float, diag: float) -> float:
+    return (b - s) / diag
+
+
+def _scale(coeff: float, x: float) -> float:
+    return coeff * x
+
+
+def backsub_cells(n: int) -> tuple[str, ...]:
+    """HOST plus one cell per unknown."""
+    return ("HOST",) + tuple(f"C{j + 1}" for j in range(n))
+
+
+def backsub_program(
+    lower: list[list[float]], b: list[float], name: str | None = None
+) -> ArrayProgram:
+    """Build the forward-substitution program for ``lower @ x = b``.
+
+    Messages: ``A<j>`` carries row segments (coefficients then the b
+    entry) into cell j; ``S<j>`` the partial sums; ``X<i>`` returns the
+    solved ``x_i`` from cell ``Ci`` to the host.
+    """
+    n = len(b)
+    if len(lower) != n or any(len(row) < i + 1 for i, row in enumerate(lower)):
+        raise ValueError("need an n x n lower-triangular matrix and length-n b")
+    cells = backsub_cells(n)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    def a_msg(j: int) -> str:
+        return f"A{j}"
+
+    def s_msg(j: int) -> str:
+        return f"S{j}"
+
+    # Row i enters cell j (1-based, j <= i) as L[i][j..i] then b_i: that
+    # is (i - j + 2) words; cell j keeps one coefficient and forwards the
+    # rest.
+    for j in range(1, n + 1):
+        length = sum((i - j + 2) for i in range(j, n + 1))
+        messages.append(Message(a_msg(j), cells[j - 1], cells[j], length))
+        if j >= 2:
+            messages.append(Message(s_msg(j), cells[j - 1], cells[j], n - j + 1))
+    for i in range(1, n + 1):
+        messages.append(Message(f"X{i}", cells[i], "HOST", 1))
+
+    host: list[Op] = []
+    for i in range(1, n + 1):
+        for j in range(1, i + 1):
+            host.append(W(a_msg(1), constant=lower[i - 1][j - 1]))
+        host.append(W(a_msg(1), constant=b[i - 1]))
+    for i in range(1, n + 1):
+        host.append(R(f"X{i}", into=f"x{i}"))
+    programs["HOST"] = host
+
+    for j in range(1, n + 1):
+        ops: list[Op] = []
+        # Row i == j: solve for x_j (kept in a register until the end).
+        ops.append(R(a_msg(j), into="diag"))
+        ops.append(R(a_msg(j), into="b"))
+        if j == 1:
+            ops.append(COMPUTE("s", lambda: 0.0, []))
+        else:
+            ops.append(R(s_msg(j), into="s"))
+        ops.append(COMPUTE("x", _solve, ["b", "s", "diag"]))
+        # Rows i > j: fold our x_j into the travelling sum.
+        for i in range(j + 1, n + 1):
+            ops.append(R(a_msg(j), into="coeff"))
+            for _t in range(i - j + 1):  # forward L[i][j+1..i] and b_i
+                ops.append(R(a_msg(j), into="relay"))
+                ops.append(W(a_msg(j + 1), from_register="relay"))
+            if j == 1:
+                ops.append(COMPUTE("s", _scale, ["coeff", "x"]))
+            else:
+                ops.append(R(s_msg(j), into="s"))
+                ops.append(COMPUTE("s", _fold, ["s", "coeff", "x"]))
+            ops.append(W(s_msg(j + 1), from_register="s"))
+        ops.append(W(f"X{j}", from_register="x"))
+        programs[cells[j]] = ops
+
+    return ArrayProgram(cells, messages, programs, name=name or f"backsub-{n}")
+
+
+def backsub_expected(lower: list[list[float]], b: list[float]) -> list[float]:
+    """Reference forward substitution."""
+    n = len(b)
+    x: list[float] = []
+    for i in range(n):
+        s = sum(lower[i][j] * x[j] for j in range(i))
+        x.append((b[i] - s) / lower[i][i])
+    return x
+
+
+def backsub_solution(registers: dict, n: int) -> list[float]:
+    """Extract the solved vector from the host's registers."""
+    return [registers["HOST"][f"x{i + 1}"] for i in range(n)]

@@ -1,0 +1,270 @@
+"""The paper's example programs, exactly as printed.
+
+Each function returns the :class:`ArrayProgram` of one figure. Where the
+source scan garbles a listing, the reconstruction used here is the
+canonical minimal program consistent with every behavioural statement the
+paper makes about it; the relevant prose is quoted at each site (see also
+DESIGN.md, "OCR note").
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+#: Cell names of the Fig. 2 filtering example (host treated as a cell).
+FIG2_CELLS = ("HOST", "C1", "C2", "C3")
+
+
+def fig2_fir(
+    xs: tuple[float, float, float, float] = (1.0, 2.0, 3.0, 4.0),
+) -> ArrayProgram:
+    """Fig. 2: the 3-tap FIR filter program, with its arithmetic.
+
+    The host provides x1..x4 and receives y1, y2 where
+    ``y_i = w1*x_i + w2*x_{i+1} + w3*x_{i+2}``. Weights are preloaded as
+    cell registers (w3 in C1, w2 in C2, w1 in C3 — the preloading phase is
+    not part of the listing, exactly as in the paper). Compute statements
+    are placed where the figure places them; they are invisible to the
+    deadlock analyses.
+    """
+    x1, x2, x3, x4 = xs
+    acc = lambda y, w, x: y + w * x  # noqa: E731 - the cells' update step
+    first = lambda w, x: w * x  # noqa: E731 - C3 starts each accumulation
+    messages = [
+        Message("XA", "HOST", "C1", 4),
+        Message("XB", "C1", "C2", 3),
+        Message("XC", "C2", "C3", 2),
+        Message("YA", "C1", "HOST", 2),
+        Message("YB", "C2", "C1", 2),
+        Message("YC", "C3", "C2", 2),
+    ]
+    host = [
+        W("XA", constant=x1),
+        W("XA", constant=x2),
+        W("XA", constant=x3),
+        R("YA", into="y1"),
+        W("XA", constant=x4),
+        R("YA", into="y2"),
+    ]
+    c1 = [
+        R("XA", into="x"),
+        W("XB", from_register="x"),
+        R("XA", into="x"),
+        W("XB", from_register="x"),
+        R("XA", into="x"),
+        R("YB", into="y"),
+        COMPUTE("y", acc, ["y", "w", "x"]),  # y1 = y1 + w3*x3
+        W("XB", from_register="x"),
+        W("YA", from_register="y"),
+        R("XA", into="x"),
+        R("YB", into="y"),
+        COMPUTE("y", acc, ["y", "w", "x"]),  # y2 = y2 + w3*x4
+        W("YA", from_register="y"),
+    ]
+    c2 = [
+        R("XB", into="x"),
+        W("XC", from_register="x"),
+        R("XB", into="x"),
+        R("YC", into="y"),
+        W("XC", from_register="x"),
+        COMPUTE("y", acc, ["y", "w", "x"]),  # y1 = y1 + w2*x2
+        W("YB", from_register="y"),
+        R("XB", into="x"),
+        R("YC", into="y"),
+        COMPUTE("y", acc, ["y", "w", "x"]),  # y2 = y2 + w2*x3
+        W("YB", from_register="y"),
+    ]
+    c3 = [
+        R("XC", into="x"),
+        COMPUTE("y", first, ["w", "x"]),  # y1 = w1*x1
+        W("YC", from_register="y"),
+        R("XC", into="x"),
+        COMPUTE("y", first, ["w", "x"]),  # y2 = w1*x2
+        W("YC", from_register="y"),
+    ]
+    return ArrayProgram(
+        FIG2_CELLS,
+        messages,
+        {"HOST": host, "C1": c1, "C2": c2, "C3": c3},
+        name="fig2-fir",
+    )
+
+
+def fig2_registers(
+    weights: tuple[float, float, float] = (0.5, 0.25, 0.125),
+) -> dict[str, dict[str, float | None]]:
+    """The preloaded weight registers for :func:`fig2_fir`.
+
+    ``weights = (w1, w2, w3)``; the paper preloads w3 into C1, w2 into
+    C2 and w1 into C3.
+    """
+    w1, w2, w3 = weights
+    return {"C1": {"w": w3}, "C2": {"w": w2}, "C3": {"w": w1}}
+
+
+def fig2_expected_outputs(
+    xs: tuple[float, float, float, float] = (1.0, 2.0, 3.0, 4.0),
+    weights: tuple[float, float, float] = (0.5, 0.25, 0.125),
+) -> tuple[float, float]:
+    """The y1, y2 the host must receive (Section 2.2's formulas)."""
+    x1, x2, x3, x4 = xs
+    w1, w2, w3 = weights
+    return (
+        w1 * x1 + w2 * x2 + w3 * x3,
+        w1 * x2 + w2 * x3 + w3 * x4,
+    )
+
+
+def fig5_p1() -> ArrayProgram:
+    """Fig. 5, program P1 — deadlocked without buffering.
+
+    Fully recoverable from Fig. 10 and the Section 8 prose: C1 writes two
+    words of A before the first word of B, while C2 reads B first ("cell
+    Cl cannot finish writing the first word in A, because cell C2 is not
+    ready to read any word in A"). With two-word queue buffering and
+    separate queues, Section 8 shows it completes.
+    """
+    messages = [Message("A", "C1", "C2", 4), Message("B", "C1", "C2", 2)]
+    c1 = [W("A"), W("A"), W("B"), W("A"), W("B"), W("A")]
+    c2 = [R("B"), R("A"), R("B"), R("A"), R("A"), R("A")]
+    return ArrayProgram(
+        ("C1", "C2"), messages, {"C1": c1, "C2": c2}, name="fig5-p1"
+    )
+
+
+def fig5_p2() -> ArrayProgram:
+    """Fig. 5, program P2 — both cells write before reading.
+
+    Reconstruction (OCR-garbled listing): the canonical program matching
+    "neither Cl nor C2 can finish writing the first word in its output
+    message" with unbuffered queues. Unlike P3, buffering rescues it: with
+    lookahead the pairs become executable (writes may be skipped), so it
+    is the P1-like member of the write-first family.
+    """
+    messages = [Message("A", "C1", "C2", 2), Message("B", "C2", "C1", 2)]
+    c1 = [W("A"), W("A"), R("B"), R("B")]
+    c2 = [W("B"), W("B"), R("A"), R("A")]
+    return ArrayProgram(
+        ("C1", "C2"), messages, {"C1": c1, "C2": c2}, name="fig5-p2"
+    )
+
+
+def fig5_p3() -> ArrayProgram:
+    """Fig. 5, program P3 — a true circular wait.
+
+    Reconstruction (OCR-garbled listing): each cell reads before it
+    writes, so each write's value "may depend on the preceding read
+    operation" (Section 8.1/R1) — the program that would be *incorrectly*
+    classified deadlock-free if lookahead could skip reads. No buffering
+    can save it.
+    """
+    messages = [Message("A", "C1", "C2", 1), Message("B", "C2", "C1", 1)]
+    c1 = [R("B"), W("A")]
+    c2 = [R("A"), W("B")]
+    return ArrayProgram(
+        ("C1", "C2"), messages, {"C1": c1, "C2": c2}, name="fig5-p3"
+    )
+
+
+def fig6_cycle() -> ArrayProgram:
+    """Fig. 6: messages form a sender/receiver cycle, yet the program is
+    deadlock-free — the paper's warning that cycle-checking is not a
+    deadlock test."""
+    messages = [
+        Message("A", "C1", "C2", 1),
+        Message("B", "C2", "C3", 1),
+        Message("C", "C3", "C4", 1),
+        Message("D", "C4", "C1", 1),
+    ]
+    programs = {
+        "C1": [W("A"), R("D")],
+        "C2": [R("A"), W("B")],
+        "C3": [R("B"), W("C")],
+        "C4": [R("C"), W("D")],
+    }
+    return ArrayProgram(("C1", "C2", "C3", "C4"), messages, programs, name="fig6")
+
+
+def fig7_program(
+    c_len: int = 4, b_len: int = 2, think_cycles: int = 0
+) -> ArrayProgram:
+    """Fig. 7: queue-induced deadlock example 1.
+
+    C travels C1 -> C4 across every interval; A is local to C2 -> C3; B is
+    local to C3 -> C4. C4 reads all of C before any of B, so B must not
+    grab the C3-C4 queue first. ``think_cycles`` inserts a compute delay
+    before C3 starts writing B — sweeping it moves B's queue request
+    relative to C's header arrival (the figure's D1/D2 timing constants).
+    """
+    messages = [
+        Message("A", "C2", "C3", 4),
+        Message("B", "C3", "C4", b_len),
+        Message("C", "C1", "C4", c_len),
+    ]
+    think: list[Op] = (
+        [COMPUTE("t", lambda: 0.0, [], cycles=think_cycles)] if think_cycles else []
+    )
+    programs = {
+        "C1": [W("C") for _ in range(c_len)],
+        "C2": [W("A") for _ in range(4)],
+        "C3": [R("A") for _ in range(4)] + think + [W("B") for _ in range(b_len)],
+        "C4": [R("C") for _ in range(c_len)] + [R("B") for _ in range(b_len)],
+    }
+    return ArrayProgram(
+        ("C1", "C2", "C3", "C4"), messages, programs, name="fig7"
+    )
+
+
+def fig8_program() -> ArrayProgram:
+    """Fig. 8: interleaved reads from multiple messages by cell C3.
+
+    C3 reads A and B in the interleaved order A,B,A,A,B,B,A, making A and
+    B related: they need the same label and hence separate queues on the
+    shared C2-C3 interval. One queue deadlocks; "no deadlock if # queues
+    greater than 1".
+    """
+    messages = [
+        Message("A", "C2", "C3", 4),
+        Message("B", "C1", "C3", 3),
+    ]
+    programs = {
+        "C1": [W("B"), W("B"), W("B")],
+        "C2": [W("A"), W("A"), W("A"), W("A")],
+        "C3": [R("A"), R("B"), R("A"), R("A"), R("B"), R("B"), R("A")],
+    }
+    return ArrayProgram(("C1", "C2", "C3"), messages, programs, name="fig8")
+
+
+def fig9_program() -> ArrayProgram:
+    """Fig. 9: the symmetric case — interleaved writes by cell C1.
+
+    C1 writes A (to C2) and B (through C2 to C3) in the order
+    A,B,A,A,B,B,A; A and B compete on the C1-C2 interval and, being
+    related, need separate queues there.
+    """
+    messages = [
+        Message("A", "C1", "C2", 4),
+        Message("B", "C1", "C3", 3),
+    ]
+    programs = {
+        "C1": [W("A"), W("B"), W("A"), W("A"), W("B"), W("B"), W("A")],
+        "C2": [R("A"), R("A"), R("A"), R("A")],
+        "C3": [R("B"), R("B"), R("B")],
+    }
+    return ArrayProgram(("C1", "C2", "C3"), messages, programs, name="fig9")
+
+
+def all_figures() -> dict[str, ArrayProgram]:
+    """Every figure program, keyed by a short identifier."""
+    return {
+        "fig2": fig2_fir(),
+        "fig5-p1": fig5_p1(),
+        "fig5-p2": fig5_p2(),
+        "fig5-p3": fig5_p3(),
+        "fig6": fig6_cycle(),
+        "fig7": fig7_program(),
+        "fig8": fig8_program(),
+        "fig9": fig9_program(),
+    }

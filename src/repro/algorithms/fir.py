@@ -1,0 +1,133 @@
+"""Generalized FIR filtering (convolution) on a linear array.
+
+This generalizes Fig. 2 to ``k`` taps and ``n`` outputs: the host feeds
+``x_1 .. x_{n+k-1}``; cell ``Cj`` holds weight ``w_{k+1-j}``; x-values are
+relayed rightward (each cell forwarding the suffix its right neighbours
+still need) while y-accumulations flow leftward, starting at the rightmost
+cell with ``y_t = w_1 * x_t``. For ``k=3, n=2`` the emitted transfer
+sequence is exactly the Fig. 2 listing.
+
+Convolution and FIR filtering are the same computation (Kung's "Why
+systolic architectures?" [7] uses convolution as the running example), so
+this module serves both workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _acc(y: float, w: float, x: float) -> float:
+    return y + w * x
+
+
+def _first(w: float, x: float) -> float:
+    return w * x
+
+
+def fir_cells(taps: int) -> tuple[str, ...]:
+    """Cell names for a ``taps``-tap filter: HOST, C1..Ck."""
+    return ("HOST",) + tuple(f"C{i + 1}" for i in range(taps))
+
+
+def fir_program(
+    taps: int,
+    outputs: int,
+    xs: tuple[float, ...] | None = None,
+    name: str | None = None,
+) -> ArrayProgram:
+    """Build the filtering program for ``taps`` weights and ``outputs`` results.
+
+    Args:
+        taps: number of filter weights (k >= 1); also the number of cells.
+        outputs: number of filter outputs (n >= 1).
+        xs: the ``n + k - 1`` input samples; defaults to 1, 2, 3, ...
+        name: program name; defaults to ``fir-k<k>-n<n>``.
+    """
+    if taps < 1 or outputs < 1:
+        raise ValueError("taps and outputs must be >= 1")
+    k, n = taps, outputs
+    n_inputs = n + k - 1
+    if xs is None:
+        xs = tuple(float(i + 1) for i in range(n_inputs))
+    if len(xs) != n_inputs:
+        raise ValueError(f"need {n_inputs} inputs, got {len(xs)}")
+    cells = fir_cells(k)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    def x_msg(j: int) -> str:
+        """The x-stream entering cell j (j=1 comes from the host)."""
+        return f"X{j}"
+
+    def y_msg(j: int) -> str:
+        """The y-stream leaving cell j leftward (j=1 ends at the host)."""
+        return f"Y{j}"
+
+    for j in range(1, k + 1):
+        left = cells[j - 1]
+        messages.append(Message(x_msg(j), left, cells[j], n + k - j))
+        messages.append(Message(y_msg(j), cells[j], left, n))
+
+    host_ops: list[Op] = [W(x_msg(1), constant=xs[i]) for i in range(k)]
+    for t in range(1, n + 1):
+        host_ops.append(R(y_msg(1), into=f"y{t}"))
+        if k + t - 1 < n_inputs:
+            host_ops.append(W(x_msg(1), constant=xs[k + t - 1]))
+    programs["HOST"] = host_ops
+
+    for j in range(1, k + 1):
+        ops: list[Op] = []
+        x_in, y_out = x_msg(j), y_msg(j)
+        is_last = j == k
+        x_out = None if is_last else x_msg(j + 1)
+        forwarded = 0
+        # Prologue: relay the first k - j samples onward before any output
+        # work reaches this cell (Fig. 2's leading R/W pairs).
+        for _ in range(k - j):
+            ops.append(R(x_in, into="x"))
+            ops.append(W(x_out, from_register="x"))  # type: ignore[arg-type]
+            forwarded += 1
+        x_out_len = n + k - j - 1
+        for _t in range(n):
+            ops.append(R(x_in, into="x"))
+            if is_last:
+                ops.append(COMPUTE("y", _first, ["w", "x"]))
+            else:
+                ops.append(R(y_msg(j + 1), into="y"))
+                ops.append(COMPUTE("y", _acc, ["y", "w", "x"]))
+            if x_out is not None and forwarded < x_out_len:
+                ops.append(W(x_out, from_register="x"))
+                forwarded += 1
+            ops.append(W(y_out, from_register="y"))
+        programs[cells[j]] = ops
+
+    return ArrayProgram(
+        cells, messages, programs, name=name or f"fir-k{k}-n{n}"
+    )
+
+
+def fir_registers(weights: tuple[float, ...]) -> dict[str, dict[str, float | None]]:
+    """Preloaded weight registers: ``w_{k+1-j}`` into cell ``Cj``."""
+    k = len(weights)
+    return {f"C{j}": {"w": weights[k - j]} for j in range(1, k + 1)}
+
+
+def fir_expected(
+    xs: tuple[float, ...], weights: tuple[float, ...], outputs: int
+) -> list[float]:
+    """Reference outputs: ``y_t = sum_i w_i * x_{t+i-1}``."""
+    k = len(weights)
+    return [
+        sum(weights[i] * xs[t + i] for i in range(k)) for t in range(outputs)
+    ]
+
+
+def fir_host_registers_expected(
+    xs: tuple[float, ...], weights: tuple[float, ...], outputs: int
+) -> dict[str, float]:
+    """The host registers ``y1..yn`` a correct run must produce."""
+    values = fir_expected(xs, weights, outputs)
+    return {f"y{t + 1}": values[t] for t in range(outputs)}

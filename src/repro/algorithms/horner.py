@@ -1,0 +1,118 @@
+"""Pipelined polynomial evaluation (Horner's rule) on a linear array.
+
+``p(x) = a_d x^d + ... + a_0`` evaluated at ``m`` points. Cell ``Cj``
+holds coefficient ``a_{d-j+1}`` (so the accumulation starts from the
+leading coefficient) and performs one fused step ``s := s * x + a`` per
+point. Evaluation points stream rightward, partial accumulations follow
+them, and results return to the host over the full reverse path.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _horner_step(s: float, x: float, a: float) -> float:
+    return s * x + a
+
+
+def _init(a: float) -> float:
+    return a
+
+
+def horner_cells(degree: int) -> tuple[str, ...]:
+    """HOST plus one cell per coefficient below the leading one."""
+    return ("HOST",) + tuple(f"C{j + 1}" for j in range(degree))
+
+
+def horner_program(
+    degree: int, points: list[float], name: str | None = None
+) -> ArrayProgram:
+    """Build the evaluation pipeline for a polynomial of ``degree``.
+
+    Messages: ``X<j>`` carries the points into cell j (each cell forwards
+    the stream), ``S<j>`` the accumulations, and ``P`` the finished values
+    back to the host.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    d, m = degree, len(points)
+    if m < 1:
+        raise ValueError("need at least one evaluation point")
+    cells = horner_cells(d)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    for j in range(1, d + 1):
+        messages.append(Message(f"X{j}", cells[j - 1], cells[j], m))
+        if j >= 2:
+            messages.append(Message(f"S{j}", cells[j - 1], cells[j], m))
+    messages.append(Message("P", cells[d], "HOST", m))
+
+    # One-point lag between feeding x_t and collecting p(x_t) keeps the
+    # pipeline busy — but only a pipeline at least two cells deep has the
+    # slack to absorb it; at depth one the lag is exactly the write-first
+    # deadlock of Fig. 5/P2, so the host then runs strictly alternating.
+    host: list[Op] = []
+    if d >= 2:
+        host.append(W("X1", constant=points[0]))
+        for t in range(1, m):
+            host.append(W("X1", constant=points[t]))
+            host.append(R("P", into=f"p{t}"))
+        host.append(R("P", into=f"p{m}"))
+    else:
+        for t in range(m):
+            host.append(W("X1", constant=points[t]))
+            host.append(R("P", into=f"p{t + 1}"))
+    programs["HOST"] = host
+
+    for j in range(1, d + 1):
+        ops: list[Op] = []
+        is_first, is_last = j == 1, j == d
+        for _t in range(m):
+            ops.append(R(f"X{j}", into="x"))
+            if not is_last:
+                ops.append(W(f"X{j + 1}", from_register="x"))
+            if is_first:
+                # s = a_d * x + a_{d-1} folded as init-then-step.
+                ops.append(COMPUTE("s", _init, ["lead"]))
+                ops.append(COMPUTE("s", _horner_step, ["s", "x", "a"]))
+            else:
+                ops.append(R(f"S{j}", into="s"))
+                ops.append(COMPUTE("s", _horner_step, ["s", "x", "a"]))
+            ops.append(W("P" if is_last else f"S{j + 1}", from_register="s"))
+        programs[cells[j]] = ops
+
+    return ArrayProgram(cells, messages, programs, name=name or f"horner-d{d}")
+
+
+def horner_registers(
+    coefficients: list[float],
+) -> dict[str, dict[str, float | None]]:
+    """Preload registers: ``coefficients`` ordered ``a_d .. a_0``.
+
+    Cell C1 holds the leading coefficient (register ``lead``) plus
+    ``a_{d-1}``; cell Cj (j >= 2) holds ``a_{d-j}``.
+    """
+    d = len(coefficients) - 1
+    if d < 1:
+        raise ValueError("polynomial must have degree >= 1")
+    regs: dict[str, dict[str, float | None]] = {
+        "C1": {"lead": coefficients[0], "a": coefficients[1]}
+    }
+    for j in range(2, d + 1):
+        regs[f"C{j}"] = {"a": coefficients[j]}
+    return regs
+
+
+def horner_expected(coefficients: list[float], points: list[float]) -> list[float]:
+    """Reference evaluation of the polynomial at every point."""
+    out = []
+    for x in points:
+        s = coefficients[0]
+        for a in coefficients[1:]:
+            s = s * x + a
+        out.append(s)
+    return out

@@ -1,0 +1,123 @@
+"""Systolic matrix multiplication on a 2-D mesh.
+
+``C = A @ B`` with A of shape ``m x k`` and B of shape ``k x n`` on an
+``m x n`` mesh: A streams in from the west edge (row i enters row i of the
+mesh), B from the north edge (column j enters column j), each cell
+accumulates its ``c_ij`` locally, relaying operands east/south. After the
+accumulation, every non-edge cell unloads its result eastward; the east
+edge collects its row's results (nearest first). The unload messages are
+multi-hop along mesh rows, exercising XY routing and the forwarder chain.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Mesh2D
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _fma(c: float, a: float, b: float) -> float:
+    return c + a * b
+
+
+def matmul_program(
+    a: list[list[float]], b: list[list[float]], name: str | None = None
+) -> tuple[ArrayProgram, Mesh2D]:
+    """Build the mesh program and its topology for ``a @ b``.
+
+    Returns the program plus the :class:`Mesh2D` it must run on (the mesh
+    has one extra west column and north row of *feeder* cells standing in
+    for the array boundary, mirroring how the paper treats the host as a
+    cell).
+    """
+    m, k = len(a), len(a[0])
+    k2, n = len(b), len(b[0])
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: {k} vs {k2}")
+    # Mesh of (m+1) x (n+1): row 0 are north feeders, column 0 west feeders.
+    mesh = Mesh2D(m + 1, n + 1)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    def cell(i: int, j: int) -> str:
+        return mesh.cell_at(i, j)
+
+    def a_msg(i: int, j: int) -> str:
+        """A-stream entering compute cell (i, j) from the west."""
+        return f"A{i}_{j}"
+
+    def b_msg(i: int, j: int) -> str:
+        """B-stream entering compute cell (i, j) from the north."""
+        return f"B{i}_{j}"
+
+    def u_msg(i: int, j: int) -> str:
+        """Unload message carrying c_ij to the east edge."""
+        return f"U{i}_{j}"
+
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            messages.append(Message(a_msg(i, j), cell(i, j - 1), cell(i, j), k))
+            messages.append(Message(b_msg(i, j), cell(i - 1, j), cell(i, j), k))
+            if j < n:
+                messages.append(Message(u_msg(i, j), cell(i, j), cell(i, n), 1))
+
+    # West feeders stream the rows of A; north feeders the columns of B.
+    for i in range(1, m + 1):
+        programs[cell(i, 0)] = [
+            W(a_msg(i, 1), constant=a[i - 1][t]) for t in range(k)
+        ]
+    for j in range(1, n + 1):
+        programs[cell(0, j)] = [
+            W(b_msg(1, j), constant=b[t][j - 1]) for t in range(k)
+        ]
+    programs[cell(0, 0)] = []
+
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            ops: list[Op] = [COMPUTE("c", lambda: 0.0, [])]
+            for _t in range(k):
+                ops.append(R(a_msg(i, j), into="a"))
+                if j < n:
+                    ops.append(W(a_msg(i, j + 1), from_register="a"))
+                ops.append(R(b_msg(i, j), into="b"))
+                if i < m:
+                    ops.append(W(b_msg(i + 1, j), from_register="b"))
+                ops.append(COMPUTE("c", _fma, ["c", "a", "b"]))
+            if j < n:
+                ops.append(W(u_msg(i, j), from_register="c"))
+            else:
+                # East edge: collect the row's results, nearest cell first.
+                for src in range(n - 1, 0, -1):
+                    ops.append(R(u_msg(i, src), into=f"c{src}"))
+            programs[cell(i, j)] = ops
+
+    program = ArrayProgram(
+        mesh.cells, messages, programs, name=name or f"matmul-{m}x{k}x{n}"
+    )
+    return program, mesh
+
+
+def matmul_expected(a: list[list[float]], b: list[list[float]]) -> list[list[float]]:
+    """Reference product ``a @ b``."""
+    m, k, n = len(a), len(a[0]), len(b[0])
+    return [
+        [sum(a[i][t] * b[t][j] for t in range(k)) for j in range(n)]
+        for i in range(m)
+    ]
+
+
+def matmul_results(result_registers: dict, m: int, n: int, mesh: Mesh2D) -> list[list[float]]:
+    """Extract the computed product from a finished simulation's registers.
+
+    Diagonal of responsibility: ``c_ij`` lives in the register file of
+    compute cell (i, j) (edge cells additionally hold their row's
+    collected values).
+    """
+    out = []
+    for i in range(1, m + 1):
+        row = []
+        for j in range(1, n + 1):
+            row.append(result_registers[mesh.cell_at(i, j)]["c"])
+        out.append(row)
+    return out

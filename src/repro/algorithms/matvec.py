@@ -1,0 +1,104 @@
+"""Systolic matrix-vector multiplication on a linear array.
+
+``y = A x`` with an ``m x n`` matrix: cell ``Cj`` holds ``x_j`` preloaded;
+the host streams A row-major into the array. Each cell keeps its own
+coefficient from every row, relays the remainder rightward, and folds
+``a_ij * x_j`` into the partial sum flowing along the row. The completed
+``y_i`` returns from the last cell to the host across the whole array —
+a genuinely multi-hop reverse route exercising the forwarder substrate.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _fma(s: float, a: float, x: float) -> float:
+    return s + a * x
+
+
+def _scale(a: float, x: float) -> float:
+    return a * x
+
+
+def matvec_cells(n: int) -> tuple[str, ...]:
+    """Cell names: HOST, C1..Cn (one cell per vector element)."""
+    return ("HOST",) + tuple(f"C{j + 1}" for j in range(n))
+
+
+def matvec_program(
+    matrix: list[list[float]], name: str | None = None
+) -> ArrayProgram:
+    """Build the program streaming ``matrix`` through the array.
+
+    Messages:
+
+    * ``A<j>`` — coefficient stream entering cell j, length ``m*(n-j+1)``;
+    * ``S<j>`` — partial sums from cell j-1 to cell j, length ``m``;
+    * ``Y`` — finished results from the last cell back to the host.
+    """
+    m = len(matrix)
+    if m == 0 or any(len(row) != len(matrix[0]) for row in matrix):
+        raise ValueError("matrix must be non-empty and rectangular")
+    n = len(matrix[0])
+    cells = matvec_cells(n)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    def a_msg(j: int) -> str:
+        return f"A{j}"
+
+    def s_msg(j: int) -> str:
+        return f"S{j}"
+
+    for j in range(1, n + 1):
+        messages.append(Message(a_msg(j), cells[j - 1], cells[j], m * (n - j + 1)))
+        if j >= 2:
+            messages.append(Message(s_msg(j), cells[j - 1], cells[j], m))
+    messages.append(Message("Y", cells[n], "HOST", m))
+
+    # The host interleaves result reads with row streaming (one-row lag):
+    # writing the whole matrix before reading any y would stall the S-chain
+    # once the pipeline backs up — precisely the deadlock shape of Fig. 7.
+    host: list[Op] = []
+    for j in range(n):
+        host.append(W(a_msg(1), constant=matrix[0][j]))
+    for i in range(1, m):
+        for j in range(n):
+            host.append(W(a_msg(1), constant=matrix[i][j]))
+        host.append(R("Y", into=f"y{i}"))
+    host.append(R("Y", into=f"y{m}"))
+    programs["HOST"] = host
+
+    for j in range(1, n + 1):
+        ops: list[Op] = []
+        is_first, is_last = j == 1, j == n
+        for _i in range(m):
+            ops.append(R(a_msg(j), into="a"))
+            for _t in range(n - j):
+                ops.append(R(a_msg(j), into="relay"))
+                ops.append(W(a_msg(j + 1), from_register="relay"))
+            if is_first:
+                ops.append(COMPUTE("s", _scale, ["a", "x"]))
+            else:
+                ops.append(R(s_msg(j), into="s"))
+                ops.append(COMPUTE("s", _fma, ["s", "a", "x"]))
+            if is_last:
+                ops.append(W("Y", from_register="s"))
+            else:
+                ops.append(W(s_msg(j + 1), from_register="s"))
+        programs[cells[j]] = ops
+
+    return ArrayProgram(cells, messages, programs, name=name or f"matvec-{m}x{n}")
+
+
+def matvec_registers(x: list[float]) -> dict[str, dict[str, float | None]]:
+    """Preload ``x_j`` into cell ``Cj``."""
+    return {f"C{j + 1}": {"x": x[j]} for j in range(len(x))}
+
+
+def matvec_expected(matrix: list[list[float]], x: list[float]) -> list[float]:
+    """Reference result ``y = A x``."""
+    return [sum(a * b for a, b in zip(row, x)) for row in matrix]

@@ -1,0 +1,78 @@
+"""Odd-even transposition sort on a linear array.
+
+``n`` cells each hold one key (preloaded register ``v``). The network runs
+``n`` rounds; in round ``r`` the pairs starting at ``r % 2`` exchange keys
+and keep (min, max). Each exchange is two one-word messages. The operation
+*order* matters under systolic communication: within a pair the left cell
+writes first and the right cell reads first — writing on both sides first
+would be exactly the P2 deadlock of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _keep_min(mine: float, theirs: float) -> float:
+    return min(mine, theirs)
+
+
+def _keep_max(mine: float, theirs: float) -> float:
+    return max(mine, theirs)
+
+
+def oddeven_cells(n: int) -> tuple[str, ...]:
+    """Cell names C1..Cn."""
+    return tuple(f"C{i + 1}" for i in range(n))
+
+
+def oddeven_program(n: int, rounds: int | None = None) -> ArrayProgram:
+    """Build the sorting network program for ``n`` keys.
+
+    Args:
+        n: number of cells/keys (>= 2).
+        rounds: number of transposition rounds; defaults to ``n`` (enough
+            to sort any input).
+    """
+    if n < 2:
+        raise ValueError("need at least two cells")
+    rounds = n if rounds is None else rounds
+    cells = oddeven_cells(n)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {cell: [] for cell in cells}
+
+    for r in range(rounds):
+        start = r % 2
+        for left in range(start, n - 1, 2):
+            right = left + 1
+            lcell, rcell = cells[left], cells[right]
+            to_right = f"E{r}_{left}"  # left's key travelling right
+            to_left = f"F{r}_{left}"  # right's key travelling left
+            messages.append(Message(to_right, lcell, rcell, 1))
+            messages.append(Message(to_left, rcell, lcell, 1))
+            # Left half-pair: write then read, keep the minimum.
+            programs[lcell] += [
+                W(to_right, from_register="v"),
+                R(to_left, into="o"),
+                COMPUTE("v", _keep_min, ["v", "o"]),
+            ]
+            # Right half-pair: read then write, keep the maximum.
+            programs[rcell] += [
+                R(to_right, into="o"),
+                W(to_left, from_register="v"),
+                COMPUTE("v", _keep_max, ["v", "o"]),
+            ]
+
+    return ArrayProgram(cells, messages, programs, name=f"oddeven-{n}")
+
+
+def oddeven_registers(keys: list[float]) -> dict[str, dict[str, float | None]]:
+    """Preload one key per cell."""
+    return {f"C{i + 1}": {"v": key} for i, key in enumerate(keys)}
+
+
+def oddeven_result(registers: dict, n: int) -> list[float]:
+    """Extract the (hopefully sorted) keys from final cell registers."""
+    return [registers[f"C{i + 1}"]["v"] for i in range(n)]

@@ -1,0 +1,125 @@
+"""Systolic sequence comparison (longest common subsequence).
+
+The paper's reference [8] is Lopresti's P-NAC, "a systolic array for
+comparing nucleic acid sequences"; this module implements the classic
+linear-array LCS recurrence in that spirit. Cell ``Cj`` holds character
+``b_j`` of sequence B. Sequence A streams through the array; alongside
+each ``a_i`` travels the DP value ``D[i][j-1]``, and every cell keeps
+``D[i-1][j]`` and ``D[i-1][j-1]`` in registers to close the recurrence
+
+    D[i][j] = max(D[i-1][j], D[i][j-1], D[i-1][j-1] + [a_i == b_j]).
+
+The final column of D returns to the host; its last entry is the LCS
+length.
+"""
+
+from __future__ import annotations
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, R, W
+from repro.core.program import ArrayProgram
+
+
+def _match_bonus(diag: float, a: float, b: float) -> float:
+    return diag + (1.0 if a == b else 0.0)
+
+
+def _max3(up: float, left: float, cand: float) -> float:
+    return max(up, left, cand)
+
+
+def _copy(value: float) -> float:
+    return value
+
+
+def lcs_cells(n: int) -> tuple[str, ...]:
+    """HOST plus one cell per character of sequence B."""
+    return ("HOST",) + tuple(f"C{j + 1}" for j in range(n))
+
+
+def lcs_program(m: int, n: int, a_codes: list[float]) -> ArrayProgram:
+    """Build the comparison pipeline for |A| = m, |B| = n.
+
+    ``a_codes`` are numeric character codes for A (length m). B's codes
+    are preloaded via :func:`lcs_registers`.
+    """
+    if len(a_codes) != m:
+        raise ValueError(f"need {m} codes for A, got {len(a_codes)}")
+    cells = lcs_cells(n)
+    messages: list[Message] = []
+    programs: dict[str, list[Op]] = {}
+
+    for j in range(1, n + 1):
+        messages.append(Message(f"A{j}", cells[j - 1], cells[j], m))
+        messages.append(Message(f"D{j}", cells[j - 1], cells[j], m))
+    messages.append(Message("OUT", cells[n], "HOST", m))
+
+    # Row i of the DP enters as (a_i, D[i][0] = 0); a one-row output lag
+    # keeps the pipeline busy, but needs depth >= 2 to be safe (cf. the
+    # same guard in repro.algorithms.horner).
+    host: list[Op] = []
+    if n >= 2:
+        host += [W("A1", constant=a_codes[0]), W("D1", constant=0.0)]
+        for i in range(1, m):
+            host.append(W("A1", constant=a_codes[i]))
+            host.append(W("D1", constant=0.0))
+            host.append(R("OUT", into=f"d{i}"))
+        host.append(R("OUT", into=f"d{m}"))
+    else:
+        for i in range(m):
+            host.append(W("A1", constant=a_codes[i]))
+            host.append(W("D1", constant=0.0))
+            host.append(R("OUT", into=f"d{i + 1}"))
+    programs["HOST"] = host
+
+    for j in range(1, n + 1):
+        is_last = j == n
+        out_a, out_d = (None, "OUT") if is_last else (f"A{j + 1}", f"D{j + 1}")
+        ops: list[Op] = [
+            COMPUTE("up", lambda: 0.0, []),  # D[0][j] = 0
+            COMPUTE("diag", lambda: 0.0, []),  # D[0][j-1] = 0
+        ]
+        for _i in range(m):
+            ops.append(R(f"A{j}", into="a"))
+            ops.append(R(f"D{j}", into="left"))
+            ops.append(COMPUTE("cand", _match_bonus, ["diag", "a", "b"]))
+            ops.append(COMPUTE("d", _max3, ["up", "left", "cand"]))
+            if out_a is not None:
+                ops.append(W(out_a, from_register="a"))
+            ops.append(W(out_d, from_register="d"))
+            ops.append(COMPUTE("diag", _copy, ["left"]))  # next row's diagonal
+            ops.append(COMPUTE("up", _copy, ["d"]))  # next row's upper value
+        programs[cells[j]] = ops
+
+    return ArrayProgram(cells, messages, programs, name=f"lcs-{m}x{n}")
+
+
+def lcs_registers(b_codes: list[float]) -> dict[str, dict[str, float | None]]:
+    """Preload B's character codes, one per cell."""
+    return {f"C{j + 1}": {"b": code} for j, code in enumerate(b_codes)}
+
+
+def encode(text: str) -> list[float]:
+    """Characters to float codes."""
+    return [float(ord(ch)) for ch in text]
+
+
+def lcs_expected(a: str, b: str) -> int:
+    """Reference LCS length by plain dynamic programming."""
+    m, n = len(a), len(b)
+    row = [0] * (n + 1)
+    for i in range(1, m + 1):
+        prev_diag = 0
+        for j in range(1, n + 1):
+            saved = row[j]
+            if a[i - 1] == b[j - 1]:
+                row[j] = prev_diag + 1
+            else:
+                row[j] = max(row[j], row[j - 1])
+            prev_diag = saved
+    return row[n]
+
+
+def lcs_program_for(a: str, b: str) -> ArrayProgram:
+    """Convenience: build the pipeline directly from two strings."""
+    return lcs_program(len(a), len(b), encode(a))

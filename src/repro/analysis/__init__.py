@@ -1,0 +1,6 @@
+"""Reporting and statistics helpers."""
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import ContentionStats, LabelStats, contention_row
+
+__all__ = ["ContentionStats", "LabelStats", "contention_row", "format_table"]

@@ -1,0 +1,39 @@
+"""Plain-text tables for benches and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned monospace table.
+
+    Column order defaults to first-row key order; missing values show as
+    empty cells.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)\n"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(cols)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    out.append(header)
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append("  ".join(row[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(out) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

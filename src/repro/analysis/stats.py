@@ -1,0 +1,80 @@
+"""Aggregate statistics over programs, labelings and simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.routing import Router
+from repro.core.labeling import Labeling
+from repro.core.program import ArrayProgram
+from repro.core.related import related_groups
+from repro.core.requirements import (
+    competing_messages,
+    dynamic_queue_demand,
+    static_queue_demand,
+)
+
+
+@dataclass(frozen=True)
+class LabelStats:
+    """Shape of a labeling: class count and sizes."""
+
+    classes: int
+    largest_class: int
+    singleton_classes: int
+
+    @classmethod
+    def of(cls, labeling: Labeling) -> "LabelStats":
+        groups = labeling.groups()
+        sizes = [len(names) for _lab, names in groups]
+        return cls(
+            classes=len(groups),
+            largest_class=max(sizes, default=0),
+            singleton_classes=sum(1 for s in sizes if s == 1),
+        )
+
+
+@dataclass(frozen=True)
+class ContentionStats:
+    """Queue pressure a program puts on an array."""
+
+    links_used: int
+    max_competing: int
+    static_queue_max: int
+    dynamic_queue_max: int
+    related_classes: int
+
+    @classmethod
+    def of(
+        cls, program: ArrayProgram, router: Router, labeling: Labeling
+    ) -> "ContentionStats":
+        competing = competing_messages(program, router)
+        static = static_queue_demand(program, router)
+        dynamic = dynamic_queue_demand(program, router, labeling)
+        return cls(
+            links_used=len(competing),
+            max_competing=max((len(v) for v in competing.values()), default=0),
+            static_queue_max=max(static.values(), default=0),
+            dynamic_queue_max=max(dynamic.values(), default=0),
+            related_classes=len(related_groups(program)),
+        )
+
+
+def contention_row(
+    program: ArrayProgram, router: Router, labeling: Labeling
+) -> dict[str, object]:
+    """A flat record combining program and contention shape for tables."""
+    stats = ContentionStats.of(program, router, labeling)
+    label_stats = LabelStats.of(labeling)
+    return {
+        "program": program.name,
+        "cells": len(program.cells),
+        "messages": len(program.messages),
+        "words": program.total_words,
+        "links": stats.links_used,
+        "max_competing": stats.max_competing,
+        "static_q": stats.static_queue_max,
+        "dynamic_q": stats.dynamic_queue_max,
+        "label_classes": label_stats.classes,
+        "largest_class": label_stats.largest_class,
+    }

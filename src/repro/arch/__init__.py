@@ -1,0 +1,44 @@
+"""Array architecture substrate: topologies, routing, links, queues."""
+
+from repro.arch.config import UNBUFFERED_SINGLE_QUEUE, ArrayConfig, CommModel
+from repro.arch.links import Link, Route, route_cells
+from repro.arch.queue import HardwareQueue, QueueStats
+from repro.arch.routing import (
+    LinearRouter,
+    RingRouter,
+    Router,
+    XYRouter,
+    default_router,
+)
+from repro.arch.topology import (
+    ExplicitLinear,
+    LinearArray,
+    Mesh2D,
+    RingArray,
+    Topology,
+    Torus2D,
+    topology_for_cells,
+)
+
+__all__ = [
+    "ArrayConfig",
+    "CommModel",
+    "ExplicitLinear",
+    "HardwareQueue",
+    "Link",
+    "LinearArray",
+    "LinearRouter",
+    "Mesh2D",
+    "QueueStats",
+    "RingArray",
+    "RingRouter",
+    "Route",
+    "Router",
+    "Topology",
+    "Torus2D",
+    "UNBUFFERED_SINGLE_QUEUE",
+    "XYRouter",
+    "default_router",
+    "route_cells",
+    "topology_for_cells",
+]

@@ -1,0 +1,47 @@
+"""Directed links between adjacent cells.
+
+The paper speaks of the *interval* between two adjacent cells, crossed by
+messages in one direction or the other (Section 2.3). Queues live on a
+directed link; messages crossing the same interval in the same direction
+are *competing* and may have to share that link's queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """A directed connection from cell ``src`` to adjacent cell ``dst``."""
+
+    src: str
+    dst: str
+
+    @property
+    def interval(self) -> frozenset[str]:
+        """The undirected interval this link belongs to."""
+        return frozenset((self.src, self.dst))
+
+    @property
+    def reverse(self) -> "Link":
+        """The link in the opposite direction of the same interval."""
+        return Link(self.dst, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+
+Route = tuple[Link, ...]
+
+
+def route_cells(route: Route) -> list[str]:
+    """The cell sequence visited by a route, including both endpoints."""
+    if not route:
+        return []
+    cells = [route[0].src]
+    for link in route:
+        if link.src != cells[-1]:
+            raise ValueError(f"route is not contiguous at {link}")
+        cells.append(link.dst)
+    return cells

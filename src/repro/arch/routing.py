@@ -1,0 +1,140 @@
+"""Routing: mapping a message's endpoints to the links it crosses.
+
+For a 1-D array a minimum-length route is fully determined by sender and
+receiver (Section 2.3); for 2-D arrays the crossed intervals also depend on
+the routing scheme, so routers are explicit objects. All provided routers
+are deterministic and minimal, which keeps the interval analysis of the
+paper well-defined.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.arch.links import Link, Route
+from repro.arch.topology import (
+    ExplicitLinear,
+    LinearArray,
+    Mesh2D,
+    RingArray,
+    Topology,
+    Torus2D,
+)
+from repro.errors import TopologyError
+
+
+class Router(ABC):
+    """Computes the directed link sequence a message traverses."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    @abstractmethod
+    def route(self, src: str, dst: str) -> Route:
+        """The route from ``src`` to ``dst`` (empty iff ``src == dst``)."""
+
+    def _links_along(self, cells: list[str]) -> Route:
+        return tuple(Link(a, b) for a, b in zip(cells, cells[1:]))
+
+
+class LinearRouter(Router):
+    """The unique minimal route along a linear array."""
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, (LinearArray, ExplicitLinear)):
+            raise TopologyError("LinearRouter requires a linear topology")
+        super().__init__(topology)
+        self._linear = topology
+
+    def route(self, src: str, dst: str) -> Route:
+        i, j = self._linear.index_of(src), self._linear.index_of(dst)
+        cells = list(self.topology.cells)
+        if i <= j:
+            path = cells[i : j + 1]
+        else:
+            path = list(reversed(cells[j : i + 1]))
+        return self._links_along(path)
+
+
+class RingRouter(Router):
+    """Shortest-way routing around a ring; ties go clockwise.
+
+    Deterministic tie-breaking keeps interval crossings well-defined, as
+    the paper requires of any routing scheme.
+    """
+
+    def __init__(self, topology: RingArray) -> None:
+        if not isinstance(topology, RingArray):
+            raise TopologyError("RingRouter requires a RingArray")
+        super().__init__(topology)
+        self._ring = topology
+
+    def route(self, src: str, dst: str) -> Route:
+        cells = self.topology.cells
+        n = len(cells)
+        i, j = self._ring.index_of(src), self._ring.index_of(dst)
+        forward = (j - i) % n
+        backward = (i - j) % n
+        path = [src]
+        if forward <= backward:
+            for step in range(1, forward + 1):
+                path.append(cells[(i + step) % n])
+        else:
+            for step in range(1, backward + 1):
+                path.append(cells[(i - step) % n])
+        return self._links_along(path)
+
+
+class XYRouter(Router):
+    """Dimension-order (X then Y) routing on a 2-D mesh or torus.
+
+    Moves along the column dimension first, then the row dimension. On a
+    torus, each dimension independently takes its shorter way (ties go in
+    the increasing direction).
+    """
+
+    def __init__(self, topology: Mesh2D) -> None:
+        if not isinstance(topology, Mesh2D):
+            raise TopologyError("XYRouter requires a Mesh2D or Torus2D")
+        super().__init__(topology)
+        self._mesh = topology
+
+    def route(self, src: str, dst: str) -> Route:
+        mesh = self._mesh
+        r0, c0 = mesh.coord_of(src)
+        r1, c1 = mesh.coord_of(dst)
+        path = [src]
+        for c in self._axis_path(c0, c1, mesh.cols, wrap=isinstance(mesh, Torus2D)):
+            path.append(mesh.cell_at(r0, c))
+        for r in self._axis_path(r0, r1, mesh.rows, wrap=isinstance(mesh, Torus2D)):
+            path.append(mesh.cell_at(r, c1))
+        return self._links_along(path)
+
+    @staticmethod
+    def _axis_path(a: int, b: int, size: int, wrap: bool) -> list[int]:
+        if a == b:
+            return []
+        if not wrap:
+            step = 1 if b > a else -1
+            return list(range(a + step, b + step, step))
+        forward = (b - a) % size
+        backward = (a - b) % size
+        out = []
+        if forward <= backward:
+            for s in range(1, forward + 1):
+                out.append((a + s) % size)
+        else:
+            for s in range(1, backward + 1):
+                out.append((a - s) % size)
+        return out
+
+
+def default_router(topology: Topology) -> Router:
+    """The natural minimal router for each provided topology type."""
+    if isinstance(topology, RingArray):
+        return RingRouter(topology)
+    if isinstance(topology, Mesh2D):
+        return XYRouter(topology)
+    if isinstance(topology, (LinearArray, ExplicitLinear)):
+        return LinearRouter(topology)
+    raise TopologyError(f"no default router for {type(topology).__name__}")

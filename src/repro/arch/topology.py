@@ -1,0 +1,237 @@
+"""Array topologies.
+
+The paper presents everything on 1-dimensional arrays but notes the results
+apply to any dimensionality and interconnection (Section 2.1). We provide
+linear arrays (the Warp shape), rings, 2-D meshes, and 2-D tori. A topology
+knows its cells and adjacency; routing lives in :mod:`repro.arch.routing`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.arch.links import Link
+from repro.errors import TopologyError
+
+
+class Topology(ABC):
+    """Abstract interconnection topology over named cells."""
+
+    @property
+    @abstractmethod
+    def cells(self) -> tuple[str, ...]:
+        """All cell names, in a canonical order."""
+
+    @abstractmethod
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        """Cells adjacent to ``cell``."""
+
+    def links(self) -> list[Link]:
+        """All directed links (both directions of every interval)."""
+        out: list[Link] = []
+        for cell in self.cells:
+            for nbr in self.neighbors(cell):
+                out.append(Link(cell, nbr))
+        return out
+
+    def intervals(self) -> list[frozenset[str]]:
+        """All undirected intervals between adjacent cells."""
+        seen: set[frozenset[str]] = set()
+        ordered: list[frozenset[str]] = []
+        for link in self.links():
+            if link.interval not in seen:
+                seen.add(link.interval)
+                ordered.append(link.interval)
+        return ordered
+
+    def require_cell(self, cell: str) -> None:
+        """Raise :class:`TopologyError` unless ``cell`` exists."""
+        if cell not in self._cell_set():
+            raise TopologyError(f"unknown cell {cell!r}")
+
+    def _cell_set(self) -> frozenset[str]:
+        cached = getattr(self, "_cells_cache", None)
+        if cached is None:
+            cached = frozenset(self.cells)
+            self._cells_cache = cached
+        return cached
+
+    def adjacent(self, a: str, b: str) -> bool:
+        """True if ``a`` and ``b`` share an interval."""
+        return b in self.neighbors(a)
+
+
+class LinearArray(Topology):
+    """A 1-D array of cells, optionally fronted by a host.
+
+    With ``with_host=True`` the first cell is named ``host_name`` and the
+    rest ``C1..Cn`` — matching the paper's figures, where the host is
+    treated as a cell attached at the left end.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        with_host: bool = False,
+        host_name: str = "HOST",
+        prefix: str = "C",
+    ) -> None:
+        if n_cells < 1:
+            raise TopologyError("linear array needs at least one cell")
+        names = [f"{prefix}{i + 1}" for i in range(n_cells)]
+        if with_host:
+            names = [host_name] + names
+        self._cells = tuple(names)
+        self._index = {name: i for i, name in enumerate(self._cells)}
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        return self._cells
+
+    def index_of(self, cell: str) -> int:
+        """Position of ``cell`` along the array (0-based)."""
+        try:
+            return self._index[cell]
+        except KeyError:
+            raise TopologyError(f"unknown cell {cell!r}") from None
+
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        i = self.index_of(cell)
+        out = []
+        if i > 0:
+            out.append(self._cells[i - 1])
+        if i < len(self._cells) - 1:
+            out.append(self._cells[i + 1])
+        return tuple(out)
+
+
+class RingArray(Topology):
+    """A 1-D ring: like a linear array but the ends are adjacent."""
+
+    def __init__(self, n_cells: int, prefix: str = "C") -> None:
+        if n_cells < 3:
+            raise TopologyError("ring needs at least three cells")
+        self._cells = tuple(f"{prefix}{i + 1}" for i in range(n_cells))
+        self._index = {name: i for i, name in enumerate(self._cells)}
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        return self._cells
+
+    def index_of(self, cell: str) -> int:
+        """Position of ``cell`` around the ring (0-based)."""
+        try:
+            return self._index[cell]
+        except KeyError:
+            raise TopologyError(f"unknown cell {cell!r}") from None
+
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        i = self.index_of(cell)
+        n = len(self._cells)
+        return (self._cells[(i - 1) % n], self._cells[(i + 1) % n])
+
+
+class Mesh2D(Topology):
+    """A 2-D mesh of ``rows x cols`` cells named ``P{r}_{c}``."""
+
+    def __init__(self, rows: int, cols: int, prefix: str = "P") -> None:
+        if rows < 1 or cols < 1:
+            raise TopologyError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self._prefix = prefix
+        self._cells = tuple(
+            f"{prefix}{r}_{c}" for r in range(rows) for c in range(cols)
+        )
+        self._coords = {
+            f"{prefix}{r}_{c}": (r, c) for r in range(rows) for c in range(cols)
+        }
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        return self._cells
+
+    def coord_of(self, cell: str) -> tuple[int, int]:
+        """The (row, col) coordinate of ``cell``."""
+        try:
+            return self._coords[cell]
+        except KeyError:
+            raise TopologyError(f"unknown cell {cell!r}") from None
+
+    def cell_at(self, r: int, c: int) -> str:
+        """Name of the cell at (row, col)."""
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise TopologyError(f"coordinate ({r}, {c}) outside mesh")
+        return f"{self._prefix}{r}_{c}"
+
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        r, c = self.coord_of(cell)
+        out = []
+        if r > 0:
+            out.append(self.cell_at(r - 1, c))
+        if r < self.rows - 1:
+            out.append(self.cell_at(r + 1, c))
+        if c > 0:
+            out.append(self.cell_at(r, c - 1))
+        if c < self.cols - 1:
+            out.append(self.cell_at(r, c + 1))
+        return tuple(out)
+
+
+class Torus2D(Mesh2D):
+    """A 2-D torus: a mesh with wraparound links in both dimensions."""
+
+    def __init__(self, rows: int, cols: int, prefix: str = "P") -> None:
+        if rows < 3 or cols < 3:
+            raise TopologyError("torus dimensions must be at least 3")
+        super().__init__(rows, cols, prefix)
+
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        r, c = self.coord_of(cell)
+        return (
+            self.cell_at((r - 1) % self.rows, c),
+            self.cell_at((r + 1) % self.rows, c),
+            self.cell_at(r, (c - 1) % self.cols),
+            self.cell_at(r, (c + 1) % self.cols),
+        )
+
+
+def topology_for_cells(cells: Iterable[str]) -> Topology:
+    """Build a linear topology whose cells are exactly ``cells`` in order.
+
+    Convenience for programs written against an explicit cell list.
+    """
+    return ExplicitLinear(tuple(cells))
+
+
+class ExplicitLinear(Topology):
+    """A linear array over caller-supplied cell names, in the given order."""
+
+    def __init__(self, cells: tuple[str, ...]) -> None:
+        if len(cells) < 1:
+            raise TopologyError("need at least one cell")
+        if len(set(cells)) != len(cells):
+            raise TopologyError("duplicate cell names")
+        self._cells = cells
+        self._index = {name: i for i, name in enumerate(cells)}
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        return self._cells
+
+    def index_of(self, cell: str) -> int:
+        """Position of ``cell`` along the array (0-based)."""
+        try:
+            return self._index[cell]
+        except KeyError:
+            raise TopologyError(f"unknown cell {cell!r}") from None
+
+    def neighbors(self, cell: str) -> tuple[str, ...]:
+        i = self.index_of(cell)
+        out = []
+        if i > 0:
+            out.append(self._cells[i - 1])
+        if i < len(self._cells) - 1:
+            out.append(self._cells[i + 1])
+        return tuple(out)

@@ -1,0 +1,141 @@
+"""Command-line interface: classify, label and simulate program files.
+
+The textual format is that of :mod:`repro.lang.parser`. Examples::
+
+    python -m repro check  program.sysp            # crossing-off verdict
+    python -m repro check  program.sysp --capacity 2   # with lookahead
+    python -m repro label  program.sysp            # consistent labels
+    python -m repro run    program.sysp --queues 2 --policy ordered
+    python -m repro run    program.sysp --policy fcfs --trace
+    python -m repro show   program.sysp            # paper-style listing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch.config import ArrayConfig
+from repro.core.crossing import cross_off, uniform_lookahead
+from repro.core.labeling import constraint_labeling, labels_as_str
+from repro.core.schedule import summarize_schedule
+from repro.errors import ReproError
+from repro.lang.parser import parse_program
+from repro.lang.printer import side_by_side
+from repro.sim.runtime import simulate
+from repro.viz.crossing_view import render_annotated, render_steps
+from repro.viz.timeline import render_assignments, render_outcome
+
+
+def _load(path: str):
+    return parse_program(Path(path).read_text())
+
+
+def _lookahead_for(program, capacity: int):
+    return uniform_lookahead(program, capacity) if capacity > 0 else None
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    print(side_by_side(program))
+    for msg in sorted(program.messages.values()):
+        print(f"  {msg}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    lookahead = _lookahead_for(program, args.capacity)
+    result = cross_off(program, lookahead=lookahead)
+    print(render_steps(result))
+    if result.deadlock_free:
+        analysis = summarize_schedule(program, result)
+        print(
+            f"deadlock-free: {analysis.total_pairs} transfers in "
+            f"{analysis.transfer_rounds} rounds "
+            f"(max parallelism {analysis.max_parallelism})"
+        )
+        return 0
+    print("DEADLOCKED — annotated listing ([--] marks unreachable ops):")
+    print(render_annotated(program, result))
+    return 1
+
+
+def cmd_label(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    lookahead = _lookahead_for(program, args.capacity)
+    labeling = constraint_labeling(program, lookahead=lookahead)
+    print(labels_as_str(labeling))
+    for label, names in labeling.groups():
+        print(f"  label {label}: {', '.join(names)}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    config = ArrayConfig(
+        queues_per_link=args.queues,
+        queue_capacity=args.capacity,
+        allow_extension=args.extension,
+    )
+    result = simulate(program, config=config, policy=args.policy)
+    print(render_outcome(result))
+    if args.trace:
+        print(render_assignments(result.assignment_trace))
+    return 0 if result.completed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deadlock avoidance for systolic communication (Kung 1988)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="print the paper-style listing")
+    show.add_argument("file")
+    show.set_defaults(func=cmd_show)
+
+    check = sub.add_parser("check", help="crossing-off deadlock classification")
+    check.add_argument("file")
+    check.add_argument(
+        "--capacity", type=int, default=0,
+        help="queue capacity for §8 lookahead (0 = strict §3 procedure)",
+    )
+    check.set_defaults(func=cmd_check)
+
+    label = sub.add_parser("label", help="compute a consistent labeling")
+    label.add_argument("file")
+    label.add_argument("--capacity", type=int, default=0)
+    label.set_defaults(func=cmd_label)
+
+    run = sub.add_parser("run", help="simulate on a configured array")
+    run.add_argument("file")
+    run.add_argument("--queues", type=int, default=1, help="queues per link")
+    run.add_argument("--capacity", type=int, default=0, help="words per queue")
+    run.add_argument(
+        "--policy", choices=("ordered", "static", "fcfs"), default="ordered"
+    )
+    run.add_argument(
+        "--extension", action="store_true", help="enable queue extension"
+    )
+    run.add_argument(
+        "--trace", action="store_true", help="print the assignment timeline"
+    )
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Core machinery: programs, crossing-off, labeling, assignment analysis."""
+
+from repro.core.consistency import (
+    ConsistencyViolation,
+    check_consistency,
+    is_consistent,
+)
+from repro.core.crossing import (
+    CrossingResult,
+    CrossingState,
+    LookaheadConfig,
+    PairCrossing,
+    cross_off,
+    is_deadlock_free,
+    route_capacities,
+    uniform_lookahead,
+)
+from repro.core.labeling import (
+    Labeling,
+    constraint_labeling,
+    label_messages,
+    labels_as_str,
+    trivial_labeling,
+)
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, Op, OpKind, R, ValueSource, W, transfer_ops
+from repro.core.program import ArrayProgram, CellProgram, ProgramStats
+from repro.core.related import (
+    are_related,
+    interleaved_pairs,
+    related_groups,
+    related_map,
+)
+from repro.core.requirements import (
+    ExtensionDemand,
+    QueueShortfall,
+    check_assumption_ii,
+    check_static_feasible,
+    competing_messages,
+    dynamic_queue_demand,
+    extension_demand,
+    message_routes,
+    require_assumption_ii,
+    static_queue_demand,
+)
+from repro.core.schedule import (
+    ScheduleAnalysis,
+    analyze_schedule,
+    schedule_row,
+    summarize_schedule,
+)
+from repro.core.theorem import TheoremReport, verify_theorem1
+
+__all__ = [
+    "ArrayProgram",
+    "CellProgram",
+    "COMPUTE",
+    "ConsistencyViolation",
+    "CrossingResult",
+    "CrossingState",
+    "ExtensionDemand",
+    "Labeling",
+    "LookaheadConfig",
+    "Message",
+    "Op",
+    "OpKind",
+    "PairCrossing",
+    "ProgramStats",
+    "QueueShortfall",
+    "R",
+    "ScheduleAnalysis",
+    "TheoremReport",
+    "ValueSource",
+    "W",
+    "analyze_schedule",
+    "are_related",
+    "check_assumption_ii",
+    "check_consistency",
+    "check_static_feasible",
+    "competing_messages",
+    "constraint_labeling",
+    "cross_off",
+    "dynamic_queue_demand",
+    "extension_demand",
+    "interleaved_pairs",
+    "is_consistent",
+    "is_deadlock_free",
+    "label_messages",
+    "labels_as_str",
+    "message_routes",
+    "related_groups",
+    "related_map",
+    "require_assumption_ii",
+    "route_capacities",
+    "schedule_row",
+    "summarize_schedule",
+    "static_queue_demand",
+    "transfer_ops",
+    "trivial_labeling",
+    "uniform_lookahead",
+    "verify_theorem1",
+]

@@ -1,0 +1,63 @@
+"""Consistency checking for message labelings (Section 5, step 1).
+
+A labeling is *consistent* when every cell program writes to or reads from
+messages with nondecreasing labels. This module provides the checker used
+both as a public API and as the internal guard behind the labeling scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.labeling import Labeling
+from repro.core.program import ArrayProgram
+
+
+@dataclass(frozen=True)
+class ConsistencyViolation:
+    """A point where a cell's label sequence decreases."""
+
+    cell: str
+    position: int
+    previous_message: str
+    previous_label: Fraction
+    message: str
+    label: Fraction
+
+    def __str__(self) -> str:
+        return (
+            f"cell {self.cell!r} accesses {self.message!r} (label {self.label}) "
+            f"at transfer #{self.position} after {self.previous_message!r} "
+            f"(label {self.previous_label})"
+        )
+
+
+def check_consistency(
+    program: ArrayProgram, labeling: Labeling
+) -> list[ConsistencyViolation]:
+    """All label-order violations, empty iff the labeling is consistent."""
+    violations: list[ConsistencyViolation] = []
+    for cell in program.cells:
+        prev_msg: str | None = None
+        prev_label: Fraction | None = None
+        for pos, op in enumerate(program.transfers(cell)):
+            label = labeling.label(op.message)
+            if prev_label is not None and label < prev_label:
+                violations.append(
+                    ConsistencyViolation(
+                        cell=cell,
+                        position=pos,
+                        previous_message=prev_msg or "",
+                        previous_label=prev_label,
+                        message=op.message,
+                        label=label,
+                    )
+                )
+            prev_msg, prev_label = op.message, label
+    return violations
+
+
+def is_consistent(program: ArrayProgram, labeling: Labeling) -> bool:
+    """True iff every cell accesses messages in nondecreasing label order."""
+    return not check_consistency(program, labeling)

@@ -1,0 +1,356 @@
+"""The crossing-off procedure (Sections 3 and 8.1).
+
+The procedure repeatedly finds *executable pairs* — a ``W(X)`` and ``R(X)``
+that are both at the front of their cell programs — and crosses them off.
+A program is deadlock-free iff every operation gets crossed off.
+
+Section 8.1 relaxes the front requirement with *lookahead*: in locating a
+pair's write or read operation we may skip into the middle of a cell
+program, subject to
+
+* **R1** — only write operations may be skipped (a skipped read could hide
+  a value dependency, which no amount of buffering can fix);
+* **R2** — the number of skipped (still-uncrossed) write operations to any
+  message must not exceed the total size of the queues that message will
+  cross, because each skipped write is a word that must sit in a buffer.
+
+Two stepping modes are provided. ``parallel`` crosses every pair executable
+at the start of a step simultaneously — this reproduces Fig. 4, whose steps
+3, 5 and 9 each cross two pairs. ``sequential`` crosses one pair per step
+and is the mode the labeling scheme of Section 6 drives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.ops import Op, OpKind
+from repro.core.program import ArrayProgram
+
+
+@dataclass(frozen=True)
+class LookaheadConfig:
+    """Lookahead parameters for the crossing-off procedure.
+
+    ``route_capacity`` bounds skipped writes per message (rule R2): it maps
+    each message name to the total buffering along its route. Messages not
+    present get ``default_capacity``. Use ``math.inf`` for the
+    queue-extension regime where spilling makes buffering unbounded.
+    """
+
+    route_capacity: dict[str, float] = field(default_factory=dict)
+    default_capacity: float = 0.0
+
+    def capacity(self, message: str) -> float:
+        """R2 bound for ``message``."""
+        return self.route_capacity.get(message, self.default_capacity)
+
+
+@dataclass(frozen=True)
+class PairCrossing:
+    """One crossed-off executable pair."""
+
+    step: int
+    message: str
+    sender: str
+    sender_pos: int
+    receiver: str
+    receiver_pos: int
+    skipped_sender: tuple[tuple[str, int], ...] = ()
+    skipped_receiver: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def skipped_messages(self) -> set[str]:
+        """Messages over whose writes this pair's location skipped."""
+        return {m for m, _count in self.skipped_sender} | {
+            m for m, _count in self.skipped_receiver
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"step {self.step}: {self.message} "
+            f"[W@{self.sender}:{self.sender_pos}, R@{self.receiver}:{self.receiver_pos}]"
+        )
+
+
+@dataclass
+class CrossingResult:
+    """Outcome of running the crossing-off procedure."""
+
+    deadlock_free: bool
+    steps: list[list[PairCrossing]]
+    crossings: list[PairCrossing]
+    uncrossed: dict[str, list[Op]]
+    max_skipped: dict[str, int]
+    lookahead_used: bool
+
+    @property
+    def step_count(self) -> int:
+        """Number of steps the procedure took."""
+        return len(self.steps)
+
+    @property
+    def pairs_crossed(self) -> int:
+        """Total executable pairs crossed off."""
+        return len(self.crossings)
+
+    def pairs_in_step(self, step: int) -> list[PairCrossing]:
+        """Pairs crossed in 1-based ``step``."""
+        return self.steps[step - 1]
+
+
+class _Located:
+    """A candidate operation found by scanning (possibly with lookahead)."""
+
+    __slots__ = ("pos", "skipped")
+
+    def __init__(self, pos: int, skipped: dict[str, int]) -> None:
+        self.pos = pos
+        self.skipped = skipped
+
+
+class CrossingState:
+    """Mutable state of the procedure over one program.
+
+    Exposes the queries the Section 6 labeling scheme needs while it drives
+    a sequential crossing-off run.
+    """
+
+    def __init__(
+        self,
+        program: ArrayProgram,
+        lookahead: LookaheadConfig | None = None,
+    ) -> None:
+        self.program = program
+        self.lookahead = lookahead
+        self.seqs: dict[str, list[Op]] = {
+            cell: program.transfers(cell) for cell in program.cells
+        }
+        self.crossed: dict[str, list[bool]] = {
+            cell: [False] * len(seq) for cell, seq in self.seqs.items()
+        }
+        self.fronts: dict[str, int] = {cell: 0 for cell in program.cells}
+        self.remaining_per_message: dict[str, int] = {
+            name: 2 * msg.length for name, msg in program.messages.items()
+        }
+        self.last_crossed_message: dict[str, str | None] = {
+            cell: None for cell in program.cells
+        }
+        self.max_skipped: dict[str, int] = {name: 0 for name in program.messages}
+        self.total_remaining = sum(self.remaining_per_message.values())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when every R/W operation has been crossed off."""
+        return self.total_remaining == 0
+
+    def uncrossed_ops(self, cell: str) -> list[Op]:
+        """Remaining (uncrossed) operations of ``cell``, in program order."""
+        seq, crossed = self.seqs[cell], self.crossed[cell]
+        return [op for op, done in zip(seq, crossed) if not done]
+
+    def future_messages(self, cell: str, exclude: str | None = None) -> set[str]:
+        """Messages ``cell`` will still access, optionally excluding one."""
+        out = {op.message for op in self.uncrossed_ops(cell)}
+        out.discard(exclude or "")
+        return out
+
+    def _advance_front(self, cell: str) -> None:
+        seq, crossed = self.seqs[cell], self.crossed[cell]
+        front = self.fronts[cell]
+        while front < len(seq) and crossed[front]:
+            front += 1
+        self.fronts[cell] = front
+
+    def _locate(self, cell: str, kind: OpKind, message: str) -> _Located | None:
+        """Find the next uncrossed ``kind`` op on ``message`` in ``cell``.
+
+        Without lookahead only the front operation qualifies. With
+        lookahead we scan forward, skipping uncrossed writes subject to R2
+        and stopping at the first uncrossed read (R1).
+        """
+        seq, crossed = self.seqs[cell], self.crossed[cell]
+        skipped: dict[str, int] = {}
+        for pos in range(self.fronts[cell], len(seq)):
+            if crossed[pos]:
+                continue
+            op = seq[pos]
+            if op.kind is kind and op.message == message:
+                return _Located(pos, skipped)
+            if self.lookahead is None:
+                return None
+            if op.kind is OpKind.READ:
+                return None  # R1: reads cannot be skipped
+            count = skipped.get(op.message, 0) + 1
+            if count > self.lookahead.capacity(op.message):
+                return None  # R2: buffering along the route exhausted
+            skipped[op.message] = count
+        return None
+
+    def executable_pair(self, message: str) -> PairCrossing | None:
+        """The executable pair for ``message``, if one exists right now."""
+        if self.remaining_per_message[message] == 0:
+            return None
+        msg = self.program.messages[message]
+        write = self._locate(msg.sender, OpKind.WRITE, message)
+        if write is None:
+            return None
+        read = self._locate(msg.receiver, OpKind.READ, message)
+        if read is None:
+            return None
+        return PairCrossing(
+            step=0,
+            message=message,
+            sender=msg.sender,
+            sender_pos=write.pos,
+            receiver=msg.receiver,
+            receiver_pos=read.pos,
+            skipped_sender=tuple(sorted(write.skipped.items())),
+            skipped_receiver=tuple(sorted(read.skipped.items())),
+        )
+
+    def executable_pairs(self) -> list[PairCrossing]:
+        """All currently executable pairs, ordered by message name."""
+        pairs = []
+        for name in sorted(self.program.messages):
+            pair = self.executable_pair(name)
+            if pair is not None:
+                pairs.append(pair)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def cross(self, pair: PairCrossing, step: int) -> PairCrossing:
+        """Cross off ``pair``'s two operations, returning it stamped with
+        the step number."""
+        self.crossed[pair.sender][pair.sender_pos] = True
+        self.crossed[pair.receiver][pair.receiver_pos] = True
+        self._advance_front(pair.sender)
+        self._advance_front(pair.receiver)
+        self.remaining_per_message[pair.message] -= 2
+        self.total_remaining -= 2
+        self.last_crossed_message[pair.sender] = pair.message
+        self.last_crossed_message[pair.receiver] = pair.message
+        for msg_name, count in pair.skipped_sender + pair.skipped_receiver:
+            self.max_skipped[msg_name] = max(self.max_skipped[msg_name], count)
+        return PairCrossing(
+            step=step,
+            message=pair.message,
+            sender=pair.sender,
+            sender_pos=pair.sender_pos,
+            receiver=pair.receiver,
+            receiver_pos=pair.receiver_pos,
+            skipped_sender=pair.skipped_sender,
+            skipped_receiver=pair.skipped_receiver,
+        )
+
+
+class PairObserver(Protocol):
+    """Hook invoked just before each pair is crossed off (labeling uses it)."""
+
+    def __call__(self, state: CrossingState, pair: PairCrossing) -> None: ...
+
+
+def cross_off(
+    program: ArrayProgram,
+    lookahead: LookaheadConfig | None = None,
+    mode: str = "parallel",
+    observer: PairObserver | None = None,
+    pick: Callable[[list[PairCrossing]], PairCrossing] | None = None,
+) -> CrossingResult:
+    """Run the crossing-off procedure on ``program``.
+
+    Args:
+        program: the program under analysis.
+        lookahead: enable Section 8.1 lookahead with the given R2 bounds;
+            ``None`` reproduces the strict Section 3 procedure.
+        mode: ``"parallel"`` crosses all pairs executable at step start
+            (Fig. 4's stepping); ``"sequential"`` crosses one pair per step.
+        observer: called with the live state before each pair is crossed —
+            the Section 6 labeling scheme plugs in here.
+        pick: sequential-mode tie-breaker among executable pairs; defaults
+            to lowest message name (which reproduces the paper's choice of
+            A as the first pair in the Fig. 7 walkthrough).
+
+    Returns:
+        A :class:`CrossingResult`; ``deadlock_free`` is True iff every
+        operation was crossed off.
+    """
+    if mode not in ("parallel", "sequential"):
+        raise ValueError(f"unknown mode {mode!r}")
+    state = CrossingState(program, lookahead)
+    steps: list[list[PairCrossing]] = []
+    crossings: list[PairCrossing] = []
+    while not state.done:
+        pairs = state.executable_pairs()
+        if not pairs:
+            break
+        step_no = len(steps) + 1
+        if mode == "sequential":
+            chosen = pick(pairs) if pick is not None else pairs[0]
+            pairs = [chosen]
+        this_step: list[PairCrossing] = []
+        for pair in pairs:
+            if observer is not None:
+                observer(state, pair)
+            stamped = state.cross(pair, step_no)
+            this_step.append(stamped)
+            crossings.append(stamped)
+        steps.append(this_step)
+    return CrossingResult(
+        deadlock_free=state.done,
+        steps=steps,
+        crossings=crossings,
+        uncrossed={
+            cell: state.uncrossed_ops(cell)
+            for cell in program.cells
+            if state.uncrossed_ops(cell)
+        },
+        max_skipped=dict(state.max_skipped),
+        lookahead_used=lookahead is not None,
+    )
+
+
+def is_deadlock_free(
+    program: ArrayProgram, lookahead: LookaheadConfig | None = None
+) -> bool:
+    """Classify ``program`` per Section 3.2 (or 8.1 with lookahead)."""
+    return cross_off(program, lookahead=lookahead).deadlock_free
+
+
+def uniform_lookahead(program: ArrayProgram, capacity: float) -> LookaheadConfig:
+    """A lookahead config giving every message the same R2 bound.
+
+    Convenience for single-hop examples like Fig. 10 where each message
+    crosses one queue of the given capacity.
+    """
+    return LookaheadConfig(
+        route_capacity={name: capacity for name in program.messages},
+        default_capacity=capacity,
+    )
+
+
+def route_capacities(
+    program: ArrayProgram,
+    router,
+    queue_capacity: int,
+    allow_extension: bool = False,
+) -> LookaheadConfig:
+    """R2 bounds derived from actual routes: hops x per-queue capacity.
+
+    With queue extension enabled the bound is infinite — the spill
+    mechanism implements arbitrarily long logical queues (Section 8.1).
+    """
+    caps: dict[str, float] = {}
+    for msg in program.messages.values():
+        hops = len(router.route(msg.sender, msg.receiver))
+        caps[msg.name] = math.inf if allow_extension else float(hops * queue_capacity)
+    return LookaheadConfig(route_capacity=caps)

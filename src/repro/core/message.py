@@ -1,0 +1,52 @@
+"""Message declarations.
+
+A message is a sequence of words travelling from one cell (the *sender*)
+to another (the *receiver*); all messages are declared before execution
+(Section 2.1). The declared length is the number of words, which must
+match the number of ``W`` operations in the sender's program and of ``R``
+operations in the receiver's program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True, order=True)
+class Message:
+    """A declared message.
+
+    Attributes:
+        name: unique identifier (the paper uses upper-case names).
+        sender: cell at which the message originates.
+        receiver: cell at which the message terminates.
+        length: number of words in the message (must be positive).
+    """
+
+    name: str
+    sender: str
+    receiver: str
+    length: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramError("message name must be non-empty")
+        if self.length <= 0:
+            raise ProgramError(
+                f"message {self.name!r}: length must be positive, got {self.length}"
+            )
+        if self.sender == self.receiver:
+            raise ProgramError(
+                f"message {self.name!r}: sender and receiver must differ "
+                f"(both {self.sender!r})"
+            )
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        """The (sender, receiver) pair."""
+        return (self.sender, self.receiver)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.length}] {self.sender}->{self.receiver}"

@@ -1,0 +1,208 @@
+"""Array programs: one operation sequence per cell, plus declared messages.
+
+This is the paper's program abstraction (Section 2.2): an array program is
+a set of cell programs, each a sequence of ``W``/``R`` statements on
+messages declared ahead of execution. The host counts as a cell. All
+write/read operations are known at compile time (data-independent control),
+which is what makes the compile-time analyses possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.message import Message
+from repro.core.ops import Op, OpKind, transfer_ops
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class CellProgram:
+    """The statement sequence of one cell."""
+
+    cell: str
+    ops: tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cell:
+            raise ProgramError("cell name must be non-empty")
+
+    @property
+    def transfers(self) -> list[Op]:
+        """R/W operations only — the analyses' view of this program."""
+        return transfer_ops(self.ops)
+
+    def message_access_order(self) -> list[str]:
+        """Message names in the order this cell touches them (R/W only)."""
+        return [op.message for op in self.transfers]
+
+    def count(self, kind: OpKind, message: str) -> int:
+        """Number of operations of ``kind`` on ``message`` in this program."""
+        return sum(
+            1 for op in self.ops if op.kind is kind and op.message == message
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+
+class ArrayProgram:
+    """A validated program for a whole array.
+
+    Construction validates the paper's structural rules:
+
+    * every R/W operation names a declared message;
+    * ``W(X)`` appears only in the program of ``X``'s sender and ``R(X)``
+      only in the program of ``X``'s receiver;
+    * the number of ``W(X)`` operations equals ``X``'s declared length,
+      and likewise for ``R(X)``.
+
+    Cells with no statements are permitted (pass-through cells whose I/O
+    processes still forward words).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[str],
+        messages: Iterable[Message],
+        programs: Mapping[str, Sequence[Op]],
+        name: str = "program",
+    ) -> None:
+        self.name = name
+        self.cells: tuple[str, ...] = tuple(cells)
+        if len(set(self.cells)) != len(self.cells):
+            raise ProgramError(f"duplicate cell names in {self.cells}")
+        self.messages: dict[str, Message] = {}
+        for msg in messages:
+            if msg.name in self.messages:
+                raise ProgramError(f"duplicate message declaration {msg.name!r}")
+            self.messages[msg.name] = msg
+        cell_set = set(self.cells)
+        for msg in self.messages.values():
+            if msg.sender not in cell_set:
+                raise ProgramError(
+                    f"message {msg.name!r}: sender {msg.sender!r} is not a cell"
+                )
+            if msg.receiver not in cell_set:
+                raise ProgramError(
+                    f"message {msg.name!r}: receiver {msg.receiver!r} is not a cell"
+                )
+        self.cell_programs: dict[str, CellProgram] = {}
+        for cell in self.cells:
+            ops = tuple(programs.get(cell, ()))
+            self.cell_programs[cell] = CellProgram(cell, ops)
+        unknown = set(programs) - cell_set
+        if unknown:
+            raise ProgramError(f"programs given for unknown cells: {sorted(unknown)}")
+        self._validate()
+
+    def _validate(self) -> None:
+        for cell, prog in self.cell_programs.items():
+            for op in prog.transfers:
+                msg = self.messages.get(op.message)
+                if msg is None:
+                    raise ProgramError(
+                        f"cell {cell!r}: operation {op} names undeclared message"
+                    )
+                if op.kind is OpKind.WRITE and cell != msg.sender:
+                    raise ProgramError(
+                        f"cell {cell!r} writes {msg.name!r} but its sender is "
+                        f"{msg.sender!r}"
+                    )
+                if op.kind is OpKind.READ and cell != msg.receiver:
+                    raise ProgramError(
+                        f"cell {cell!r} reads {msg.name!r} but its receiver is "
+                        f"{msg.receiver!r}"
+                    )
+        for msg in self.messages.values():
+            writes = self.cell_programs[msg.sender].count(OpKind.WRITE, msg.name)
+            reads = self.cell_programs[msg.receiver].count(OpKind.READ, msg.name)
+            if writes != msg.length:
+                raise ProgramError(
+                    f"message {msg.name!r}: declared length {msg.length} but "
+                    f"sender {msg.sender!r} writes {writes} words"
+                )
+            if reads != msg.length:
+                raise ProgramError(
+                    f"message {msg.name!r}: declared length {msg.length} but "
+                    f"receiver {msg.receiver!r} reads {reads} words"
+                )
+
+    # ------------------------------------------------------------------
+    # Views used by the analyses
+    # ------------------------------------------------------------------
+
+    def transfers(self, cell: str) -> list[Op]:
+        """The R/W sequence of ``cell``."""
+        return self.cell_programs[cell].transfers
+
+    @property
+    def total_transfer_ops(self) -> int:
+        """Total number of R/W operations across all cells."""
+        return sum(len(p.transfers) for p in self.cell_programs.values())
+
+    @property
+    def total_words(self) -> int:
+        """Total number of words moved by the program (sum of lengths)."""
+        return sum(m.length for m in self.messages.values())
+
+    def message(self, name: str) -> Message:
+        """Look up a declared message by name."""
+        try:
+            return self.messages[name]
+        except KeyError:
+            raise ProgramError(f"no message named {name!r}") from None
+
+    def messages_touching(self, cell: str) -> list[Message]:
+        """Messages whose sender or receiver is ``cell``."""
+        return [
+            m
+            for m in self.messages.values()
+            if m.sender == cell or m.receiver == cell
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayProgram({self.name!r}, cells={len(self.cells)}, "
+            f"messages={len(self.messages)}, ops={self.total_transfer_ops})"
+        )
+
+
+@dataclass(frozen=True)
+class OpRef:
+    """A reference to one transfer operation: (cell, index into transfers)."""
+
+    cell: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.cell}#{self.index}"
+
+
+@dataclass
+class ProgramStats:
+    """Summary statistics of an array program."""
+
+    cells: int
+    messages: int
+    words: int
+    transfer_ops: int
+    max_ops_per_cell: int
+    multi_hop_messages: int = 0
+
+    @classmethod
+    def of(cls, program: ArrayProgram) -> "ProgramStats":
+        max_ops = max(
+            (len(p.transfers) for p in program.cell_programs.values()), default=0
+        )
+        return cls(
+            cells=len(program.cells),
+            messages=len(program.messages),
+            words=program.total_words,
+            transfer_ops=program.total_transfer_ops,
+            max_ops_per_cell=max_ops,
+        )

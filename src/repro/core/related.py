@@ -1,0 +1,101 @@
+"""The *related messages* relation of Section 6.
+
+Two messages A and B are related if, in some cell program, an access to A
+appears between two reads of B or between two writes of B — i.e. the cell
+interleaves its accesses. The relation is closed symmetrically and
+transitively; related messages must receive equal labels so the compatible
+queue assignment gives them separate queues simultaneously (Figs. 8-9).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.ops import OpKind
+from repro.core.program import ArrayProgram
+
+
+class UnionFind:
+    """Disjoint-set forest over hashable items, with path compression."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        """Register ``item`` as its own singleton class if new."""
+        self._parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        """Representative of ``item``'s class."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        """Merge the classes of ``a`` and ``b``."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def groups(self) -> list[frozenset[str]]:
+        """All equivalence classes, each as a frozen set."""
+        by_root: dict[str, set[str]] = defaultdict(set)
+        for item in self._parent:
+            by_root[self.find(item)].add(item)
+        return [frozenset(members) for members in by_root.values()]
+
+
+def interleaved_pairs(program: ArrayProgram) -> set[tuple[str, str]]:
+    """Directly-related pairs, before transitive closure.
+
+    A pair ``(A, B)`` is produced when some cell accesses A strictly
+    between its first and last read of B, or strictly between its first
+    and last write of B.
+    """
+    pairs: set[tuple[str, str]] = set()
+    for cell in program.cells:
+        seq = program.transfers(cell)
+        positions: dict[tuple[str, OpKind], list[int]] = defaultdict(list)
+        for i, op in enumerate(seq):
+            positions[(op.message, op.kind)].append(i)
+        for (msg_b, _kind), pos in positions.items():
+            if len(pos) < 2:
+                continue
+            first, last = pos[0], pos[-1]
+            for i in range(first + 1, last):
+                msg_a = seq[i].message
+                if msg_a != msg_b:
+                    pairs.add((min(msg_a, msg_b), max(msg_a, msg_b)))
+    return pairs
+
+
+def related_groups(program: ArrayProgram) -> list[frozenset[str]]:
+    """Equivalence classes of the related relation over all messages.
+
+    Every declared message appears in exactly one class (singleton if it
+    is unrelated to everything).
+    """
+    uf = UnionFind()
+    for name in program.messages:
+        uf.add(name)
+    for a, b in interleaved_pairs(program):
+        uf.union(a, b)
+    return sorted(uf.groups(), key=lambda grp: sorted(grp))
+
+
+def related_map(program: ArrayProgram) -> dict[str, frozenset[str]]:
+    """Map each message name to its related class."""
+    out: dict[str, frozenset[str]] = {}
+    for group in related_groups(program):
+        for name in group:
+            out[name] = group
+    return out
+
+
+def are_related(program: ArrayProgram, a: str, b: str) -> bool:
+    """True if messages ``a`` and ``b`` fall in the same related class."""
+    return b in related_map(program)[a]

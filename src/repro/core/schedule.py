@@ -1,0 +1,107 @@
+"""Schedule analysis: what the crossing-off trace says about run time.
+
+The maximal-parallel crossing-off run is an *idealized schedule*: each
+step is a set of word transfers that could complete simultaneously
+(Section 3.3 observes that programs written one-word-per-step still allow
+simultaneous transfers — Fig. 4's double steps). Its length is therefore
+a structural lower bound on any execution in "transfer rounds", and the
+per-cell operation counts bound the makespan in cycles. Comparing these
+bounds against the simulator quantifies how much real queue contention,
+rendezvous hand-offs and hop latency cost on top of the program's
+inherent structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import ArrayConfig
+from repro.core.crossing import CrossingResult, LookaheadConfig, cross_off
+from repro.core.program import ArrayProgram
+from repro.errors import DeadlockedProgramError
+
+
+@dataclass(frozen=True)
+class ScheduleAnalysis:
+    """Structural schedule bounds extracted from the crossing-off trace."""
+
+    transfer_rounds: int
+    total_pairs: int
+    max_parallelism: int
+    mean_parallelism: float
+    busiest_cell: str
+    busiest_cell_ops: int
+
+    @property
+    def cycle_lower_bound(self) -> int:
+        """No run can finish before its busiest cell issues all its ops."""
+        return self.busiest_cell_ops
+
+    def efficiency_against(self, makespan: int, op_latency: int = 1) -> float:
+        """Busiest-cell bound / observed makespan (1.0 = perfectly tight)."""
+        if makespan == 0:
+            return 1.0
+        return (self.busiest_cell_ops * op_latency) / makespan
+
+
+def analyze_schedule(
+    program: ArrayProgram, lookahead: LookaheadConfig | None = None
+) -> ScheduleAnalysis:
+    """Run the maximal-parallel crossing-off and summarize its schedule.
+
+    Raises:
+        DeadlockedProgramError: the schedule of a deadlocked program is
+            undefined.
+    """
+    result = cross_off(program, lookahead=lookahead, mode="parallel")
+    if not result.deadlock_free:
+        raise DeadlockedProgramError(
+            f"program {program.name!r} is deadlocked; no schedule exists"
+        )
+    return summarize_schedule(program, result)
+
+
+def summarize_schedule(
+    program: ArrayProgram, result: CrossingResult
+) -> ScheduleAnalysis:
+    """Schedule statistics from an existing (complete) crossing result."""
+    sizes = [len(step) for step in result.steps]
+    busiest_cell = ""
+    busiest_ops = 0
+    for cell in program.cells:
+        ops = len(program.transfers(cell))
+        if ops > busiest_ops:
+            busiest_cell, busiest_ops = cell, ops
+    return ScheduleAnalysis(
+        transfer_rounds=len(sizes),
+        total_pairs=result.pairs_crossed,
+        max_parallelism=max(sizes, default=0),
+        mean_parallelism=(
+            result.pairs_crossed / len(sizes) if sizes else 0.0
+        ),
+        busiest_cell=busiest_cell,
+        busiest_cell_ops=busiest_ops,
+    )
+
+
+def schedule_row(
+    program: ArrayProgram,
+    makespan: int,
+    config: ArrayConfig | None = None,
+    lookahead: LookaheadConfig | None = None,
+) -> dict[str, object]:
+    """A flat record comparing structural bounds with a measured run."""
+    cfg = config or ArrayConfig()
+    analysis = analyze_schedule(program, lookahead=lookahead)
+    return {
+        "program": program.name,
+        "rounds": analysis.transfer_rounds,
+        "pairs": analysis.total_pairs,
+        "max_par": analysis.max_parallelism,
+        "mean_par": round(analysis.mean_parallelism, 2),
+        "cycle_lb": analysis.cycle_lower_bound * cfg.op_latency,
+        "makespan": makespan,
+        "efficiency": round(
+            analysis.efficiency_against(makespan, cfg.op_latency), 3
+        ),
+    }

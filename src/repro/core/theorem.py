@@ -1,0 +1,143 @@
+"""Theorem 1 as an executable harness.
+
+    THEOREM 1. Suppose that (i) the given program is deadlock-free;
+    (ii) there is a consistent labeling for which a compatible queue
+    assignment is possible; (iii) during execution the assignment of
+    queues to competing messages is compatible with their labels.
+    Then the program runs to completion — queue-induced deadlocks do
+    not occur.
+
+:func:`verify_theorem1` checks each premise explicitly, then runs the
+simulator under the ordered (compatible) policy and reports the verdict.
+It is used by the property-based test suite to validate the theorem over
+random program ensembles, and by benches to contrast against FCFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import ArrayConfig
+from repro.arch.routing import Router, default_router
+from repro.arch.topology import ExplicitLinear, Topology
+from repro.core.crossing import LookaheadConfig, cross_off, route_capacities
+from repro.core.consistency import check_consistency
+from repro.core.labeling import Labeling, constraint_labeling, label_messages
+from repro.core.program import ArrayProgram
+from repro.core.requirements import check_assumption_ii
+from repro.errors import DeadlockedProgramError
+from repro.sim.result import SimulationResult
+from repro.sim.runtime import Simulator
+
+
+@dataclass
+class TheoremReport:
+    """Outcome of checking Theorem 1's premises and conclusion."""
+
+    deadlock_free: bool
+    labeling: Labeling | None
+    consistent: bool
+    assumption_ii_ok: bool
+    premise_failures: list[str]
+    result: SimulationResult | None
+
+    @property
+    def premises_hold(self) -> bool:
+        """True when (i) and (ii) are established."""
+        return self.deadlock_free and self.consistent and self.assumption_ii_ok
+
+    @property
+    def conclusion_holds(self) -> bool:
+        """True when the simulated run completed without deadlock."""
+        return self.result is not None and self.result.completed
+
+    @property
+    def verified(self) -> bool:
+        """Premises hold and the run completed — the theorem's statement."""
+        return self.premises_hold and self.conclusion_holds
+
+
+def verify_theorem1(
+    program: ArrayProgram,
+    config: ArrayConfig | None = None,
+    topology: Topology | None = None,
+    router: Router | None = None,
+    registers: dict[str, dict[str, float | None]] | None = None,
+    max_events: int | None = 5_000_000,
+    scheme: str = "constraint",
+) -> TheoremReport:
+    """Check Theorem 1 end to end on one program/configuration.
+
+    Premise (i) uses the crossing-off procedure (with lookahead bounds
+    derived from the configuration when queues have buffering). Premise
+    (ii) produces a labeling — ``scheme="constraint"`` (default, always
+    succeeds) or ``scheme="paper"`` (the literal Section 6 procedure) —
+    then runs the consistency checker and the assumption-(ii) queue-count
+    check. Premise (iii) is supplied by construction: the simulator runs
+    the ordered + simultaneous policy. If any premise fails, the
+    simulation is skipped and the failure reported.
+    """
+    cfg = config or ArrayConfig()
+    topo = topology or ExplicitLinear(tuple(program.cells))
+    rtr = router or default_router(topo)
+    failures: list[str] = []
+
+    lookahead: LookaheadConfig | None = None
+    if cfg.queue_capacity > 0 or cfg.allow_extension:
+        lookahead = route_capacities(
+            program, rtr, cfg.queue_capacity, allow_extension=cfg.allow_extension
+        )
+    crossing = cross_off(program, lookahead=lookahead)
+    if not crossing.deadlock_free:
+        failures.append(
+            f"premise (i) fails: program not deadlock-free "
+            f"(uncrossed ops in {sorted(crossing.uncrossed)})"
+        )
+        return TheoremReport(False, None, False, False, failures, None)
+
+    try:
+        if scheme == "paper":
+            labeling = label_messages(program, lookahead=lookahead)
+        else:
+            labeling = constraint_labeling(program, lookahead=lookahead)
+    except DeadlockedProgramError as exc:  # pragma: no cover - guarded above
+        failures.append(f"labeling failed: {exc}")
+        return TheoremReport(True, None, False, False, failures, None)
+    violations = check_consistency(program, labeling)
+    consistent = not violations
+    if violations:
+        failures.append(f"premise (ii) fails: inconsistent labeling {violations[0]}")
+
+    shortfalls = check_assumption_ii(program, rtr, labeling, cfg)
+    assumption_ok = not shortfalls
+    if shortfalls:
+        failures.append(
+            "premise (ii) fails: queue shortfall "
+            + "; ".join(str(s) for s in shortfalls)
+        )
+
+    result: SimulationResult | None = None
+    if consistent and assumption_ok:
+        sim = Simulator(
+            program,
+            config=cfg,
+            topology=topo,
+            router=rtr,
+            policy="ordered",
+            labeling=labeling,
+            registers=registers,
+        )
+        result = sim.run(max_events=max_events)
+        if not result.completed:
+            failures.append(
+                f"CONCLUSION VIOLATED: run {'deadlocked' if result.deadlocked else 'timed out'}"
+                f" at t={result.time}"
+            )
+    return TheoremReport(
+        deadlock_free=True,
+        labeling=labeling,
+        consistent=consistent,
+        assumption_ii_ok=assumption_ok,
+        premise_failures=failures,
+        result=result,
+    )

@@ -1,0 +1,14 @@
+"""Program DSL: fluent builder, text parser, pretty printer."""
+
+from repro.lang.builder import CellBuilder, ProgramBuilder
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_op, print_program, side_by_side
+
+__all__ = [
+    "CellBuilder",
+    "ProgramBuilder",
+    "format_op",
+    "parse_program",
+    "print_program",
+    "side_by_side",
+]

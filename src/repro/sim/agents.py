@@ -1,0 +1,351 @@
+"""Simulation agents: cell executors, per-hop forwarders, message flows.
+
+A cell program operates directly on the cell's I/O queues (the systolic
+model); transfers through intermediate cells are carried by I/O processes
+that are transparent to cell programs (Section 2.3) — here, one
+:class:`ForwarderAgent` per intermediate hop of each message. A
+:class:`MessageFlow` tracks the queue granted on each hop of a message's
+route and wakes parties waiting on grants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.arch.config import CommModel
+from repro.arch.links import Route
+from repro.arch.queue import HardwareQueue
+from repro.core.message import Message
+from repro.core.ops import Op, OpKind
+from repro.errors import SimulationError
+from repro.sim.queue_manager import Request
+from repro.sim.words import Word
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.runtime import Simulator
+
+Callback = Callable[[], None]
+
+
+class MessageFlow:
+    """Run-time state of one message across its route."""
+
+    def __init__(self, sim: "Simulator", message: Message, route: Route) -> None:
+        if not route:
+            raise SimulationError(f"message {message.name} has an empty route")
+        self.sim = sim
+        self.message = message
+        self.route = route
+        self.queues: list[HardwareQueue | None] = [None] * len(route)
+        self.requested: list[bool] = [False] * len(route)
+        self._grant_waiters: list[list[Callback]] = [[] for _ in route]
+        self.words_written = 0
+        self.words_delivered = 0
+
+    @property
+    def hops(self) -> int:
+        """Number of links (and queues) on the route."""
+        return len(self.route)
+
+    def request(self, hop: int) -> None:
+        """Ask the manager for a queue on ``hop`` (idempotent)."""
+        if not self.requested[hop]:
+            self.requested[hop] = True
+            self.sim.manager.request(Request(self, hop))
+
+    def granted(self, hop: int, queue: HardwareQueue) -> None:
+        """Manager callback: ``queue`` now carries this message on ``hop``."""
+        self.queues[hop] = queue
+        waiters, self._grant_waiters[hop] = self._grant_waiters[hop], []
+        for poke in waiters:
+            poke()
+
+    def when_granted(self, hop: int, poke: Callback) -> None:
+        """Invoke ``poke`` once a queue is granted on ``hop``."""
+        if self.queues[hop] is not None:
+            poke()
+        else:
+            self._grant_waiters[hop].append(poke)
+
+    def after_pop(self, hop: int) -> None:
+        """Bookkeeping after a word leaves the queue on ``hop``.
+
+        Releases the queue once the message's last word has passed it —
+        only then may the queue be assigned to another message.
+        """
+        queue = self.queues[hop]
+        if queue is not None and queue.complete:
+            self.sim.manager.release(queue)
+
+
+class _Agent:
+    """Base: deduplicated scheduling plus wait bookkeeping for diagnosis."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.done = False
+        self.busy_cycles = 0
+        self._scheduled = False
+        self.waiting: str | None = None
+        self.wait_queue: HardwareQueue | None = None
+        self.wait_grant: tuple[MessageFlow, int] | None = None
+        self.wait_space = False
+
+    def poke(self) -> None:
+        """Schedule one step at the current time (coalescing duplicates)."""
+        if self._scheduled or self.done:
+            return
+        self._scheduled = True
+        self.sim.engine.after(0, self._run)
+
+    def _run(self) -> None:
+        self._scheduled = False
+        if not self.done:
+            self.step()
+
+    def step(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _clear_wait(self) -> None:
+        self.waiting = None
+        self.wait_queue = None
+        self.wait_grant = None
+        self.wait_space = False
+
+    def _wait_word(self, queue: HardwareQueue, why: str) -> None:
+        self.waiting = why
+        self.wait_queue = queue
+        self.wait_space = False
+        queue.when_word(self.poke)
+
+    def _wait_grant(self, flow: MessageFlow, hop: int, why: str) -> None:
+        self.waiting = why
+        self.wait_grant = (flow, hop)
+        flow.when_granted(hop, self.poke)
+
+    def _finish(self) -> None:
+        self.done = True
+        self._clear_wait()
+        self.sim.agent_finished(self)
+
+    def _spend(self, cycles: int, then: Callback) -> None:
+        self.busy_cycles += cycles
+        self.sim.engine.after(cycles, then)
+
+
+class CellAgent(_Agent):
+    """Executes one cell's program against its I/O queues."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cell: str,
+        ops: tuple[Op, ...],
+        registers: dict[str, float | None] | None = None,
+    ) -> None:
+        super().__init__(sim, f"cell:{cell}")
+        self.cell = cell
+        self.ops = ops
+        self.pc = 0
+        self.registers: dict[str, float | None] = dict(registers or {})
+        self.memory_accesses = 0
+        self._write_parked = False
+
+    def start(self) -> None:
+        """Schedule the first step at t=0."""
+        if self.pc >= len(self.ops):
+            self._finish()
+        else:
+            self.poke()
+
+    def step(self) -> None:
+        if self._write_parked:
+            return  # a parked write completes via its queue callback
+        if self.pc >= len(self.ops):
+            if not self.done:
+                self._finish()
+            return
+        op = self.ops[self.pc]
+        if op.kind is OpKind.COMPUTE:
+            self._compute(op)
+        elif op.kind is OpKind.WRITE:
+            self._write(op)
+        else:
+            self._read(op)
+
+    def _transfer_overhead(self) -> int:
+        """Extra cycles per R/W under the memory-to-memory model.
+
+        Each transfer stages through local memory twice (OS copy plus the
+        program's own access) — half of the >= 4 accesses per word that
+        flow through a cell (Section 1).
+        """
+        cfg = self.sim.config
+        if cfg.comm_model is CommModel.MEMORY_TO_MEMORY:
+            self.memory_accesses += 2
+            return 2 * cfg.memory_access_cycles
+        return 0
+
+    def _compute(self, op: Op) -> None:
+        self._clear_wait()
+        if op.func is not None and op.register is not None:
+            args = [self.registers.get(r) for r in op.operands]
+            if any(arg is None for arg in args):
+                # Structure-only runs carry no values; unknown in -> unknown out.
+                self.registers[op.register] = None
+            else:
+                self.registers[op.register] = op.func(*args)
+        self.pc += 1
+        self._spend(max(op.cycles, 1), self.poke)
+
+    def _write(self, op: Op) -> None:
+        flow = self.sim.flows[op.message]
+        queue = flow.queues[0]
+        if queue is None:
+            flow.request(0)
+            queue = flow.queues[0]
+            if queue is None:
+                self._wait_grant(
+                    flow, 0, f"{self.name} W({op.message}): awaiting queue on "
+                    f"{flow.route[0]}"
+                )
+                return
+        value = op.source.resolve(self.registers) if op.source else None
+        word = Word(op.message, flow.words_written, value)
+        latency = self.sim.config.op_latency + op.cycles + self._transfer_overhead()
+
+        def complete() -> None:
+            self._write_parked = False
+            self._clear_wait()
+            flow.words_written += 1
+            self.pc += 1
+            self._spend(latency, self.poke)
+
+        if queue.try_push(word, blocked=complete):
+            complete()
+        else:
+            self._write_parked = True
+            self.waiting = (
+                f"{self.name} W({op.message}): queue {queue} full "
+                f"(occupancy {queue.occupancy}/{queue.capacity})"
+            )
+            self.wait_queue = queue
+            self.wait_space = True
+
+    def _read(self, op: Op) -> None:
+        flow = self.sim.flows[op.message]
+        last = flow.hops - 1
+        queue = flow.queues[last]
+        if queue is None:
+            self._wait_grant(
+                flow, last,
+                f"{self.name} R({op.message}): no queue granted on {flow.route[last]}",
+            )
+            return
+        if not queue.has_word:
+            self._wait_word(
+                queue, f"{self.name} R({op.message}): queue {queue} empty"
+            )
+            return
+        self._clear_wait()
+        word, penalty = queue.pop()
+        flow.after_pop(last)
+        flow.words_delivered += 1
+        self.sim.record_delivery(word)
+        if op.register is not None:
+            self.registers[op.register] = word.value
+        latency = (
+            self.sim.config.op_latency
+            + op.cycles
+            + penalty
+            + self._transfer_overhead()
+        )
+        self.pc += 1
+        self._spend(latency, self.poke)
+
+
+class ForwarderAgent(_Agent):
+    """I/O process moving one message across one intermediate hop.
+
+    Holds at most one word in flight (a register between queues), popping
+    from the queue on hop ``hop`` and pushing into hop ``hop + 1``. It
+    requests the next hop's queue when it first holds a word — i.e. when
+    the message's header arrives at the intermediate cell, which is
+    exactly when Section 5 says assignment may be requested (and possibly
+    blocked).
+    """
+
+    def __init__(self, sim: "Simulator", flow: MessageFlow, hop: int) -> None:
+        super().__init__(sim, f"fwd:{flow.message.name}:{hop}")
+        self.flow = flow
+        self.hop = hop
+        self.moved = 0
+        self.holding: Word | None = None
+        self._push_parked = False
+
+    def start(self) -> None:
+        """Arm the forwarder; it sleeps until words arrive."""
+        self.poke()
+
+    def step(self) -> None:
+        if self._push_parked:
+            return
+        if self.holding is None:
+            self._try_pop()
+        else:
+            self._try_push()
+
+    def _try_pop(self) -> None:
+        if self.moved >= self.flow.message.length:
+            self._finish()
+            return
+        queue = self.flow.queues[self.hop]
+        if queue is None:
+            self._wait_grant(
+                self.flow, self.hop,
+                f"{self.name}: upstream queue not granted on {self.flow.route[self.hop]}",
+            )
+            return
+        if not queue.has_word:
+            self._wait_word(queue, f"{self.name}: upstream queue {queue} empty")
+            return
+        self._clear_wait()
+        word, penalty = queue.pop()
+        self.flow.after_pop(self.hop)
+        self.holding = word
+        self._spend(self.sim.config.hop_latency + penalty, self.poke)
+
+    def _try_push(self) -> None:
+        nxt = self.hop + 1
+        queue = self.flow.queues[nxt]
+        if queue is None:
+            self.flow.request(nxt)
+            queue = self.flow.queues[nxt]
+            if queue is None:
+                self._wait_grant(
+                    self.flow, nxt,
+                    f"{self.name}: header blocked, awaiting queue on "
+                    f"{self.flow.route[nxt]}",
+                )
+                return
+        word = self.holding
+        assert word is not None
+
+        def complete() -> None:
+            self._push_parked = False
+            self._clear_wait()
+            self.holding = None
+            self.moved += 1
+            self.poke()
+
+        if queue.try_push(word, blocked=complete):
+            complete()
+        else:
+            self._push_parked = True
+            self.waiting = (
+                f"{self.name}: downstream queue {queue} full "
+                f"(occupancy {queue.occupancy}/{queue.capacity})"
+            )
+            self.wait_queue = queue
+            self.wait_space = True

@@ -1,0 +1,135 @@
+"""Run-time deadlock diagnosis.
+
+The engine quiescing with unfinished agents *is* the deadlock; this module
+explains it. It builds a wait-for graph over agents — who is blocked on a
+word, on buffer space, or on a queue grant, and which agent could unblock
+them — and extracts a cycle when one exists (circular waits, as in
+Figs. 7-9) or reports the blocking chain otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.agents import CellAgent, ForwarderAgent, MessageFlow, _Agent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.runtime import Simulator
+
+
+def _pusher(sim: "Simulator", flow: MessageFlow, hop: int) -> _Agent | None:
+    """The agent that pushes words into ``flow``'s queue on ``hop``."""
+    if hop == 0:
+        return sim.cell_agents.get(flow.message.sender)
+    return sim.forwarders.get((flow.message.name, hop - 1))
+
+
+def _consumer(sim: "Simulator", flow: MessageFlow, hop: int) -> _Agent | None:
+    """The agent that pops words out of ``flow``'s queue on ``hop``."""
+    if hop == flow.hops - 1:
+        return sim.cell_agents.get(flow.message.receiver)
+    return sim.forwarders.get((flow.message.name, hop))
+
+
+def _queue_hop(flow: MessageFlow, queue) -> int | None:
+    for hop, q in enumerate(flow.queues):
+        if q is queue:
+            return hop
+    return None
+
+
+def build_wait_graph(sim: "Simulator") -> dict[str, set[str]]:
+    """Edges ``waiter -> could-unblock-it`` over unfinished agents."""
+    graph: dict[str, set[str]] = {}
+    for agent in sim.all_agents():
+        if agent.done:
+            continue
+        edges: set[str] = set()
+        queue = agent.wait_queue
+        if queue is not None and queue.assigned is not None:
+            flow = sim.flows[queue.assigned]
+            hop = _queue_hop(flow, queue)
+            if hop is not None:
+                other = (
+                    _consumer(sim, flow, hop)
+                    if agent.wait_space
+                    else _pusher(sim, flow, hop)
+                )
+                if other is not None and not other.done:
+                    edges.add(other.name)
+        if agent.wait_grant is not None:
+            flow, hop = agent.wait_grant
+            link = flow.route[hop]
+            state = sim.manager.links.get(link)
+            if state is not None:
+                for q in state.queues:
+                    if q.assigned is None:
+                        continue
+                    holder_flow = sim.flows[q.assigned]
+                    holder_hop = _queue_hop(holder_flow, q)
+                    if holder_hop is None:
+                        continue
+                    other = _consumer(sim, holder_flow, holder_hop)
+                    if other is not None and not other.done:
+                        edges.add(other.name)
+            # Waiting for words that were never even requested (e.g. a
+            # receiver whose sender is itself stuck): the party that would
+            # push on this hop is what unblocks us.
+            pusher = _pusher(sim, flow, hop)
+            if pusher is not None and not pusher.done and pusher is not agent:
+                edges.add(pusher.name)
+        graph[agent.name] = edges
+    return graph
+
+
+def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """A cycle in the wait-for graph, or None.
+
+    Returns the node sequence of the cycle (first node repeated at the
+    end) when one exists.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    parent: dict[str, str] = {}
+    for start in graph:
+        if color[start] != WHITE:
+            continue
+        stack: list[tuple[str, list[str]]] = [(start, sorted(graph[start]))]
+        color[start] = GRAY
+        while stack:
+            node, nbrs = stack[-1]
+            advanced = False
+            while nbrs:
+                nxt = nbrs.pop(0)
+                if nxt not in graph:
+                    continue
+                if color[nxt] == GRAY:
+                    cycle = [nxt]
+                    cur = node
+                    while cur != nxt:
+                        cycle.append(cur)
+                        cur = parent[cur]
+                    cycle.append(nxt)
+                    cycle.reverse()
+                    return cycle
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, sorted(graph[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def diagnose(sim: "Simulator") -> tuple[list[str], list[str] | None]:
+    """Blocked-agent descriptions plus a wait-for cycle if present."""
+    blocked = [
+        agent.waiting or f"{agent.name}: blocked (no detail)"
+        for agent in sim.all_agents()
+        if not agent.done
+    ]
+    cycle = find_cycle(build_wait_graph(sim))
+    return blocked, cycle

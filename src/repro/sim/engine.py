@@ -1,0 +1,71 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event engine: a heap of (time, sequence,
+callback) entries. Determinism comes from the monotone sequence number —
+events at equal times fire in scheduling order, so runs are exactly
+reproducible. Quiescence (an empty heap) with unfinished agents is how
+run-time deadlock manifests; the kernel itself never decides deadlock, it
+just stops.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Callable
+
+Callback = Callable[[], None]
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`Engine.run` returned."""
+
+    QUIESCENT = "quiescent"
+    MAX_EVENTS = "max-events"
+    MAX_TIME = "max-time"
+
+
+class Engine:
+    """Event heap with integer timestamps."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self.events_processed: int = 0
+        self._heap: list[tuple[int, int, Callback]] = []
+        self._seq: int = 0
+
+    def at(self, time: int, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
+
+    def after(self, delay: int, callback: Callback) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.at(self.now + delay, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet fired."""
+        return len(self._heap)
+
+    def run(
+        self,
+        max_events: int | None = None,
+        max_time: int | None = None,
+    ) -> StopReason:
+        """Process events until quiescent or a limit is hit."""
+        while self._heap:
+            if max_events is not None and self.events_processed >= max_events:
+                return StopReason.MAX_EVENTS
+            time, _seq, callback = self._heap[0]
+            if max_time is not None and time > max_time:
+                return StopReason.MAX_TIME
+            heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            callback()
+        return StopReason.QUIESCENT

@@ -1,0 +1,94 @@
+"""Systolic vs memory-to-memory comparison (Fig. 1, Section 1).
+
+Under memory-to-memory communication a word flowing through a cell costs
+at least four local-memory accesses (stage in, program read, program
+write, stage out); systolic communication costs none. This module runs
+the same program under both models and reports the contrast the paper
+motivates with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import ArrayConfig, CommModel
+from repro.core.program import ArrayProgram
+from repro.sim.result import SimulationResult
+from repro.sim.runtime import Simulator
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Side-by-side outcome of the two communication models."""
+
+    systolic: SimulationResult
+    memory: SimulationResult
+    memory_access_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        """Makespan ratio memory-to-memory / systolic (> 1 favours systolic)."""
+        if self.systolic.time == 0:
+            return float("inf")
+        return self.memory.time / self.systolic.time
+
+    @property
+    def systolic_accesses(self) -> int:
+        """Total local-memory accesses under the systolic model (zero)."""
+        return self.systolic.total_memory_accesses
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total local-memory accesses under the memory-to-memory model."""
+        return self.memory.total_memory_accesses
+
+    def accesses_per_word(self, result: SimulationResult) -> float:
+        """Average local-memory accesses per delivered word."""
+        words = result.words_transferred
+        if words == 0:
+            return 0.0
+        return result.total_memory_accesses / words
+
+    def row(self) -> dict[str, float]:
+        """A flat record for tabular reporting."""
+        return {
+            "mem_cost": self.memory_access_cycles,
+            "systolic_cycles": self.systolic.time,
+            "memory_cycles": self.memory.time,
+            "speedup": round(self.speedup, 3),
+            "systolic_accesses": self.systolic_accesses,
+            "memory_accesses": self.memory_accesses,
+            "mem_accesses_per_word": round(self.accesses_per_word(self.memory), 3),
+        }
+
+
+def compare_models(
+    program: ArrayProgram,
+    base_config: ArrayConfig | None = None,
+    memory_access_cycles: int = 1,
+    policy: str = "ordered",
+    registers: dict[str, dict[str, float | None]] | None = None,
+) -> ModelComparison:
+    """Run ``program`` under both communication models.
+
+    The same topology, queue provisioning and assignment policy are used;
+    only the per-transfer cost model changes, isolating exactly the
+    memory-staging overhead the paper's Section 1 discusses.
+    """
+    base = base_config or ArrayConfig()
+    systolic_cfg = base.with_(
+        comm_model=CommModel.SYSTOLIC, memory_access_cycles=memory_access_cycles
+    )
+    memory_cfg = base.with_(
+        comm_model=CommModel.MEMORY_TO_MEMORY,
+        memory_access_cycles=memory_access_cycles,
+    )
+    systolic = Simulator(
+        program, config=systolic_cfg, policy=policy, registers=registers
+    ).run()
+    memory = Simulator(
+        program, config=memory_cfg, policy=policy, registers=registers
+    ).run()
+    return ModelComparison(
+        systolic=systolic, memory=memory, memory_access_cycles=memory_access_cycles
+    )

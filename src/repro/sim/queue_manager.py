@@ -1,0 +1,294 @@
+"""Run-time queue assignment: the manager and the three policies.
+
+Section 7 of the paper describes *static* assignment (every competing
+message gets its own queue before execution) and *dynamic* assignment
+under two rules that make it compatible with a consistent labeling:
+
+* **ordered assignment** — a message may be assigned a queue only after
+  every competing message with a smaller label has been assigned one;
+* **simultaneous assignment** — same-label messages get separate queues,
+  effectively reserved as a group ("a cell can use some reservation scheme
+  to reserve a queue to a message prior to the message's arrival").
+
+The non-compatible **FCFS** policy grants free queues in arrival order; it
+is the baseline that reproduces the queue-induced deadlocks of Figs. 7-9.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable
+
+from repro.arch.links import Link
+from repro.arch.queue import HardwareQueue
+from repro.errors import ConfigError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.labeling import Labeling
+    from repro.sim.agents import MessageFlow
+
+
+@dataclass(frozen=True)
+class Request:
+    """A message (flow) asking for a queue on one hop of its route."""
+
+    flow: "MessageFlow"
+    hop: int
+
+    @property
+    def message(self) -> str:
+        return self.flow.message.name
+
+
+@dataclass(frozen=True)
+class AssignmentEvent:
+    """One grant or release, for traces and the Fig. 7-9 timelines."""
+
+    time: int
+    kind: str  # "grant" | "release"
+    link: Link
+    queue_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"t={self.time} {self.kind} {self.link}#{self.queue_index} <- {self.message}"
+
+
+class LinkState:
+    """Mutable per-link assignment state shared with the policy."""
+
+    def __init__(self, link: Link, queues: list[HardwareQueue]) -> None:
+        self.link = link
+        self.queues = queues
+        self.free: list[HardwareQueue] = list(queues)
+        self.granted_ever: set[str] = set()
+
+    def take_free(self) -> HardwareQueue:
+        if not self.free:
+            raise SimulationError(f"no free queue on {self.link}")
+        return self.free.pop(0)
+
+
+class AssignmentPolicy(ABC):
+    """Strategy deciding when a requested queue is granted."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def setup_link(
+        self,
+        state: LinkState,
+        competing: list[str],
+        labeling: "Labeling | None",
+    ) -> None:
+        """Prepare per-link data; called once per used link before t=0."""
+
+    @abstractmethod
+    def on_request(self, manager: "QueueManager", state: LinkState, req: Request) -> None:
+        """A flow requests a queue on ``state.link``."""
+
+    @abstractmethod
+    def on_release(self, manager: "QueueManager", state: LinkState) -> None:
+        """A queue on ``state.link`` was just freed."""
+
+
+class FCFSPolicy(AssignmentPolicy):
+    """First-come-first-served: grant free queues in request order.
+
+    Not compatible with any labeling — this is the naive baseline whose
+    behaviour the lower halves of Figs. 7-9 depict.
+    """
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._pending: dict[Link, deque[Request]] = {}
+
+    def setup_link(self, state, competing, labeling) -> None:
+        self._pending[state.link] = deque()
+
+    def on_request(self, manager, state, req) -> None:
+        self._pending[state.link].append(req)
+        self._evaluate(manager, state)
+
+    def on_release(self, manager, state) -> None:
+        self._evaluate(manager, state)
+
+    def _evaluate(self, manager, state) -> None:
+        pending = self._pending[state.link]
+        while pending and state.free:
+            manager.grant(state, pending.popleft())
+
+
+class OrderedPolicy(AssignmentPolicy):
+    """The paper's compatible dynamic scheme (ordered + simultaneous).
+
+    Per link, competing messages are grouped by label. Only members of the
+    lowest not-fully-granted group may receive queues; free queues are in
+    effect reserved for that group until each member has been assigned,
+    which realises both rules at once. ``strict`` enforces Theorem 1's
+    assumption (ii) at setup (each group must fit in the link's queues);
+    with ``strict=False`` an infeasible group simply never completes and
+    the run deadlocks — useful for demonstrating why the assumption is
+    needed.
+    """
+
+    name = "ordered"
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self._groups: dict[Link, list[list[str]]] = {}
+        self._gidx: dict[Link, int] = {}
+        self._granted: dict[Link, set[str]] = {}
+        self._pending: dict[Link, dict[str, Request]] = {}
+
+    def setup_link(self, state, competing, labeling) -> None:
+        if labeling is None:
+            raise ConfigError("OrderedPolicy requires a labeling")
+        by_label: dict[Fraction, list[str]] = {}
+        for name in competing:
+            by_label.setdefault(labeling.label(name), []).append(name)
+        groups = [sorted(names) for _lab, names in sorted(by_label.items())]
+        if self.strict:
+            for group in groups:
+                if len(group) > len(state.queues):
+                    raise ConfigError(
+                        f"link {state.link}: same-label group {group} needs "
+                        f"{len(group)} queues, only {len(state.queues)} exist "
+                        f"(Theorem 1 assumption (ii))"
+                    )
+        self._groups[state.link] = groups
+        self._gidx[state.link] = 0
+        self._granted[state.link] = set()
+        self._pending[state.link] = {}
+
+    def on_request(self, manager, state, req) -> None:
+        self._pending[state.link][req.message] = req
+        self._evaluate(manager, state)
+
+    def on_release(self, manager, state) -> None:
+        self._evaluate(manager, state)
+
+    def _evaluate(self, manager, state) -> None:
+        link = state.link
+        groups = self._groups[link]
+        granted = self._granted[link]
+        pending = self._pending[link]
+        while self._gidx[link] < len(groups):
+            group = groups[self._gidx[link]]
+            for name in group:
+                if name not in granted and name in pending and state.free:
+                    manager.grant(state, pending.pop(name))
+                    granted.add(name)
+            if all(name in granted for name in group):
+                self._gidx[link] += 1
+                continue
+            break  # remaining free queues stay reserved for this group
+
+
+class StaticPolicy(AssignmentPolicy):
+    """Section 7's static scheme: a dedicated queue per competing message.
+
+    Assignment is fixed before execution; every request is granted
+    immediately from the precomputed map. Requires enough queues on every
+    link (checked at setup) — and is then automatically compatible with
+    any consistent labeling, so Theorem 1 applies with no run-time rules.
+    """
+
+    name = "static"
+
+    def __init__(self) -> None:
+        self._reserved: dict[Link, dict[str, HardwareQueue]] = {}
+
+    def setup_link(self, state, competing, labeling) -> None:
+        if len(competing) > len(state.queues):
+            raise ConfigError(
+                f"link {state.link}: static assignment needs "
+                f"{len(competing)} queues for {competing}, only "
+                f"{len(state.queues)} exist"
+            )
+        self._reserved[state.link] = {
+            name: state.queues[i] for i, name in enumerate(competing)
+        }
+
+    def on_request(self, manager, state, req) -> None:
+        queue = self._reserved[state.link][req.message]
+        manager.grant(state, req, queue)
+
+    def on_release(self, manager, state) -> None:
+        pass  # reservations never move
+
+
+class QueueManager:
+    """Owns link states, dispatches requests to the policy, records a trace."""
+
+    def __init__(
+        self,
+        policy: AssignmentPolicy,
+        clock: Callable[[], int],
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.links: dict[Link, LinkState] = {}
+        self.trace: list[AssignmentEvent] = []
+
+    def add_link(
+        self,
+        link: Link,
+        queues: list[HardwareQueue],
+        competing: list[str],
+        labeling: "Labeling | None",
+    ) -> None:
+        """Register a link and let the policy prepare it."""
+        state = LinkState(link, queues)
+        self.links[link] = state
+        self.policy.setup_link(state, competing, labeling)
+
+    def request(self, req: Request) -> None:
+        """A flow asks for a queue on one hop; the policy decides."""
+        link = req.flow.route[req.hop]
+        self.policy.on_request(self, self.links[link], req)
+
+    def grant(
+        self,
+        state: LinkState,
+        req: Request,
+        queue: HardwareQueue | None = None,
+    ) -> None:
+        """Bind a queue to the request's message and notify the flow."""
+        if queue is None:
+            queue = state.take_free()
+        elif queue in state.free:
+            state.free.remove(queue)
+        msg = req.flow.message
+        queue.assign(msg.name, msg.length)
+        state.granted_ever.add(msg.name)
+        self.trace.append(
+            AssignmentEvent(self.clock(), "grant", state.link, queue.index, msg.name)
+        )
+        req.flow.granted(req.hop, queue)
+
+    def release(self, queue: HardwareQueue) -> None:
+        """Return a completed queue to its link's free pool."""
+        state = self.links[queue.link]
+        message = queue.assigned or "?"
+        queue.release()
+        state.free.append(queue)
+        self.trace.append(
+            AssignmentEvent(self.clock(), "release", state.link, queue.index, message)
+        )
+        self.policy.on_release(self, state)
+
+
+def make_policy(name: str, strict: bool = True) -> AssignmentPolicy:
+    """Policy factory from a short name: fcfs | ordered | static."""
+    if name == "fcfs":
+        return FCFSPolicy()
+    if name == "ordered":
+        return OrderedPolicy(strict=strict)
+    if name == "static":
+        return StaticPolicy()
+    raise ConfigError(f"unknown assignment policy {name!r}")

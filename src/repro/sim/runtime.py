@@ -1,0 +1,212 @@
+"""The simulator: assembles agents, queues and policy, runs to completion
+or deadlock.
+
+This is the run-time half of the paper: a deadlock-free program plus a
+consistent labeling plus a compatible queue assignment runs to completion
+(Theorem 1); drop any premise and the simulator shows you the deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.arch.config import ArrayConfig
+from repro.arch.links import Link
+from repro.arch.queue import HardwareQueue
+from repro.arch.routing import Router, default_router
+from repro.arch.topology import ExplicitLinear, Topology
+from repro.core.labeling import Labeling, constraint_labeling
+from repro.core.crossing import route_capacities
+from repro.core.program import ArrayProgram
+from repro.core.requirements import competing_messages
+from repro.errors import ConfigError
+from repro.sim.agents import CellAgent, ForwarderAgent, MessageFlow, _Agent
+from repro.sim.deadlock import diagnose
+from repro.sim.engine import Engine, StopReason
+from repro.sim.queue_manager import AssignmentPolicy, QueueManager, make_policy
+from repro.sim.result import SimulationResult
+from repro.sim.words import Word
+
+
+class Simulator:
+    """One run of one program on one array configuration.
+
+    Args:
+        program: the (validated) array program.
+        config: hardware parameters; defaults to one unbuffered queue per
+            link — the Sections 3-7 setting.
+        topology: interconnection; defaults to a linear array whose order
+            is the program's cell list.
+        router: route computation; defaults to the topology's natural
+            minimal router.
+        policy: queue-assignment policy — ``"ordered"`` (the paper's
+            compatible scheme), ``"static"``, ``"fcfs"`` (naive baseline),
+            or a policy instance.
+        labeling: labels for the ordered policy. ``None`` auto-computes
+            with the Section 6 scheme (using lookahead bounds derived from
+            the config when queues have buffering).
+        registers: initial register file per cell (e.g. preloaded FIR
+            weights).
+        strict: enforce Theorem 1 assumption (ii) at setup for the
+            ordered policy.
+
+    Simulators are single-shot: build, :meth:`run`, inspect the result.
+    """
+
+    def __init__(
+        self,
+        program: ArrayProgram,
+        config: ArrayConfig | None = None,
+        topology: Topology | None = None,
+        router: Router | None = None,
+        policy: str | AssignmentPolicy = "ordered",
+        labeling: Labeling | None = None,
+        registers: dict[str, dict[str, float | None]] | None = None,
+        strict: bool = True,
+    ) -> None:
+        self.program = program
+        self.config = config or ArrayConfig()
+        self.topology = topology or ExplicitLinear(tuple(program.cells))
+        self.router = router or default_router(self.topology)
+        if isinstance(policy, str):
+            self.policy = make_policy(policy, strict=strict)
+        else:
+            self.policy = policy
+        if labeling is None and self.policy.name == "ordered":
+            labeling = self._auto_labeling()
+        self.labeling = labeling
+
+        self.engine = Engine()
+        self.manager = QueueManager(self.policy, clock=lambda: self.engine.now)
+        self.flows: dict[str, MessageFlow] = {}
+        self.cell_agents: dict[str, CellAgent] = {}
+        self.forwarders: dict[tuple[str, int], ForwarderAgent] = {}
+        self.received: dict[str, list[float | None]] = defaultdict(list)
+        self._unfinished = 0
+        self._build(registers or {})
+
+    def _auto_labeling(self) -> Labeling:
+        # The constraint-based labeling always exists and matches the
+        # Section 6 scheme on every example the paper works; see
+        # repro.core.labeling for why the literal scheme is not used here.
+        lookahead = None
+        if self.config.queue_capacity > 0 or self.config.allow_extension:
+            lookahead = route_capacities(
+                self.program,
+                self.router,
+                self.config.queue_capacity,
+                allow_extension=self.config.allow_extension,
+            )
+        return constraint_labeling(self.program, lookahead=lookahead)
+
+    def _build(self, registers: dict[str, dict[str, float | None]]) -> None:
+        for msg in self.program.messages.values():
+            route = self.router.route(msg.sender, msg.receiver)
+            self.flows[msg.name] = MessageFlow(self, msg, route)
+        competing = competing_messages(self.program, self.router)
+        used_links: set[Link] = set()
+        for flow in self.flows.values():
+            used_links.update(flow.route)
+        for link in sorted(used_links):
+            queues = [
+                HardwareQueue(
+                    link,
+                    index,
+                    capacity=self.config.queue_capacity,
+                    extension_allowed=self.config.allow_extension,
+                    extension_penalty=self.config.extension_penalty,
+                )
+                for index in range(self.config.queues_on(link))
+            ]
+            self.manager.add_link(
+                link, queues, competing.get(link, []), self.labeling
+            )
+        for cell in self.program.cells:
+            agent = CellAgent(
+                self,
+                cell,
+                self.program.cell_programs[cell].ops,
+                registers.get(cell),
+            )
+            self.cell_agents[cell] = agent
+        for name, flow in self.flows.items():
+            for hop in range(flow.hops - 1):
+                self.forwarders[(name, hop)] = ForwarderAgent(self, flow, hop)
+
+    # ------------------------------------------------------------------
+    # Agent callbacks
+    # ------------------------------------------------------------------
+
+    def all_agents(self) -> list[_Agent]:
+        """Every agent, cells first then forwarders."""
+        return list(self.cell_agents.values()) + list(self.forwarders.values())
+
+    def agent_finished(self, agent: _Agent) -> None:
+        """An agent completed all its work."""
+        self._unfinished -= 1
+
+    def record_delivery(self, word: Word) -> None:
+        """A receiver consumed ``word`` — record it for result inspection."""
+        self.received[word.message].append(word.value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_events: int | None = 5_000_000,
+        max_time: int | None = None,
+    ) -> SimulationResult:
+        """Execute until completion, deadlock, or a safety limit."""
+        agents = self.all_agents()
+        self._unfinished = len(agents)
+        for agent in agents:
+            if isinstance(agent, (CellAgent, ForwarderAgent)):
+                agent.start()
+        reason = self.engine.run(max_events=max_events, max_time=max_time)
+        completed = self._unfinished == 0
+        deadlocked = not completed and reason is StopReason.QUIESCENT
+        timed_out = not completed and not deadlocked
+        blocked: list[str] = []
+        cycle: list[str] | None = None
+        if deadlocked:
+            blocked, cycle = diagnose(self)
+        queue_stats = {}
+        for state in self.manager.links.values():
+            for queue in state.queues:
+                queue_stats[str(queue)] = queue.stats
+        return SimulationResult(
+            completed=completed,
+            deadlocked=deadlocked,
+            timed_out=timed_out,
+            time=self.engine.now,
+            events=self.engine.events_processed,
+            blocked=blocked,
+            wait_cycle=cycle,
+            registers={
+                cell: dict(agent.registers)
+                for cell, agent in self.cell_agents.items()
+            },
+            received={name: list(vals) for name, vals in self.received.items()},
+            queue_stats=queue_stats,
+            assignment_trace=list(self.manager.trace),
+            memory_accesses={
+                cell: agent.memory_accesses
+                for cell, agent in self.cell_agents.items()
+            },
+            busy_cycles={a.name: a.busy_cycles for a in agents},
+            words_transferred=sum(
+                flow.words_delivered for flow in self.flows.values()
+            ),
+        )
+
+
+def simulate(
+    program: ArrayProgram,
+    config: ArrayConfig | None = None,
+    policy: str | AssignmentPolicy = "ordered",
+    **kwargs,
+) -> SimulationResult:
+    """Build a :class:`Simulator` and run it — the one-call entry point."""
+    return Simulator(program, config=config, policy=policy, **kwargs).run()

@@ -1,0 +1,25 @@
+"""Words in flight: the unit of systolic data transfer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Word:
+    """One word of a message.
+
+    Attributes:
+        message: owning message name.
+        index: 0-based position within the message.
+        value: payload (``None`` for structure-only programs).
+    """
+
+    message: str
+    index: int
+    value: float | None = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"{self.message}[{self.index}]"
+        return f"{self.message}[{self.index}]={self.value}"

@@ -1,0 +1,14 @@
+"""Text renderings of the paper's figure formats."""
+
+from repro.viz.array_view import render_linear, render_routes
+from repro.viz.crossing_view import render_annotated, render_steps
+from repro.viz.timeline import render_assignments, render_outcome
+
+__all__ = [
+    "render_annotated",
+    "render_assignments",
+    "render_linear",
+    "render_outcome",
+    "render_routes",
+    "render_steps",
+]

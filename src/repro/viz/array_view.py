@@ -1,0 +1,35 @@
+"""ASCII diagrams of arrays and message flows (cf. Figs. 1, 3, 6-9)."""
+
+from __future__ import annotations
+
+from repro.arch.routing import Router
+from repro.core.program import ArrayProgram
+
+
+def render_linear(program: ArrayProgram) -> str:
+    """Cells on a line with message arrows listed beneath.
+
+    Works for any program whose cell order is the physical order (the
+    default linear topology assumption).
+    """
+    index = {cell: i for i, cell in enumerate(program.cells)}
+    header = "  <->  ".join(program.cells)
+    lines = [header, ""]
+    for msg in sorted(program.messages.values()):
+        leftward = index[msg.receiver] < index[msg.sender]
+        direction = "(leftward)" if leftward else "(rightward)"
+        lines.append(
+            f"  {msg.name:<8} {msg.sender} -> {msg.receiver}  "
+            f"({msg.length} word{'s' if msg.length != 1 else ''}) {direction}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_routes(program: ArrayProgram, router: Router) -> str:
+    """Each message with the full link sequence it crosses (cf. Fig. 3)."""
+    lines = []
+    for msg in sorted(program.messages.values()):
+        route = router.route(msg.sender, msg.receiver)
+        path = " ".join(str(link) for link in route)
+        lines.append(f"  {msg.name:<8} {path}")
+    return "\n".join(lines) + "\n"

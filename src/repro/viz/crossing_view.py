@@ -1,0 +1,59 @@
+"""ASCII rendering of crossing-off traces, in the spirit of Figs. 4 and 10.
+
+``render_steps`` lists, per step, the executable pairs crossed off —
+Fig. 4's table. ``render_annotated`` prints the program with each transfer
+operation tagged by the step that crossed it (and ``!`` marking skipped
+positions at the moment of crossing), which is how Fig. 10 presents the
+lookahead runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.crossing import CrossingResult
+from repro.core.program import ArrayProgram
+
+
+def render_steps(result: CrossingResult) -> str:
+    """Fig. 4-style step listing."""
+    lines = []
+    for i, step in enumerate(result.steps, start=1):
+        pairs = "   ".join(
+            f"W({p.message})@{p.sender} & R({p.message})@{p.receiver}"
+            for p in step
+        )
+        lines.append(f"Step {i:>3}: {pairs}")
+    if not result.deadlock_free:
+        blocked = ", ".join(sorted(result.uncrossed))
+        lines.append(f"STUCK — no executable pair; remaining ops in: {blocked}")
+    return "\n".join(lines) + "\n"
+
+
+def render_annotated(program: ArrayProgram, result: CrossingResult, width: int = 16) -> str:
+    """Program columns with each transfer tagged ``[step]`` when crossed.
+
+    Operations never crossed are tagged ``[--]`` — in a deadlocked program
+    these are exactly the operations the procedure could not reach.
+    """
+    crossed_at: dict[tuple[str, int], int] = {}
+    for pair in result.crossings:
+        crossed_at[(pair.sender, pair.sender_pos)] = pair.step
+        crossed_at[(pair.receiver, pair.receiver_pos)] = pair.step
+    columns: dict[str, list[str]] = {}
+    for cell in program.cells:
+        entries = []
+        for pos, op in enumerate(program.transfers(cell)):
+            step = crossed_at.get((cell, pos))
+            tag = f"[{step}]" if step is not None else "[--]"
+            entries.append(f"{op} {tag}")
+        columns[cell] = entries
+    height = max((len(c) for c in columns.values()), default=0)
+    lines = ["".join(cell.ljust(width) for cell in program.cells)]
+    lines.append("-" * (width * len(program.cells)))
+    for i in range(height):
+        lines.append(
+            "".join(
+                (columns[cell][i] if i < len(columns[cell]) else "").ljust(width)
+                for cell in program.cells
+            ).rstrip()
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,36 @@
+"""Queue-assignment timelines — the lower halves of Figs. 7-9 as text."""
+
+from __future__ import annotations
+
+from repro.sim.queue_manager import AssignmentEvent
+from repro.sim.result import SimulationResult
+
+
+def render_assignments(trace: list[AssignmentEvent]) -> str:
+    """Chronological grant/release log grouped by link."""
+    if not trace:
+        return "(no assignments)\n"
+    by_link: dict[str, list[AssignmentEvent]] = {}
+    for event in trace:
+        by_link.setdefault(str(event.link), []).append(event)
+    lines = []
+    for link in sorted(by_link):
+        lines.append(f"{link}:")
+        for event in by_link[link]:
+            verb = "<-" if event.kind == "grant" else "->"
+            lines.append(
+                f"    t={event.time:<6} queue#{event.queue_index} "
+                f"{verb} {event.message} ({event.kind})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_outcome(result: SimulationResult) -> str:
+    """Run verdict plus blocked-agent detail — the figures' annotations."""
+    lines = [result.summary()]
+    if result.deadlocked:
+        for item in result.blocked:
+            lines.append(f"    blocked: {item}")
+        if result.wait_cycle:
+            lines.append("    wait-for cycle: " + " -> ".join(result.wait_cycle))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,25 @@
+"""Synthetic workloads: random deadlock-free programs and mutations."""
+
+from repro.workloads.random_programs import (
+    WorkloadSpec,
+    hoist_writes,
+    inject_read_cycle,
+    random_program,
+    spec_family,
+)
+from repro.workloads.schedule_builder import (
+    program_from_schedule,
+    round_robin_schedule,
+    sequential_schedule,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "hoist_writes",
+    "inject_read_cycle",
+    "program_from_schedule",
+    "random_program",
+    "round_robin_schedule",
+    "sequential_schedule",
+    "spec_family",
+]

@@ -1,0 +1,230 @@
+"""Algorithm generator tests: structure, deadlock-freedom, numerics."""
+
+import pytest
+
+from repro import ArrayConfig, Simulator, cross_off, simulate
+from repro.algorithms.figures import fig2_fir
+from repro.algorithms.fir import (
+    fir_expected,
+    fir_host_registers_expected,
+    fir_program,
+    fir_registers,
+)
+from repro.algorithms.horner import (
+    horner_expected,
+    horner_program,
+    horner_registers,
+)
+from repro.algorithms.matmul2d import (
+    matmul_expected,
+    matmul_program,
+    matmul_results,
+)
+from repro.algorithms.matvec import (
+    matvec_expected,
+    matvec_program,
+    matvec_registers,
+)
+from repro.algorithms.oddeven import (
+    oddeven_program,
+    oddeven_registers,
+    oddeven_result,
+)
+from repro.algorithms.seqcompare import (
+    encode,
+    lcs_expected,
+    lcs_program_for,
+    lcs_registers,
+)
+
+
+class TestFirGenerator:
+    def test_k3_n2_matches_fig2_transfer_shape(self):
+        gen, fig = fir_program(3, 2), fig2_fir()
+        for cg, cf in zip(gen.cells, fig.cells):
+            kinds_g = [o.kind for o in gen.transfers(cg)]
+            kinds_f = [o.kind for o in fig.transfers(cf)]
+            assert kinds_g == kinds_f, cg
+
+    @pytest.mark.parametrize("k,n", [(1, 1), (2, 3), (3, 2), (4, 5), (6, 4)])
+    def test_deadlock_free_across_sizes(self, k, n):
+        assert cross_off(fir_program(k, n)).deadlock_free
+
+    @pytest.mark.parametrize("k,n", [(2, 2), (3, 4), (5, 3)])
+    def test_numeric_correctness(self, k, n):
+        xs = tuple(float((i * 7) % 5 - 2) for i in range(n + k - 1))
+        ws = tuple(float(i + 1) / 2 for i in range(k))
+        result = simulate(fir_program(k, n, xs=xs), registers=fir_registers(ws))
+        assert result.completed
+        expected = fir_host_registers_expected(xs, ws, n)
+        for reg, value in expected.items():
+            assert result.registers["HOST"][reg] == pytest.approx(value)
+
+    def test_input_length_validation(self):
+        with pytest.raises(ValueError):
+            fir_program(3, 2, xs=(1.0, 2.0))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            fir_program(0, 1)
+
+    def test_expected_reference(self):
+        assert fir_expected((1.0, 2.0, 3.0), (1.0, 1.0), 2) == [3.0, 5.0]
+
+
+class TestMatvec:
+    def test_deadlock_free(self):
+        a = [[1.0] * 4 for _ in range(6)]
+        assert cross_off(matvec_program(a)).deadlock_free
+
+    @pytest.mark.parametrize(
+        "m,n", [(1, 1), (2, 2), (3, 4), (5, 3), (8, 2)]
+    )
+    def test_numeric_correctness(self, m, n):
+        a = [[float((i * n + j) % 7 - 3) for j in range(n)] for i in range(m)]
+        x = [float(j + 1) / 2 for j in range(n)]
+        result = simulate(
+            matvec_program(a),
+            config=ArrayConfig(queues_per_link=2),
+            registers=matvec_registers(x),
+        )
+        assert result.completed
+        expected = matvec_expected(a, x)
+        got = [result.registers["HOST"][f"y{i + 1}"] for i in range(m)]
+        assert got == pytest.approx(expected)
+
+    def test_rectangular_validation(self):
+        with pytest.raises(ValueError):
+            matvec_program([[1.0, 2.0], [3.0]])
+
+
+class TestMatmul2D:
+    @pytest.mark.parametrize("m,k,n", [(1, 1, 1), (2, 2, 2), (2, 3, 2), (3, 2, 4)])
+    def test_numeric_correctness(self, m, k, n):
+        a = [[float((i + j) % 5 - 1) for j in range(k)] for i in range(m)]
+        b = [[float((i * j) % 4) for j in range(n)] for i in range(k)]
+        prog, mesh = matmul_program(a, b)
+        assert cross_off(prog).deadlock_free
+        sim = Simulator(
+            prog,
+            topology=mesh,
+            config=ArrayConfig(queues_per_link=3),
+            policy="ordered",
+        )
+        result = sim.run()
+        assert result.completed
+        got = matmul_results(result.registers, m, n, mesh)
+        expected = matmul_expected(a, b)
+        for got_row, exp_row in zip(got, expected):
+            assert got_row == pytest.approx(exp_row)
+
+    def test_east_edge_collects_row(self):
+        a = [[1.0, 0.0], [0.0, 1.0]]
+        b = [[3.0, 4.0], [5.0, 6.0]]
+        prog, mesh = matmul_program(a, b)
+        sim = Simulator(
+            prog, topology=mesh, config=ArrayConfig(queues_per_link=3)
+        )
+        result = sim.run()
+        edge = result.registers[mesh.cell_at(1, 2)]
+        assert edge["c1"] == 3.0  # c_11 collected at the east edge
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            matmul_program([[1.0]], [[1.0], [2.0]])
+
+
+class TestOddEven:
+    @pytest.mark.parametrize(
+        "keys",
+        [
+            [2.0, 1.0],
+            [3.0, 1.0, 2.0],
+            [5.0, 4.0, 3.0, 2.0, 1.0],
+            [1.0, 2.0, 3.0, 4.0],
+            [4.0, 4.0, 1.0, 1.0],
+        ],
+    )
+    def test_sorts(self, keys):
+        n = len(keys)
+        result = simulate(oddeven_program(n), registers=oddeven_registers(keys))
+        assert result.completed
+        assert oddeven_result(result.registers, n) == sorted(keys)
+
+    def test_deadlock_free(self):
+        assert cross_off(oddeven_program(6)).deadlock_free
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            oddeven_program(1)
+
+    def test_partial_rounds_leave_unsorted(self):
+        keys = [9.0, 7.0, 5.0, 3.0, 1.0]
+        result = simulate(
+            oddeven_program(5, rounds=1), registers=oddeven_registers(keys)
+        )
+        assert result.completed
+        assert oddeven_result(result.registers, 5) != sorted(keys)
+
+
+class TestHorner:
+    @pytest.mark.parametrize(
+        "coeffs,pts",
+        [
+            ([1.0, -2.0], [0.0, 1.0, 3.0]),
+            ([2.0, 0.0, 1.0], [1.0, -1.0]),
+            ([1.0, 2.0, 3.0, 4.0], [0.5, 2.0, -2.0]),
+        ],
+    )
+    def test_numeric_correctness(self, coeffs, pts):
+        degree = len(coeffs) - 1
+        result = simulate(
+            horner_program(degree, pts),
+            config=ArrayConfig(queues_per_link=2),
+            registers=horner_registers(coeffs),
+        )
+        assert result.completed
+        got = [result.registers["HOST"][f"p{t + 1}"] for t in range(len(pts))]
+        assert got == pytest.approx(horner_expected(coeffs, pts))
+
+    def test_deadlock_free(self):
+        assert cross_off(horner_program(4, [1.0, 2.0])).deadlock_free
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horner_program(0, [1.0])
+        with pytest.raises(ValueError):
+            horner_program(2, [])
+        with pytest.raises(ValueError):
+            horner_registers([1.0])
+
+
+class TestSequenceComparison:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("AB", "AB"),
+            ("GATTACA", "TACGTA"),
+            ("AAAA", "TTTT"),
+            ("ACGT", "TGCA"),
+            ("BANANA", "ANANAS"),
+        ],
+    )
+    def test_lcs_length(self, a, b):
+        prog = lcs_program_for(a, b)
+        result = simulate(
+            prog,
+            config=ArrayConfig(queues_per_link=2),
+            registers=lcs_registers(encode(b)),
+        )
+        assert result.completed
+        assert result.registers["HOST"][f"d{len(a)}"] == lcs_expected(a, b)
+
+    def test_deadlock_free(self):
+        assert cross_off(lcs_program_for("ACGT", "CGA")).deadlock_free
+
+    def test_length_validation(self):
+        from repro.algorithms.seqcompare import lcs_program
+
+        with pytest.raises(ValueError):
+            lcs_program(3, 2, [65.0])

@@ -1,0 +1,63 @@
+"""Triangular-solve generator tests."""
+
+import pytest
+
+from repro import ArrayConfig, constraint_labeling, cross_off, simulate
+from repro.algorithms.backsub import (
+    backsub_expected,
+    backsub_program,
+    backsub_solution,
+)
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.requirements import dynamic_queue_demand
+
+
+def lower_matrix(n: int) -> list[list[float]]:
+    return [
+        [float(i - j + 1) if j < i else (2.0 if j == i else 0.0)
+         for j in range(n)]
+        for i in range(n)
+    ]
+
+
+class TestBacksub:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+    def test_numeric_correctness(self, n):
+        lower = lower_matrix(n)
+        b = [float((i * 3) % 5 + 1) for i in range(n)]
+        prog = backsub_program(lower, b)
+        result = simulate(prog, config=ArrayConfig(queues_per_link=2))
+        assert result.completed
+        assert backsub_solution(result.registers, n) == pytest.approx(
+            backsub_expected(lower, b)
+        )
+
+    def test_deadlock_free(self):
+        assert cross_off(backsub_program(lower_matrix(4), [1.0] * 4)).deadlock_free
+
+    def test_deferred_returns_keep_labels_distinct(self):
+        # The design note in the module: X returns must not be related to
+        # the row stream, so one queue per reverse link suffices.
+        prog = backsub_program(lower_matrix(4), [1.0] * 4)
+        labeling = constraint_labeling(prog)
+        router = default_router(ExplicitLinear(tuple(prog.cells)))
+        demand = dynamic_queue_demand(prog, router, labeling)
+        reverse_demands = [
+            d for link, d in demand.items()
+            if prog.cells.index(link.src) > prog.cells.index(link.dst)
+        ]
+        assert max(reverse_demands) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backsub_program([[1.0]], [1.0, 2.0])
+
+    def test_identity_system(self):
+        n = 3
+        identity = [[1.0 if i == j else 0.0 for j in range(n)] for i in range(n)]
+        b = [5.0, -2.0, 7.0]
+        result = simulate(
+            backsub_program(identity, b), config=ArrayConfig(queues_per_link=2)
+        )
+        assert backsub_solution(result.registers, n) == b

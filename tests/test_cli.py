@@ -1,0 +1,89 @@
+"""CLI tests: check, label, run, show on program files."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang import print_program
+from repro.algorithms.figures import fig5_p3, fig6_cycle, fig7_program, fig8_program
+
+
+@pytest.fixture
+def fig7_file(tmp_path):
+    path = tmp_path / "fig7.sysp"
+    path.write_text(print_program(fig7_program()))
+    return str(path)
+
+
+@pytest.fixture
+def p3_file(tmp_path):
+    path = tmp_path / "p3.sysp"
+    path.write_text(print_program(fig5_p3()))
+    return str(path)
+
+
+class TestShow:
+    def test_show_lists_cells_and_messages(self, fig7_file, capsys):
+        assert main(["show", fig7_file]) == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "C4" in out
+        assert "C[4]" in out  # message summary
+
+
+class TestCheck:
+    def test_deadlock_free_exit_zero(self, fig7_file, capsys):
+        assert main(["check", fig7_file]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+        assert "Step" in out
+
+    def test_deadlocked_exit_one(self, p3_file, capsys):
+        assert main(["check", p3_file]) == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCKED" in out
+        assert "[--]" in out
+
+    def test_lookahead_capacity_flag(self, tmp_path, capsys):
+        from repro.algorithms.figures import fig5_p1
+
+        path = tmp_path / "p1.sysp"
+        path.write_text(print_program(fig5_p1()))
+        assert main(["check", str(path)]) == 1
+        assert main(["check", str(path), "--capacity", "2"]) == 0
+
+
+class TestLabel:
+    def test_labels_printed(self, fig7_file, capsys):
+        assert main(["label", fig7_file]) == 0
+        out = capsys.readouterr().out
+        assert "A=1 B=3 C=2" in out
+        assert "label 1: A" in out
+
+
+class TestRun:
+    def test_ordered_completes(self, fig7_file, capsys):
+        assert main(["run", fig7_file, "--policy", "ordered"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_fcfs_deadlocks_exit_one(self, fig7_file, capsys):
+        assert main(["run", fig7_file, "--policy", "fcfs"]) == 1
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_trace_flag(self, fig7_file, capsys):
+        main(["run", fig7_file, "--trace"])
+        out = capsys.readouterr().out
+        assert "grant" in out
+
+    def test_queues_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig8.sysp"
+        path.write_text(print_program(fig8_program()))
+        assert main(["run", str(path), "--queues", "2"]) == 0
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check", "/nonexistent/file.sysp"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_strict_ordered_shortfall_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "fig8.sysp"
+        path.write_text(print_program(fig8_program()))
+        # 1 queue but a size-2 same-label group: ConfigError -> exit 2.
+        assert main(["run", str(path), "--queues", "1"]) == 2

@@ -1,0 +1,59 @@
+"""Run-time deadlock diagnosis tests."""
+
+from repro import ArrayConfig, Simulator, simulate
+from repro.sim.deadlock import build_wait_graph, find_cycle
+
+
+class TestDiagnosis:
+    def test_blocked_descriptions_name_the_ops(self, p3):
+        result = simulate(p3, policy="fcfs")
+        assert result.deadlocked
+        text = " ".join(result.blocked)
+        assert "W(A)" in text or "R(A)" in text or "R(B)" in text
+
+    def test_p3_circular_wait_cycle_found(self, p3):
+        # P3 is the canonical circular wait: C1 waits for B from C2, which
+        # waits for A from C1.
+        sim = Simulator(p3, policy="fcfs")
+        result = sim.run()
+        assert result.deadlocked
+        assert result.wait_cycle is not None
+        assert result.wait_cycle[0] == result.wait_cycle[-1]
+        assert set(result.wait_cycle) >= {"cell:C1", "cell:C2"}
+
+    def test_fig7_fcfs_diagnosis_mentions_grant_wait(self, fig7):
+        result = simulate(fig7, policy="fcfs")
+        assert result.deadlocked
+        assert any("awaiting queue" in b or "no queue granted" in b
+                   for b in result.blocked)
+
+    def test_completed_run_has_no_diagnosis(self, fig6):
+        result = simulate(fig6)
+        assert result.blocked == []
+        assert result.wait_cycle is None
+
+
+class TestWaitGraph:
+    def test_graph_over_blocked_agents(self, p3):
+        sim = Simulator(p3, policy="fcfs")
+        sim.run()
+        graph = build_wait_graph(sim)
+        assert "cell:C1" in graph
+        assert "cell:C2" in graph
+
+    def test_find_cycle_simple(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}}
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(set(cycle)) == 3
+
+    def test_find_cycle_none_in_dag(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": set()}
+        assert find_cycle(graph) is None
+
+    def test_find_cycle_self_loop(self):
+        assert find_cycle({"a": {"a"}}) == ["a", "a"]
+
+    def test_find_cycle_ignores_unknown_targets(self):
+        assert find_cycle({"a": {"ghost"}}) is None

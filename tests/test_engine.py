@@ -1,0 +1,99 @@
+"""Event engine tests: ordering, determinism, limits."""
+
+import pytest
+
+from repro.sim.engine import Engine, StopReason
+
+
+class TestScheduling:
+    def test_time_order(self):
+        engine = Engine()
+        log = []
+        engine.at(5, lambda: log.append("b"))
+        engine.at(2, lambda: log.append("a"))
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_fifo_within_timestamp(self):
+        engine = Engine()
+        log = []
+        for tag in "abc":
+            engine.at(1, lambda t=tag: log.append(t))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.at(3, lambda: engine.after(4, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [7]
+
+    def test_now_advances(self):
+        engine = Engine()
+        engine.at(9, lambda: None)
+        engine.run()
+        assert engine.now == 9
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.at(5, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.at(3, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().after(-1, lambda: None)
+
+
+class TestRunLimits:
+    def test_quiescent(self):
+        engine = Engine()
+        engine.at(0, lambda: None)
+        assert engine.run() is StopReason.QUIESCENT
+
+    def test_max_events(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.after(1, reschedule)
+
+        engine.at(0, reschedule)
+        assert engine.run(max_events=10) is StopReason.MAX_EVENTS
+        assert engine.events_processed == 10
+
+    def test_max_time(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.after(1, reschedule)
+
+        engine.at(0, reschedule)
+        assert engine.run(max_time=50) is StopReason.MAX_TIME
+        assert engine.now <= 50
+
+    def test_pending_count(self):
+        engine = Engine()
+        engine.at(1, lambda: None)
+        engine.at(2, lambda: None)
+        assert engine.pending == 2
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def run_once() -> list[int]:
+            engine = Engine()
+            log: list[int] = []
+
+            def spawn(depth: int):
+                log.append(engine.now)
+                if depth:
+                    engine.after(depth, lambda: spawn(depth - 1))
+                    engine.after(1, lambda: spawn(0))
+
+            engine.at(0, lambda: spawn(3))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,167 @@
+"""The paper's figures as executable assertions — the reproduction core.
+
+Each class pins one figure's claims; benches regenerate the artefacts,
+these tests gate them. (Experiment ids follow DESIGN.md.)
+"""
+
+import pytest
+
+from repro import (
+    ArrayConfig,
+    constraint_labeling,
+    cross_off,
+    is_deadlock_free,
+    label_messages,
+    simulate,
+    uniform_lookahead,
+)
+from repro.algorithms.figures import (
+    all_figures,
+    fig2_expected_outputs,
+    fig2_registers,
+    fig7_program,
+)
+from repro.core.labeling import labels_as_str
+
+
+class TestE2Fig2Program:
+    """Fig. 2: the filtering program is valid, deadlock-free, and correct."""
+
+    def test_message_lengths_match_paper(self, fig2):
+        lengths = {name: msg.length for name, msg in fig2.messages.items()}
+        assert lengths == {
+            "XA": 4, "XB": 3, "XC": 2, "YA": 2, "YB": 2, "YC": 2,
+        }
+
+    def test_host_listing(self, fig2):
+        assert [str(o) for o in fig2.transfers("HOST")] == [
+            "W(XA)", "W(XA)", "W(XA)", "R(YA)", "W(XA)", "R(YA)",
+        ]
+
+    def test_c1_listing(self, fig2):
+        assert [str(o) for o in fig2.transfers("C1")] == [
+            "R(XA)", "W(XB)", "R(XA)", "W(XB)", "R(XA)", "R(YB)",
+            "W(XB)", "W(YA)", "R(XA)", "R(YB)", "W(YA)",
+        ]
+
+    def test_c2_listing(self, fig2):
+        assert [str(o) for o in fig2.transfers("C2")] == [
+            "R(XB)", "W(XC)", "R(XB)", "R(YC)", "W(XC)",
+            "W(YB)", "R(XB)", "R(YC)", "W(YB)",
+        ]
+
+    def test_c3_listing(self, fig2):
+        assert [str(o) for o in fig2.transfers("C3")] == [
+            "R(XC)", "W(YC)", "R(XC)", "W(YC)",
+        ]
+
+    def test_filter_values(self, fig2):
+        result = simulate(fig2, registers=fig2_registers())
+        assert result.received["YA"] == list(fig2_expected_outputs())
+
+
+class TestE3Fig4CrossingTrace:
+    """Fig. 4: 12 steps, doubles at 3/5/9 — asserted in test_crossing too,
+    here pinned against the rendered artefact."""
+
+    def test_full_trace_shape(self, fig2):
+        result = cross_off(fig2)
+        sizes = [len(step) for step in result.steps]
+        assert sizes == [1, 1, 2, 1, 2, 1, 1, 1, 2, 1, 1, 1]
+
+    def test_step_messages(self, fig2):
+        trace = [
+            sorted(p.message for p in step) for step in cross_off(fig2).steps
+        ]
+        assert trace == [
+            ["XA"],
+            ["XB"],
+            ["XA", "XC"],
+            ["XB"],
+            ["XA", "YC"],
+            ["XC"],
+            ["YB"],
+            ["XB"],
+            ["YA", "YC"],
+            ["XA"],
+            ["YB"],
+            ["YA"],
+        ]
+
+
+class TestE4Fig5Gallery:
+    def test_classifications(self, p1, p2, p3):
+        assert not is_deadlock_free(p1)
+        assert not is_deadlock_free(p2)
+        assert not is_deadlock_free(p3)
+
+    def test_all_deadlock_at_runtime_unbuffered(self, p1, p2, p3, unbuffered):
+        for prog in (p1, p2, p3):
+            result = simulate(prog, config=unbuffered, policy="fcfs")
+            assert result.deadlocked, prog.name
+
+    def test_p1_first_words_blocked(self, p1, unbuffered):
+        # "cell Cl cannot finish writing the first word in A"
+        result = simulate(p1, config=unbuffered, policy="fcfs")
+        assert any("W(A)" in b for b in result.blocked)
+
+
+class TestE5Fig6CycleNotDeadlock:
+    def test_cycle_in_endpoints(self, fig6):
+        senders = {m.sender: m.receiver for m in fig6.messages.values()}
+        # Follow the chain from C1: it must return to C1 (a cycle).
+        node, seen = "C1", []
+        for _ in range(4):
+            node = senders[node]
+            seen.append(node)
+        assert node == "C1"
+
+    def test_yet_deadlock_free_and_completes(self, fig6, unbuffered):
+        assert is_deadlock_free(fig6)
+        assert simulate(fig6, config=unbuffered).completed
+
+
+class TestE6Fig7OrderingDeadlock:
+    def test_paper_labels(self, fig7):
+        assert labels_as_str(label_messages(fig7)) == "A=1 B=3 C=2"
+
+    def test_contrast(self, fig7, unbuffered):
+        assert simulate(fig7, config=unbuffered, policy="fcfs").deadlocked
+        assert simulate(fig7, config=unbuffered, policy="ordered").completed
+
+    @pytest.mark.parametrize("c_len,b_len", [(2, 2), (4, 2), (6, 3), (8, 4)])
+    def test_contrast_across_segment_lengths(self, c_len, b_len, unbuffered):
+        prog = fig7_program(c_len=c_len, b_len=b_len)
+        assert simulate(prog, config=unbuffered, policy="fcfs").deadlocked
+        assert simulate(prog, config=unbuffered, policy="ordered").completed
+
+
+class TestE7E8InterleavedAccess:
+    def test_fig8_needs_two_queues(self, fig8, unbuffered):
+        assert constraint_labeling(fig8).same_label("A", "B")
+        assert simulate(fig8, config=unbuffered, policy="fcfs").deadlocked
+        two = ArrayConfig(queues_per_link=2)
+        assert simulate(fig8, config=two, policy="ordered").completed
+
+    def test_fig9_needs_two_queues(self, fig9, unbuffered):
+        assert constraint_labeling(fig9).same_label("A", "B")
+        assert simulate(fig9, config=unbuffered, policy="fcfs").deadlocked
+        two = ArrayConfig(queues_per_link=2)
+        assert simulate(fig9, config=two, policy="ordered").completed
+
+
+class TestE10Fig10Lookahead:
+    def test_three_pairs_and_runtime(self, p1, buffered2):
+        result = cross_off(p1, lookahead=uniform_lookahead(p1, 2), mode="sequential")
+        assert result.deadlock_free
+        first_three = [(p.message, p.sender_pos) for p in result.crossings[:3]]
+        assert first_three == [("B", 2), ("A", 0), ("B", 4)]
+        run = simulate(p1, config=buffered2, policy="static")
+        assert run.completed
+
+
+class TestAllFiguresValidate:
+    @pytest.mark.parametrize("key", sorted(all_figures()))
+    def test_programs_construct_and_validate(self, key):
+        prog = all_figures()[key]
+        assert prog.total_transfer_ops > 0

@@ -1,0 +1,45 @@
+"""Systolic vs memory-to-memory comparison tests (Fig. 1, Section 1)."""
+
+from repro import ArrayConfig
+from repro.algorithms.figures import fig2_fir, fig2_registers
+from repro.sim.memory_model import compare_models
+
+
+class TestComparison:
+    def test_accesses_per_word_is_four(self, fig2):
+        cmp = compare_models(fig2, registers=fig2_registers())
+        assert cmp.systolic_accesses == 0
+        assert cmp.accesses_per_word(cmp.memory) == 4.0
+
+    def test_memory_model_is_slower(self, fig2):
+        cmp = compare_models(fig2, registers=fig2_registers())
+        assert cmp.speedup > 1.0
+
+    def test_speedup_grows_with_memory_cost(self, fig2):
+        speedups = [
+            compare_models(
+                fig2, memory_access_cycles=cost, registers=fig2_registers()
+            ).speedup
+            for cost in (1, 2, 4)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > speedups[0]
+
+    def test_same_results_under_both_models(self, fig2):
+        cmp = compare_models(fig2, registers=fig2_registers())
+        assert cmp.systolic.received["YA"] == cmp.memory.received["YA"]
+
+    def test_row_fields(self, fig2):
+        row = compare_models(fig2, registers=fig2_registers()).row()
+        assert set(row) >= {
+            "mem_cost",
+            "systolic_cycles",
+            "memory_cycles",
+            "speedup",
+            "mem_accesses_per_word",
+        }
+
+    def test_respects_base_config(self, fig8):
+        base = ArrayConfig(queues_per_link=2)
+        cmp = compare_models(fig8, base_config=base)
+        assert cmp.systolic.completed and cmp.memory.completed

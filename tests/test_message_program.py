@@ -1,0 +1,162 @@
+"""Unit tests for message declarations and program validation."""
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.ops import COMPUTE, R, W
+from repro.core.program import ArrayProgram, CellProgram, ProgramStats
+from repro.errors import ProgramError
+
+
+class TestMessage:
+    def test_valid(self):
+        msg = Message("A", "C1", "C2", 3)
+        assert msg.endpoints == ("C1", "C2")
+        assert "A[3]" in str(msg)
+
+    def test_empty_name(self):
+        with pytest.raises(ProgramError):
+            Message("", "C1", "C2", 1)
+
+    def test_nonpositive_length(self):
+        with pytest.raises(ProgramError):
+            Message("A", "C1", "C2", 0)
+
+    def test_self_loop(self):
+        with pytest.raises(ProgramError):
+            Message("A", "C1", "C1", 1)
+
+    def test_ordering_by_name(self):
+        a = Message("A", "C1", "C2", 1)
+        b = Message("B", "C1", "C2", 1)
+        assert sorted([b, a])[0] is a
+
+
+def _simple() -> ArrayProgram:
+    return ArrayProgram(
+        ("C1", "C2"),
+        [Message("A", "C1", "C2", 2)],
+        {"C1": [W("A"), W("A")], "C2": [R("A"), R("A")]},
+    )
+
+
+class TestArrayProgram:
+    def test_valid_program(self):
+        prog = _simple()
+        assert prog.total_transfer_ops == 4
+        assert prog.total_words == 2
+
+    def test_duplicate_cells(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(("C1", "C1"), [], {})
+
+    def test_duplicate_message(self):
+        msg = Message("A", "C1", "C2", 1)
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2"), [msg, msg], {"C1": [W("A")], "C2": [R("A")]}
+            )
+
+    def test_unknown_sender_cell(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(("C1", "C2"), [Message("A", "CX", "C2", 1)], {})
+
+    def test_unknown_receiver_cell(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(("C1", "C2"), [Message("A", "C1", "CX", 1)], {})
+
+    def test_undeclared_message_use(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(("C1", "C2"), [], {"C1": [W("A")]})
+
+    def test_write_by_non_sender(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2"),
+                [Message("A", "C1", "C2", 1)],
+                {"C2": [W("A"), R("A")]},
+            )
+
+    def test_read_by_non_receiver(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2"),
+                [Message("A", "C1", "C2", 1)],
+                {"C1": [W("A"), R("A")]},
+            )
+
+    def test_write_count_mismatch(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2"),
+                [Message("A", "C1", "C2", 2)],
+                {"C1": [W("A")], "C2": [R("A"), R("A")]},
+            )
+
+    def test_read_count_mismatch(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2"),
+                [Message("A", "C1", "C2", 1)],
+                {"C1": [W("A")], "C2": []},
+            )
+
+    def test_program_for_unknown_cell(self):
+        with pytest.raises(ProgramError):
+            ArrayProgram(("C1", "C2"), [], {"CX": []})
+
+    def test_empty_cell_program_allowed(self):
+        prog = ArrayProgram(
+            ("C1", "C2", "C3"),
+            [Message("A", "C1", "C3", 1)],
+            {"C1": [W("A")], "C3": [R("A")]},
+        )
+        assert len(prog.cell_programs["C2"]) == 0
+
+    def test_compute_ops_skip_validation(self):
+        prog = ArrayProgram(
+            ("C1", "C2"),
+            [Message("A", "C1", "C2", 1)],
+            {
+                "C1": [COMPUTE("x", lambda: 1.0, []), W("A")],
+                "C2": [R("A")],
+            },
+        )
+        assert [str(o) for o in prog.transfers("C1")] == ["W(A)"]
+
+    def test_message_lookup(self):
+        prog = _simple()
+        assert prog.message("A").length == 2
+        with pytest.raises(ProgramError):
+            prog.message("Z")
+
+    def test_messages_touching(self):
+        prog = _simple()
+        assert [m.name for m in prog.messages_touching("C1")] == ["A"]
+
+    def test_repr(self):
+        assert "messages=1" in repr(_simple())
+
+
+class TestCellProgram:
+    def test_access_order(self):
+        prog = CellProgram("C1", (W("A"), W("B"), W("A")))
+        assert prog.message_access_order() == ["A", "B", "A"]
+
+    def test_iteration(self):
+        prog = CellProgram("C1", (W("A"),))
+        assert [str(o) for o in prog] == ["W(A)"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            CellProgram("", ())
+
+
+class TestProgramStats:
+    def test_of(self):
+        stats = ProgramStats.of(_simple())
+        assert stats.cells == 2
+        assert stats.messages == 1
+        assert stats.words == 2
+        assert stats.transfer_ops == 4
+        assert stats.max_ops_per_cell == 2

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+These are the paper's claims stated as universally quantified properties
+and hammered over the random-program family:
+
+* generated programs are always deadlock-free (crossing-off completes);
+* the constraint labeling is always consistent;
+* Theorem 1: deadlock-free + consistent labeling + compatible assignment
+  + assumption (ii) => the simulated run completes;
+* crossing-off classification agrees with unbuffered run-time behaviour
+  (confluence: a deadlocked program deadlocks under every policy);
+* lookahead monotonicity: more buffering never un-classifies a program;
+* parser/printer round-trips preserve transfer sequences.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ArrayConfig,
+    constraint_labeling,
+    cross_off,
+    is_consistent,
+    is_deadlock_free,
+    simulate,
+    uniform_lookahead,
+    verify_theorem1,
+)
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.crossing import LookaheadConfig
+from repro.core.requirements import dynamic_queue_demand, static_queue_demand
+from repro.lang import parse_program, print_program
+from repro.workloads import (
+    WorkloadSpec,
+    hoist_writes,
+    inject_read_cycle,
+    random_program,
+)
+
+specs = st.builds(
+    WorkloadSpec,
+    cells=st.integers(min_value=2, max_value=7),
+    messages=st.integers(min_value=1, max_value=10),
+    max_length=st.integers(min_value=1, max_value=4),
+    max_span=st.integers(min_value=1, max_value=3),
+    burst=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+RELAXED = settings(
+    max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+@given(specs)
+@RELAXED
+def test_generated_programs_are_deadlock_free(spec):
+    assert is_deadlock_free(random_program(spec))
+
+
+@given(specs)
+@RELAXED
+def test_constraint_labeling_always_consistent(spec):
+    prog = random_program(spec)
+    assert is_consistent(prog, constraint_labeling(prog))
+
+
+@given(specs)
+@RELAXED
+def test_theorem1_holds_with_adequate_queues(spec):
+    prog = random_program(spec)
+    labeling = constraint_labeling(prog)
+    router = default_router(ExplicitLinear(tuple(prog.cells)))
+    demand = dynamic_queue_demand(prog, router, labeling)
+    queues = max(demand.values(), default=1)
+    report = verify_theorem1(prog, config=ArrayConfig(queues_per_link=queues))
+    assert report.verified, report.premise_failures
+
+
+@given(specs)
+@RELAXED
+def test_static_assignment_completes_with_full_provisioning(spec):
+    prog = random_program(spec)
+    router = default_router(ExplicitLinear(tuple(prog.cells)))
+    demand = static_queue_demand(prog, router)
+    queues = max(demand.values(), default=1)
+    result = simulate(
+        prog, config=ArrayConfig(queues_per_link=queues), policy="static"
+    )
+    assert result.completed
+
+
+@given(specs)
+@RELAXED
+def test_injected_cycle_deadlocks_everywhere(spec):
+    bad = inject_read_cycle(random_program(spec), seed=spec.seed)
+    assert not is_deadlock_free(bad)
+    assert not is_deadlock_free(bad, uniform_lookahead(bad, math.inf))
+    # Run-time agrees (generous static provisioning removes queue effects).
+    router = default_router(ExplicitLinear(tuple(bad.cells)))
+    demand = static_queue_demand(bad, router)
+    queues = max(demand.values(), default=1)
+    result = simulate(
+        bad, config=ArrayConfig(queues_per_link=queues), policy="static"
+    )
+    assert result.deadlocked
+
+
+@given(specs, st.integers(min_value=1, max_value=6))
+@RELAXED
+def test_lookahead_monotone_in_capacity(spec, cap):
+    prog = hoist_writes(random_program(spec), swaps=3, seed=spec.seed + 1)
+    small = is_deadlock_free(prog, uniform_lookahead(prog, cap))
+    large = is_deadlock_free(prog, uniform_lookahead(prog, cap + 1))
+    assert not small or large  # classification can only grow with buffering
+
+
+@given(specs)
+@RELAXED
+def test_lookahead_never_misclassifies_strictly_free(spec):
+    prog = random_program(spec)
+    assert is_deadlock_free(prog, uniform_lookahead(prog, 4))
+
+
+@given(specs)
+@RELAXED
+def test_crossing_mode_agreement(spec):
+    prog = random_program(spec)
+    par = cross_off(prog, mode="parallel").deadlock_free
+    seq = cross_off(prog, mode="sequential").deadlock_free
+    assert par == seq
+
+
+@given(specs)
+@RELAXED
+def test_crossing_counts_words(spec):
+    prog = random_program(spec)
+    result = cross_off(prog)
+    assert result.pairs_crossed == prog.total_words
+
+
+@given(specs)
+@RELAXED
+def test_print_parse_round_trip(spec):
+    prog = random_program(spec)
+    parsed = parse_program(print_program(prog))
+    assert parsed.messages == prog.messages
+    for cell in prog.cells:
+        assert [str(o) for o in parsed.transfers(cell)] == [
+            str(o) for o in prog.transfers(cell)
+        ]
+
+
+@given(specs)
+@RELAXED
+def test_simulation_is_deterministic(spec):
+    prog = random_program(spec)
+    router = default_router(ExplicitLinear(tuple(prog.cells)))
+    demand = static_queue_demand(prog, router)
+    config = ArrayConfig(queues_per_link=max(demand.values(), default=1))
+    a = simulate(prog, config=config, policy="static")
+    b = simulate(prog, config=config, policy="static")
+    assert a.time == b.time
+    assert a.events == b.events
+
+
+@given(
+    specs,
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+@RELAXED
+def test_buffering_never_hurts_completion(spec, queues, capacity):
+    """If a run completes with capacity c, it completes with c+2 as well."""
+    prog = random_program(spec)
+    base = simulate(
+        prog,
+        config=ArrayConfig(queues_per_link=queues, queue_capacity=capacity),
+        policy="fcfs",
+    )
+    if base.completed:
+        more = simulate(
+            prog,
+            config=ArrayConfig(
+                queues_per_link=queues, queue_capacity=capacity + 2
+            ),
+            policy="fcfs",
+        )
+        assert more.completed

@@ -1,0 +1,166 @@
+"""Queue-assignment policy unit tests (Section 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arch.links import Link
+from repro.arch.queue import HardwareQueue
+from repro.core.labeling import Labeling
+from repro.core.message import Message
+from repro.errors import ConfigError
+from repro.sim.queue_manager import (
+    FCFSPolicy,
+    OrderedPolicy,
+    QueueManager,
+    Request,
+    StaticPolicy,
+    make_policy,
+)
+
+
+class FakeFlow:
+    """Just enough of MessageFlow for the manager: one-hop route."""
+
+    def __init__(self, name: str, length: int, link: Link) -> None:
+        self.message = Message(name, link.src, link.dst, length)
+        self.route = (link,)
+        self.grants: list[HardwareQueue] = []
+
+    def granted(self, hop: int, queue: HardwareQueue) -> None:
+        self.grants.append(queue)
+
+
+LINK = Link("C1", "C2")
+
+
+def manager_with(policy, n_queues: int, competing, labeling=None, capacity=4):
+    mgr = QueueManager(policy, clock=lambda: 0)
+    queues = [HardwareQueue(LINK, i, capacity) for i in range(n_queues)]
+    mgr.add_link(LINK, queues, competing, labeling)
+    return mgr
+
+
+def drain(mgr: QueueManager, flow: FakeFlow) -> None:
+    """Pass all of the flow's words through its granted queue and release."""
+    queue = flow.grants[-1]
+    for i in range(flow.message.length):
+        queue.try_push(f"w{i}", blocked=lambda: None)
+        queue.pop()
+    mgr.release(queue)
+
+
+class TestFCFS:
+    def test_grant_in_arrival_order(self):
+        mgr = manager_with(FCFSPolicy(), 1, ["A", "B"])
+        a = FakeFlow("A", 1, LINK)
+        b = FakeFlow("B", 1, LINK)
+        mgr.request(Request(b, 0))  # B arrives first
+        mgr.request(Request(a, 0))
+        assert b.grants and not a.grants
+        drain(mgr, b)
+        assert a.grants  # A granted on release
+
+    def test_multiple_free_queues(self):
+        mgr = manager_with(FCFSPolicy(), 2, ["A", "B"])
+        a, b = FakeFlow("A", 1, LINK), FakeFlow("B", 1, LINK)
+        mgr.request(Request(a, 0))
+        mgr.request(Request(b, 0))
+        assert a.grants and b.grants
+        assert a.grants[0] is not b.grants[0]
+
+
+class TestOrdered:
+    def labeling(self, **labels: int) -> Labeling:
+        return Labeling({k: Fraction(v) for k, v in labels.items()})
+
+    def test_smaller_label_served_first(self):
+        mgr = manager_with(
+            OrderedPolicy(), 1, ["B", "C"], self.labeling(B=3, C=2)
+        )
+        b, c = FakeFlow("B", 1, LINK), FakeFlow("C", 1, LINK)
+        mgr.request(Request(b, 0))  # B asks first but has the larger label
+        assert not b.grants  # held: C not yet assigned
+        mgr.request(Request(c, 0))
+        assert c.grants and not b.grants
+        drain(mgr, c)
+        assert b.grants
+
+    def test_same_label_group_gets_separate_queues(self):
+        mgr = manager_with(
+            OrderedPolicy(), 2, ["A", "B"], self.labeling(A=1, B=1)
+        )
+        a, b = FakeFlow("A", 1, LINK), FakeFlow("B", 1, LINK)
+        mgr.request(Request(a, 0))
+        mgr.request(Request(b, 0))
+        assert a.grants[0] is not b.grants[0]
+
+    def test_reservation_blocks_later_group(self):
+        # Two queues, head group {A, B} same label, C label 2. Only A has
+        # requested: one queue granted to A, the other reserved for B — C
+        # must not steal it.
+        mgr = manager_with(
+            OrderedPolicy(), 2, ["A", "B", "C"], self.labeling(A=1, B=1, C=2)
+        )
+        a, b, c = (FakeFlow(n, 1, LINK) for n in "ABC")
+        mgr.request(Request(a, 0))
+        mgr.request(Request(c, 0))
+        assert a.grants and not c.grants  # free queue reserved for B
+        mgr.request(Request(b, 0))
+        assert b.grants
+        assert not c.grants  # both queues busy with the head group
+        drain(mgr, a)
+        assert c.grants  # head group complete and a queue freed
+
+    def test_strict_rejects_oversized_group(self):
+        with pytest.raises(ConfigError):
+            manager_with(
+                OrderedPolicy(strict=True),
+                1,
+                ["A", "B"],
+                self.labeling(A=1, B=1),
+            )
+
+    def test_lenient_allows_oversized_group(self):
+        mgr = manager_with(
+            OrderedPolicy(strict=False), 1, ["A", "B"], self.labeling(A=1, B=1)
+        )
+        a = FakeFlow("A", 1, LINK)
+        mgr.request(Request(a, 0))
+        assert a.grants  # it will simply never finish the group
+
+    def test_requires_labeling(self):
+        with pytest.raises(ConfigError):
+            manager_with(OrderedPolicy(), 1, ["A"], None)
+
+
+class TestStatic:
+    def test_prereserved_grant(self):
+        mgr = manager_with(StaticPolicy(), 2, ["A", "B"])
+        a, b = FakeFlow("A", 1, LINK), FakeFlow("B", 1, LINK)
+        mgr.request(Request(b, 0))
+        mgr.request(Request(a, 0))
+        assert a.grants[0].index == 0  # deterministic by sorted name
+        assert b.grants[0].index == 1
+
+    def test_insufficient_queues_rejected(self):
+        with pytest.raises(ConfigError):
+            manager_with(StaticPolicy(), 1, ["A", "B"])
+
+
+class TestManager:
+    def test_trace_records_grant_and_release(self):
+        mgr = manager_with(FCFSPolicy(), 1, ["A"])
+        a = FakeFlow("A", 1, LINK)
+        mgr.request(Request(a, 0))
+        drain(mgr, a)
+        kinds = [event.kind for event in mgr.trace]
+        assert kinds == ["grant", "release"]
+        assert mgr.trace[0].message == "A"
+
+    def test_make_policy_names(self):
+        assert make_policy("fcfs").name == "fcfs"
+        assert make_policy("ordered").name == "ordered"
+        assert make_policy("static").name == "static"
+        with pytest.raises(ConfigError):
+            make_policy("bogus")

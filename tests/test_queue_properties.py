@@ -1,0 +1,74 @@
+"""Stateful property tests for the hardware queue (hypothesis)."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.arch.links import Link
+from repro.arch.queue import HardwareQueue
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """FIFO order, conservation, and park/resume discipline under any
+    interleaving of pushes and pops."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.capacity = 2
+        self.queue = HardwareQueue(Link("C1", "C2"), 0, self.capacity)
+        self.queue.assign("A", expected_words=10_000)
+        self.model: list[int] = []  # words accepted (buffered) so far
+        self.parked: int | None = None
+        self.next_word = 0
+        self.resumed: list[int] = []
+
+    @rule()
+    def push(self) -> None:
+        if self.parked is not None:
+            return  # single sequential writer: cannot push while parked
+        word = self.next_word
+        self.next_word += 1
+        accepted = self.queue.try_push(
+            word, blocked=lambda w=word: self.resumed.append(w)
+        )
+        if accepted:
+            self.model.append(word)
+        else:
+            self.parked = word
+
+    @precondition(lambda self: self.model or self.parked is not None)
+    @rule()
+    def pop(self) -> None:
+        expected = self.model[0] if self.model else self.parked
+        word, penalty = self.queue.pop()
+        assert word == expected
+        assert penalty == 0  # no extension in this machine
+        if self.model:
+            self.model.pop(0)
+            if self.parked is not None:
+                # The parked word slides into the freed slot and resumes.
+                assert self.resumed and self.resumed[-1] == self.parked
+                self.model.append(self.parked)
+                self.parked = None
+        else:
+            # Direct handoff of the parked word.
+            assert self.resumed and self.resumed[-1] == self.parked
+            self.parked = None
+
+    @invariant()
+    def occupancy_within_capacity(self) -> None:
+        assert self.queue.occupancy <= self.capacity
+        assert self.queue.occupancy == len(self.model)
+
+    @invariant()
+    def has_word_agrees_with_model(self) -> None:
+        assert self.queue.has_word == (bool(self.model) or self.parked is not None)
+
+
+TestQueueMachine = QueueMachine.TestCase
+TestQueueMachine.settings = settings(max_examples=50, stateful_step_count=60)

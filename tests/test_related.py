@@ -1,0 +1,100 @@
+"""Tests for the related-messages relation (Section 6)."""
+
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.core.related import (
+    UnionFind,
+    are_related,
+    interleaved_pairs,
+    related_groups,
+    related_map,
+)
+
+
+def _three_cell(reads_c3):
+    return ArrayProgram(
+        ("C1", "C2", "C3"),
+        [
+            Message("A", "C2", "C3", sum(1 for m in reads_c3 if m == "A")),
+            Message("B", "C1", "C3", sum(1 for m in reads_c3 if m == "B")),
+        ],
+        {
+            "C1": [W("B") for m in reads_c3 if m == "B"],
+            "C2": [W("A") for m in reads_c3 if m == "A"],
+            "C3": [R(m) for m in reads_c3],
+        },
+    )
+
+
+class TestInterleaving:
+    def test_fig8_reads_related(self, fig8):
+        assert are_related(fig8, "A", "B")
+
+    def test_fig9_writes_related(self, fig9):
+        assert are_related(fig9, "A", "B")
+
+    def test_contiguous_blocks_unrelated(self):
+        prog = _three_cell(["A", "A", "B", "B"])
+        assert not are_related(prog, "A", "B")
+
+    def test_single_interleave_is_enough(self):
+        prog = _three_cell(["A", "B", "A"])
+        assert are_related(prog, "A", "B")
+
+    def test_fig7_all_singletons(self, fig7):
+        groups = related_groups(fig7)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_fig2_all_one_group(self, fig2):
+        # Every cell of the FIR pipeline interleaves its streams, so all
+        # six messages collapse into a single related class.
+        groups = related_groups(fig2)
+        assert len(groups) == 1
+        assert len(groups[0]) == 6
+
+
+class TestTransitivity:
+    def test_chain_through_middle_message(self):
+        # C3 interleaves A with B; C3 interleaves B with C (in separate
+        # spans) -> A related to C transitively.
+        prog = ArrayProgram(
+            ("C1", "C2", "C3"),
+            [
+                Message("A", "C1", "C3", 2),
+                Message("B", "C2", "C3", 3),
+                Message("C", "C1", "C3", 2),
+            ],
+            {
+                "C1": [W("A"), W("A"), W("C"), W("C")],
+                "C2": [W("B"), W("B"), W("B")],
+                "C3": [R("A"), R("B"), R("A"), R("B"), R("C"), R("B"), R("C")],
+            },
+        )
+        assert are_related(prog, "A", "C")
+
+    def test_related_map_covers_all_messages(self, fig7):
+        mapping = related_map(fig7)
+        assert set(mapping) == {"A", "B", "C"}
+
+
+class TestInterleavedPairs:
+    def test_pairs_are_canonical_order(self, fig8):
+        pairs = interleaved_pairs(fig8)
+        assert pairs == {("A", "B")}
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.find("a") == uf.find("c")
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.union("a", "b")
+        groups = {frozenset(g) for g in uf.groups()}
+        assert frozenset({"a", "b"}) in groups
+        assert frozenset({"x"}) in groups

@@ -1,0 +1,136 @@
+"""Queue-requirement analysis tests (Sections 2.3, 7, 8)."""
+
+import pytest
+
+from repro.arch.config import ArrayConfig
+from repro.arch.links import Link
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.labeling import constraint_labeling, trivial_labeling
+from repro.core.requirements import (
+    check_assumption_ii,
+    check_static_feasible,
+    competing_messages,
+    dynamic_queue_demand,
+    extension_demand,
+    message_routes,
+    require_assumption_ii,
+    static_queue_demand,
+)
+from repro.errors import ConfigError
+
+
+def router_for(program):
+    return default_router(ExplicitLinear(tuple(program.cells)))
+
+
+class TestRoutesAndCompeting:
+    def test_fig7_routes(self, fig7):
+        routes = message_routes(fig7, router_for(fig7))
+        assert len(routes["C"]) == 3  # C1 -> C4 crosses three intervals
+        assert len(routes["A"]) == 1
+        assert len(routes["B"]) == 1
+
+    def test_fig7_competition(self, fig7):
+        competing = competing_messages(fig7, router_for(fig7))
+        assert competing[Link("C2", "C3")] == ["A", "C"]
+        assert competing[Link("C3", "C4")] == ["B", "C"]
+        assert competing[Link("C1", "C2")] == ["C"]
+
+    def test_fig9_competition_on_first_interval(self, fig9):
+        competing = competing_messages(fig9, router_for(fig9))
+        assert competing[Link("C1", "C2")] == ["A", "B"]
+
+
+class TestStaticDemand:
+    def test_fig7_needs_two_on_shared_links(self, fig7):
+        demand = static_queue_demand(fig7, router_for(fig7))
+        assert demand[Link("C2", "C3")] == 2
+        assert demand[Link("C1", "C2")] == 1
+
+    def test_static_feasibility_check(self, fig8):
+        router = router_for(fig8)
+        shortfalls = check_static_feasible(fig8, router, ArrayConfig())
+        assert len(shortfalls) == 1
+        assert shortfalls[0].link == Link("C2", "C3")
+        assert shortfalls[0].demand == 2
+        assert "needs 2" in str(shortfalls[0])
+
+    def test_static_feasible_with_enough_queues(self, fig8):
+        router = router_for(fig8)
+        config = ArrayConfig(queues_per_link=2)
+        assert check_static_feasible(fig8, router, config) == []
+
+
+class TestDynamicDemand:
+    def test_fig7_distinct_labels_need_one_queue(self, fig7):
+        router = router_for(fig7)
+        labeling = constraint_labeling(fig7)
+        demand = dynamic_queue_demand(fig7, router, labeling)
+        assert max(demand.values()) == 1  # ordered sharing suffices
+
+    def test_fig8_same_label_group_needs_two(self, fig8):
+        router = router_for(fig8)
+        labeling = constraint_labeling(fig8)
+        demand = dynamic_queue_demand(fig8, router, labeling)
+        assert demand[Link("C2", "C3")] == 2
+
+    def test_trivial_labeling_maximizes_demand(self, fig7):
+        router = router_for(fig7)
+        demand = dynamic_queue_demand(fig7, router, trivial_labeling(fig7))
+        assert demand[Link("C3", "C4")] == 2  # B and C now share one label
+
+
+class TestAssumptionII:
+    def test_fig8_violation_reported(self, fig8):
+        router = router_for(fig8)
+        labeling = constraint_labeling(fig8)
+        shortfalls = check_assumption_ii(fig8, router, labeling, ArrayConfig())
+        assert len(shortfalls) == 1
+        assert shortfalls[0].messages == ("A", "B")
+
+    def test_fig8_satisfied_with_two_queues(self, fig8):
+        router = router_for(fig8)
+        labeling = constraint_labeling(fig8)
+        config = ArrayConfig(queues_per_link=2)
+        assert check_assumption_ii(fig8, router, labeling, config) == []
+
+    def test_require_raises(self, fig8):
+        router = router_for(fig8)
+        labeling = constraint_labeling(fig8)
+        with pytest.raises(ConfigError):
+            require_assumption_ii(fig8, router, labeling, ArrayConfig())
+
+    def test_per_link_override_fixes_single_link(self, fig8):
+        router = router_for(fig8)
+        labeling = constraint_labeling(fig8)
+        config = ArrayConfig(
+            link_queue_overrides={Link("C2", "C3"): 2}
+        )
+        assert check_assumption_ii(fig8, router, labeling, config) == []
+
+
+class TestExtensionDemand:
+    def test_p1_demand_exceeds_latch(self, p1):
+        router = router_for(p1)
+        demand = extension_demand(p1, router, ArrayConfig(queue_capacity=0))
+        assert demand["A"].skipped_writes == 2
+        assert demand["A"].needs_extension
+        assert demand["A"].excess_words == 2
+
+    def test_p1_satisfied_by_capacity_two(self, p1):
+        router = router_for(p1)
+        demand = extension_demand(p1, router, ArrayConfig(queue_capacity=2))
+        assert not demand["A"].needs_extension
+        assert demand["A"].excess_words == 0
+
+    def test_straightline_program_needs_nothing(self, fig6):
+        router = router_for(fig6)
+        demand = extension_demand(fig6, router, ArrayConfig(queue_capacity=0))
+        assert all(not d.needs_extension for d in demand.values())
+
+    def test_multi_hop_capacity_scales_with_route(self, fig7):
+        # C crosses 3 links: physical capacity is 3 * queue_capacity.
+        router = router_for(fig7)
+        demand = extension_demand(fig7, router, ArrayConfig(queue_capacity=2))
+        assert demand["C"].physical_capacity == 6

@@ -1,0 +1,49 @@
+"""Schedule analysis tests."""
+
+import pytest
+
+from repro import simulate
+from repro.algorithms.figures import fig2_registers
+from repro.core.schedule import analyze_schedule, schedule_row
+from repro.errors import DeadlockedProgramError
+
+
+class TestAnalyzeSchedule:
+    def test_fig2_rounds_match_fig4(self, fig2):
+        analysis = analyze_schedule(fig2)
+        assert analysis.transfer_rounds == 12
+        assert analysis.total_pairs == 15
+        assert analysis.max_parallelism == 2
+        assert analysis.mean_parallelism == pytest.approx(15 / 12)
+
+    def test_busiest_cell_is_c1(self, fig2):
+        analysis = analyze_schedule(fig2)
+        assert analysis.busiest_cell == "C1"
+        assert analysis.busiest_cell_ops == 11
+        assert analysis.cycle_lower_bound == 11
+
+    def test_deadlocked_program_rejected(self, p1):
+        with pytest.raises(DeadlockedProgramError):
+            analyze_schedule(p1)
+
+    def test_efficiency_bounds(self, fig2):
+        analysis = analyze_schedule(fig2)
+        result = simulate(fig2, registers=fig2_registers())
+        eff = analysis.efficiency_against(result.time)
+        assert 0 < eff <= 1.0  # the bound is a true lower bound
+
+    def test_lower_bound_is_sound(self, fig6, fig7):
+        for prog in (fig6, fig7):
+            analysis = analyze_schedule(prog)
+            result = simulate(prog)
+            assert result.time >= analysis.cycle_lower_bound
+
+
+class TestScheduleRow:
+    def test_row_fields(self, fig2):
+        result = simulate(fig2, registers=fig2_registers())
+        row = schedule_row(fig2, result.time)
+        assert row["rounds"] == 12
+        assert row["pairs"] == 15
+        assert row["makespan"] == result.time
+        assert 0 < row["efficiency"] <= 1.0

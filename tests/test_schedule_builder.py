@@ -1,0 +1,79 @@
+"""Section 3.3 schedule-to-program builder tests."""
+
+import pytest
+
+from repro import constraint_labeling, is_deadlock_free, simulate
+from repro.arch.config import ArrayConfig
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.message import Message
+from repro.core.requirements import dynamic_queue_demand
+from repro.errors import ProgramError
+from repro.workloads import (
+    program_from_schedule,
+    round_robin_schedule,
+    sequential_schedule,
+)
+
+CELLS = ("C1", "C2", "C3")
+MESSAGES = [
+    Message("A", "C1", "C2", 2),
+    Message("B", "C2", "C3", 3),
+    Message("C", "C3", "C1", 1),
+]
+
+
+class TestProgramFromSchedule:
+    def test_any_valid_schedule_is_deadlock_free(self):
+        schedule = ["A", "B", "A", "B", "C", "B"]
+        prog = program_from_schedule(CELLS, MESSAGES, schedule)
+        assert is_deadlock_free(prog)
+
+    def test_runs_to_completion(self):
+        schedule = ["B", "B", "A", "C", "A", "B"]
+        prog = program_from_schedule(CELLS, MESSAGES, schedule)
+        router = default_router(ExplicitLinear(CELLS))
+        labeling = constraint_labeling(prog)
+        queues = max(dynamic_queue_demand(prog, router, labeling).values())
+        result = simulate(prog, config=ArrayConfig(queues_per_link=queues))
+        assert result.completed
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ProgramError):
+            program_from_schedule(CELLS, MESSAGES, ["A", "B", "C"])
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(ProgramError):
+            program_from_schedule(CELLS, MESSAGES, ["Z"] * 6)
+
+    def test_op_order_follows_schedule(self):
+        schedule = ["B", "A", "B", "A", "B", "C"]
+        prog = program_from_schedule(CELLS, MESSAGES, schedule)
+        assert [str(o) for o in prog.transfers("C2")] == [
+            "W(B)", "R(A)", "W(B)", "R(A)", "W(B)",
+        ]
+
+
+class TestCannedSchedules:
+    def test_round_robin_interleaves(self):
+        schedule = round_robin_schedule(MESSAGES)
+        assert schedule == ["A", "B", "C", "A", "B", "B"]
+        prog = program_from_schedule(CELLS, MESSAGES, schedule)
+        assert is_deadlock_free(prog)
+
+    def test_sequential_never_relates(self):
+        from repro.core.related import related_groups
+
+        schedule = sequential_schedule(MESSAGES)
+        assert schedule == ["A", "A", "B", "B", "B", "C"]
+        prog = program_from_schedule(CELLS, MESSAGES, schedule)
+        assert all(len(g) == 1 for g in related_groups(prog))
+
+    def test_round_robin_relates_coaccessed(self):
+        from repro.core.related import are_related
+
+        prog = program_from_schedule(
+            CELLS, MESSAGES, round_robin_schedule(MESSAGES)
+        )
+        # C2 interleaves W(B) with R(A): related.
+        assert are_related(prog, "A", "B")

@@ -1,0 +1,59 @@
+"""Theorem 1 harness tests (Section 5)."""
+
+from repro import ArrayConfig, verify_theorem1
+
+
+class TestPremiseChecks:
+    def test_fig7_verified(self, fig7):
+        report = verify_theorem1(fig7)
+        assert report.premises_hold
+        assert report.conclusion_holds
+        assert report.verified
+        assert report.premise_failures == []
+
+    def test_premise_i_failure(self, p1):
+        report = verify_theorem1(p1)
+        assert not report.deadlock_free
+        assert not report.verified
+        assert "premise (i)" in report.premise_failures[0]
+        assert report.result is None
+
+    def test_premise_ii_queue_shortfall(self, fig8):
+        report = verify_theorem1(fig8)  # one queue per link
+        assert report.deadlock_free
+        assert not report.assumption_ii_ok
+        assert any("queue shortfall" in f for f in report.premise_failures)
+        assert report.result is None
+
+    def test_fig8_verified_with_two_queues(self, fig8):
+        report = verify_theorem1(fig8, config=ArrayConfig(queues_per_link=2))
+        assert report.verified
+
+    def test_buffering_rescues_p1(self, p1, buffered2):
+        # With capacity-2 queues, lookahead reclassifies P1 deadlock-free
+        # and the labeled, ordered run completes (Section 8 end to end).
+        report = verify_theorem1(p1, config=buffered2)
+        assert report.deadlock_free
+        assert report.verified
+
+    def test_p3_never_verifiable(self, p3):
+        config = ArrayConfig(queues_per_link=8, queue_capacity=64)
+        report = verify_theorem1(p3, config=config)
+        assert not report.deadlock_free
+
+    def test_paper_scheme_variant(self, fig7):
+        report = verify_theorem1(fig7, scheme="paper")
+        assert report.verified
+        norm = report.labeling.normalized()
+        assert norm == {"A": 1, "C": 2, "B": 3}
+
+
+class TestAcrossFigures:
+    def test_every_deadlock_free_figure_verifies(self, fig2, fig6, fig7):
+        for prog in (fig2, fig6, fig7):
+            report = verify_theorem1(prog)
+            assert report.verified, prog.name
+
+    def test_fig9_with_two_queues(self, fig9):
+        report = verify_theorem1(fig9, config=ArrayConfig(queues_per_link=2))
+        assert report.verified

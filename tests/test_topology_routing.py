@@ -1,0 +1,183 @@
+"""Unit tests for topologies and routers."""
+
+import pytest
+
+from repro.arch.links import Link, route_cells
+from repro.arch.routing import (
+    LinearRouter,
+    RingRouter,
+    XYRouter,
+    default_router,
+)
+from repro.arch.topology import (
+    ExplicitLinear,
+    LinearArray,
+    Mesh2D,
+    RingArray,
+    Torus2D,
+    topology_for_cells,
+)
+from repro.errors import TopologyError
+
+
+class TestLink:
+    def test_interval_and_reverse(self):
+        link = Link("C1", "C2")
+        assert link.interval == frozenset({"C1", "C2"})
+        assert link.reverse == Link("C2", "C1")
+        assert str(link) == "C1->C2"
+
+    def test_route_cells(self):
+        route = (Link("A", "B"), Link("B", "C"))
+        assert route_cells(route) == ["A", "B", "C"]
+
+    def test_route_cells_discontiguous(self):
+        with pytest.raises(ValueError):
+            route_cells((Link("A", "B"), Link("C", "D")))
+
+    def test_route_cells_empty(self):
+        assert route_cells(()) == []
+
+
+class TestLinearArray:
+    def test_names_with_host(self):
+        topo = LinearArray(3, with_host=True)
+        assert topo.cells == ("HOST", "C1", "C2", "C3")
+
+    def test_names_without_host(self):
+        assert LinearArray(2).cells == ("C1", "C2")
+
+    def test_neighbors(self):
+        topo = LinearArray(3)
+        assert topo.neighbors("C1") == ("C2",)
+        assert topo.neighbors("C2") == ("C1", "C3")
+
+    def test_unknown_cell(self):
+        with pytest.raises(TopologyError):
+            LinearArray(2).neighbors("CX")
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            LinearArray(0)
+
+    def test_intervals(self):
+        assert len(LinearArray(4).intervals()) == 3
+
+    def test_links_both_directions(self):
+        links = LinearArray(2).links()
+        assert Link("C1", "C2") in links
+        assert Link("C2", "C1") in links
+
+
+class TestRing:
+    def test_wraparound_neighbors(self):
+        topo = RingArray(4)
+        assert set(topo.neighbors("C1")) == {"C4", "C2"}
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            RingArray(2)
+
+
+class TestMesh:
+    def test_coords(self):
+        mesh = Mesh2D(2, 3)
+        assert mesh.cell_at(1, 2) == "P1_2"
+        assert mesh.coord_of("P0_1") == (0, 1)
+
+    def test_corner_neighbors(self):
+        mesh = Mesh2D(2, 2)
+        assert set(mesh.neighbors("P0_0")) == {"P1_0", "P0_1"}
+
+    def test_interior_neighbors(self):
+        mesh = Mesh2D(3, 3)
+        assert len(mesh.neighbors("P1_1")) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Mesh2D(2, 2).cell_at(5, 0)
+
+    def test_torus_wraparound(self):
+        torus = Torus2D(3, 3)
+        assert "P2_0" in torus.neighbors("P0_0")
+        assert "P0_2" in torus.neighbors("P0_0")
+
+    def test_torus_minimum(self):
+        with pytest.raises(TopologyError):
+            Torus2D(2, 3)
+
+
+class TestExplicitLinear:
+    def test_order_preserved(self):
+        topo = topology_for_cells(["HOST", "A", "B"])
+        assert topo.cells == ("HOST", "A", "B")
+        assert topo.neighbors("A") == ("HOST", "B")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(TopologyError):
+            ExplicitLinear(("A", "A"))
+
+
+class TestLinearRouter:
+    def test_forward_route(self):
+        topo = LinearArray(4)
+        router = LinearRouter(topo)
+        route = router.route("C1", "C3")
+        assert route == (Link("C1", "C2"), Link("C2", "C3"))
+
+    def test_backward_route(self):
+        router = LinearRouter(LinearArray(4))
+        assert router.route("C3", "C1") == (Link("C3", "C2"), Link("C2", "C1"))
+
+    def test_self_route_empty(self):
+        assert LinearRouter(LinearArray(2)).route("C1", "C1") == ()
+
+    def test_requires_linear(self):
+        with pytest.raises(TopologyError):
+            LinearRouter(Mesh2D(2, 2))
+
+
+class TestRingRouter:
+    def test_shortest_way(self):
+        router = RingRouter(RingArray(5))
+        assert len(router.route("C1", "C2")) == 1
+        assert len(router.route("C1", "C5")) == 1  # wraps backward
+
+    def test_tie_goes_clockwise(self):
+        router = RingRouter(RingArray(4))
+        route = router.route("C1", "C3")
+        assert route[0] == Link("C1", "C2")
+
+    def test_requires_ring(self):
+        with pytest.raises(TopologyError):
+            RingRouter(LinearArray(3))  # type: ignore[arg-type]
+
+
+class TestXYRouter:
+    def test_column_then_row(self):
+        mesh = Mesh2D(3, 3)
+        router = XYRouter(mesh)
+        route = router.route("P0_0", "P2_2")
+        cells = route_cells(route)
+        assert cells == ["P0_0", "P0_1", "P0_2", "P1_2", "P2_2"]
+
+    def test_same_row(self):
+        router = XYRouter(Mesh2D(2, 3))
+        assert len(router.route("P1_0", "P1_2")) == 2
+
+    def test_torus_wraps(self):
+        router = XYRouter(Torus2D(4, 4))
+        route = router.route("P0_0", "P0_3")
+        assert len(route) == 1  # wraparound is shorter
+
+    def test_requires_mesh(self):
+        with pytest.raises(TopologyError):
+            XYRouter(LinearArray(3))  # type: ignore[arg-type]
+
+
+class TestDefaultRouter:
+    def test_picks_by_type(self):
+        assert isinstance(default_router(LinearArray(2)), LinearRouter)
+        assert isinstance(default_router(RingArray(3)), RingRouter)
+        assert isinstance(default_router(Mesh2D(2, 2)), XYRouter)
+        assert isinstance(default_router(Torus2D(3, 3)), XYRouter)

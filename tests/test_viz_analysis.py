@@ -1,0 +1,98 @@
+"""Visualisation and analysis helper tests."""
+
+from repro import ArrayConfig, constraint_labeling, cross_off, simulate
+from repro.analysis import contention_row, format_table
+from repro.analysis.stats import ContentionStats, LabelStats
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.crossing import uniform_lookahead
+from repro.viz import (
+    render_annotated,
+    render_assignments,
+    render_linear,
+    render_outcome,
+    render_routes,
+    render_steps,
+)
+
+
+class TestCrossingView:
+    def test_render_steps_fig4(self, fig2):
+        text = render_steps(cross_off(fig2))
+        lines = [l for l in text.splitlines() if l.startswith("Step")]
+        assert len(lines) == 12
+        assert "W(XA)@HOST & R(XA)@C1" in lines[0]
+
+    def test_render_steps_deadlocked(self, p1):
+        text = render_steps(cross_off(p1))
+        assert "STUCK" in text
+
+    def test_render_annotated_tags(self, p1):
+        result = cross_off(p1, lookahead=uniform_lookahead(p1, 2), mode="sequential")
+        text = render_annotated(p1, result)
+        assert "W(B) [1]" in text  # the lookahead pair crossed first
+        assert "[--]" not in text  # everything crossed
+
+    def test_render_annotated_marks_uncrossed(self, p3):
+        text = render_annotated(p3, cross_off(p3))
+        assert text.count("[--]") == 4
+
+
+class TestTimeline:
+    def test_assignments_rendering(self, fig7):
+        result = simulate(fig7, policy="ordered")
+        text = render_assignments(result.assignment_trace)
+        assert "C3->C4:" in text
+        assert "grant" in text and "release" in text
+
+    def test_empty_trace(self):
+        assert "no assignments" in render_assignments([])
+
+    def test_outcome_completed(self, fig6):
+        assert "completed" in render_outcome(simulate(fig6))
+
+    def test_outcome_deadlock_detail(self, fig7):
+        text = render_outcome(simulate(fig7, policy="fcfs"))
+        assert "DEADLOCK" in text
+        assert "blocked:" in text
+
+
+class TestArrayView:
+    def test_linear_listing(self, fig7):
+        text = render_linear(fig7)
+        assert "C1  <->  C2  <->  C3  <->  C4" in text
+        assert "C1 -> C4" in text
+
+    def test_routes_listing(self, fig7):
+        router = default_router(ExplicitLinear(tuple(fig7.cells)))
+        text = render_routes(fig7, router)
+        assert "C1->C2 C2->C3 C3->C4" in text
+
+
+class TestAnalysis:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "a" in text and "0.125" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_label_stats(self, fig8):
+        stats = LabelStats.of(constraint_labeling(fig8))
+        assert stats.classes == 1
+        assert stats.largest_class == 2
+
+    def test_contention_stats(self, fig7):
+        router = default_router(ExplicitLinear(tuple(fig7.cells)))
+        stats = ContentionStats.of(fig7, router, constraint_labeling(fig7))
+        assert stats.max_competing == 2
+        assert stats.static_queue_max == 2
+        assert stats.dynamic_queue_max == 1
+
+    def test_contention_row_keys(self, fig7):
+        router = default_router(ExplicitLinear(tuple(fig7.cells)))
+        row = contention_row(fig7, router, constraint_labeling(fig7))
+        assert row["program"] == "fig7"
+        assert row["messages"] == 3

@@ -1,0 +1,112 @@
+"""Random workload generator tests."""
+
+import pytest
+
+from repro import is_deadlock_free, uniform_lookahead
+from repro.core.crossing import cross_off
+from repro.errors import ProgramError
+from repro.workloads import (
+    WorkloadSpec,
+    hoist_writes,
+    inject_read_cycle,
+    random_program,
+    spec_family,
+)
+
+
+class TestRandomProgram:
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec(seed=7)
+        a, b = random_program(spec), random_program(spec)
+        assert a.messages == b.messages
+        for cell in a.cells:
+            assert [str(o) for o in a.transfers(cell)] == [
+                str(o) for o in b.transfers(cell)
+            ]
+
+    def test_different_seeds_differ(self):
+        a = random_program(WorkloadSpec(seed=0))
+        b = random_program(WorkloadSpec(seed=1))
+        assert a.messages != b.messages or any(
+            [str(o) for o in a.transfers(c)] != [str(o) for o in b.transfers(c)]
+            for c in a.cells
+        )
+
+    def test_always_deadlock_free(self):
+        for seed in range(50):
+            prog = random_program(WorkloadSpec(seed=seed))
+            assert is_deadlock_free(prog), seed
+
+    def test_respects_message_count(self):
+        prog = random_program(WorkloadSpec(messages=12, seed=3))
+        assert len(prog.messages) == 12
+
+    def test_respects_max_length(self):
+        prog = random_program(WorkloadSpec(max_length=2, seed=4))
+        assert all(m.length <= 2 for m in prog.messages.values())
+
+    def test_respects_max_span(self):
+        prog = random_program(WorkloadSpec(max_span=1, seed=5, cells=8))
+        index = {c: i for i, c in enumerate(prog.cells)}
+        for msg in prog.messages.values():
+            assert abs(index[msg.sender] - index[msg.receiver]) == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(cells=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(messages=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(burst=0)
+
+
+class TestHoistWrites:
+    def test_lookahead_rescues_hoisted(self):
+        for seed in range(10):
+            base = random_program(WorkloadSpec(seed=seed))
+            hoisted = hoist_writes(base, swaps=4, seed=seed)
+            assert is_deadlock_free(hoisted, uniform_lookahead(hoisted, 8)), seed
+
+    def test_some_hoists_break_strict_classification(self):
+        broke = 0
+        for seed in range(20):
+            base = random_program(WorkloadSpec(seed=seed, burst=1))
+            hoisted = hoist_writes(base, swaps=6, seed=seed + 100)
+            if not is_deadlock_free(hoisted):
+                broke += 1
+        assert broke > 0  # the mutation does real damage sometimes
+
+    def test_original_untouched(self):
+        base = random_program(WorkloadSpec(seed=2))
+        before = [str(o) for o in base.transfers(base.cells[0])]
+        hoist_writes(base, swaps=5, seed=0)
+        assert [str(o) for o in base.transfers(base.cells[0])] == before
+
+
+class TestInjectReadCycle:
+    def test_always_deadlocked(self):
+        for seed in range(10):
+            base = random_program(WorkloadSpec(seed=seed))
+            bad = inject_read_cycle(base, seed=seed)
+            assert not is_deadlock_free(bad)
+            assert not is_deadlock_free(bad, uniform_lookahead(bad, 10_000))
+
+    def test_uncrossed_ops_include_injection(self):
+        bad = inject_read_cycle(random_program(WorkloadSpec(seed=1)), seed=0)
+        result = cross_off(bad)
+        remaining = {
+            op.message for ops in result.uncrossed.values() for op in ops
+        }
+        assert {"DLK_F", "DLK_B"} <= remaining
+
+    def test_double_injection_rejected(self):
+        bad = inject_read_cycle(random_program(WorkloadSpec(seed=1)))
+        with pytest.raises(ProgramError):
+            inject_read_cycle(bad)
+
+
+class TestSpecFamily:
+    def test_seeds_increment(self):
+        family = spec_family(5, base_seed=10)
+        assert [s.seed for s in family] == [10, 11, 12, 13, 14]
+        assert all(s.cells == family[0].cells for s in family)
