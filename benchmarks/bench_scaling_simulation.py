@@ -2,8 +2,12 @@
 
 Expected shape: events processed scale with array size and word count;
 the pipelined workloads keep cells busy (utilisation well above zero);
-runs remain deterministic at every size.
+runs remain deterministic at every size. The largest size of each family
+also records wall time / events/sec / words/sec into ``BENCH_core.json``
+(via ``core_metrics``) so the perf trajectory accumulates.
 """
+
+import time
 
 import pytest
 
@@ -15,40 +19,77 @@ from repro.algorithms.oddeven import oddeven_program, oddeven_registers
 from repro.algorithms.seqcompare import encode, lcs_program_for, lcs_registers
 
 
+def _best_seconds(benchmark, run):
+    """Best measured wall time for one call of ``run``.
+
+    Uses pytest-benchmark's calibrated minimum when timing ran; under
+    --benchmark-disable falls back to a single direct sample.
+    """
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        try:
+            return stats.stats.min
+        except AttributeError:
+            pass
+    t0 = time.perf_counter()
+    run()
+    return time.perf_counter() - t0
+
+
 @pytest.mark.parametrize("cells", [4, 8, 16, 32])
-def test_fir_pipeline_scaling(benchmark, cells):
+def test_fir_pipeline_scaling(benchmark, core_metrics, cells):
     outputs = 2 * cells
     prog = fir_program(cells, outputs)
     ws = tuple(1.0 for _ in range(cells))
-    result = benchmark(lambda: simulate(prog, registers=fir_registers(ws)))
+    run = lambda: simulate(prog, registers=fir_registers(ws))
+    result = benchmark(run)
     assert result.completed
     assert result.utilization("cell:C1") > 0.2
+    if cells == 32:
+        core_metrics(
+            "sim_fir_32x64",
+            events=result.events,
+            seconds=_best_seconds(benchmark, run),
+            words=result.words_transferred,
+        )
 
 
 @pytest.mark.parametrize("n", [8, 16, 32, 64])
-def test_sort_scaling(benchmark, n):
+def test_sort_scaling(benchmark, core_metrics, n):
     keys = [float((i * 37) % n) for i in range(n)]
     prog = oddeven_program(n)
-    result = benchmark(
-        lambda: simulate(prog, registers=oddeven_registers(keys))
-    )
+    run = lambda: simulate(prog, registers=oddeven_registers(keys))
+    result = benchmark(run)
     assert result.completed
+    if n == 64:
+        core_metrics(
+            "sim_oddeven_64",
+            events=result.events,
+            seconds=_best_seconds(benchmark, run),
+            words=result.words_transferred,
+        )
 
 
 @pytest.mark.parametrize("m,n", [(4, 4), (8, 8), (16, 8)])
-def test_matvec_scaling(benchmark, m, n):
+def test_matvec_scaling(benchmark, core_metrics, m, n):
     a = [[float((i + j) % 3) for j in range(n)] for i in range(m)]
     x = [1.0] * n
     prog = matvec_program(a)
     config = ArrayConfig(queues_per_link=2)
-    result = benchmark(
-        lambda: simulate(prog, config=config, registers=matvec_registers(x))
-    )
+    run = lambda: simulate(prog, config=config, registers=matvec_registers(x))
+    result = benchmark(run)
     assert result.completed
+    if (m, n) == (16, 8):
+        core_metrics(
+            "sim_matvec_16x8",
+            events=result.events,
+            seconds=_best_seconds(benchmark, run),
+            words=result.words_transferred,
+        )
 
 
 @pytest.mark.parametrize("size", [2, 3, 4])
-def test_mesh_matmul_scaling(benchmark, size):
+def test_mesh_matmul_scaling(benchmark, core_metrics, size):
     a = [[1.0] * size for _ in range(size)]
     b = [[1.0] * size for _ in range(size)]
     prog, mesh = matmul_program(a, b)
@@ -61,13 +102,25 @@ def test_mesh_matmul_scaling(benchmark, size):
 
     result = benchmark(run)
     assert result.completed
+    if size == 4:
+        core_metrics(
+            "sim_matmul_4x4",
+            events=result.events,
+            seconds=_best_seconds(benchmark, run),
+            words=result.words_transferred,
+        )
 
 
-def test_lcs_throughput(benchmark):
+def test_lcs_throughput(benchmark, core_metrics):
     a, b = "GATTACAGATTACA", "TACGTACGTA"
     prog = lcs_program_for(a, b)
     config = ArrayConfig(queues_per_link=2)
-    result = benchmark(
-        lambda: simulate(prog, config=config, registers=lcs_registers(encode(b)))
-    )
+    run = lambda: simulate(prog, config=config, registers=lcs_registers(encode(b)))
+    result = benchmark(run)
     assert result.completed
+    core_metrics(
+        "sim_lcs",
+        events=result.events,
+        seconds=_best_seconds(benchmark, run),
+        words=result.words_transferred,
+    )

@@ -7,4 +7,104 @@ our implementation. Run with::
     pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` flag shows the regenerated paper-style tables.
+
+Core-throughput trajectory
+--------------------------
+
+Benches that exercise the simulation hot path record their numbers via
+the ``core_metrics`` fixture; at session end the collected records are
+merged into ``BENCH_core.json`` at the repo root (events/sec, words/sec,
+wall seconds per workload). The checked-in file is the perf trajectory,
+so writing it is opt-in — a smoke run (``--benchmark-disable`` in CI or
+locally) must not clobber the baseline with throwaway timings.
+Regenerate with::
+
+    REPRO_BENCH_RECORD=1 pytest benchmarks/bench_scaling_simulation.py \
+        benchmarks/bench_batch_throughput.py -q
 """
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_CORE_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture
+def core_metrics():
+    """Record one workload's core-throughput numbers.
+
+    Usage::
+
+        core_metrics("fir_32x64", events=result.events, seconds=dt,
+                     words=result.words_transferred)
+
+    Extra keyword arguments are stored verbatim (e.g. speedup ratios).
+    """
+
+    def record(
+        name: str,
+        *,
+        events: int | None = None,
+        seconds: float | None = None,
+        words: int | None = None,
+        **extra,
+    ) -> None:
+        entry: dict = {}
+        if seconds is not None:
+            entry["wall_s"] = round(seconds, 6)
+        if events is not None:
+            entry["events"] = events
+            if seconds:
+                entry["events_per_sec"] = round(events / seconds)
+        if words is not None:
+            entry["words"] = words
+            if seconds:
+                entry["words_per_sec"] = round(words / seconds)
+        entry.update(extra)
+        _RECORDS[name] = entry
+
+    return record
+
+
+def recording_enabled() -> bool:
+    """True when this run should touch the checked-in perf baseline."""
+    return os.environ.get("REPRO_BENCH_RECORD") == "1"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS or not recording_enabled():
+        return
+    # Merge into the checked-in trajectory: a partial run (one bench file,
+    # a -k subset) updates only the records it produced and must not wipe
+    # the rest of the baseline.
+    existing: dict = {}
+    if BENCH_CORE_PATH.exists():
+        try:
+            existing = json.loads(BENCH_CORE_PATH.read_text()).get("records", {})
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(_RECORDS)
+    payload = {
+        "suite": "core",
+        "generated": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "records": dict(sorted(existing.items())),
+    }
+    BENCH_CORE_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )
+    print(
+        f"\n[bench] updated {len(_RECORDS)} of {len(existing)} records in "
+        f"{BENCH_CORE_PATH}",
+        file=sys.stderr,
+    )

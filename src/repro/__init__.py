@@ -20,6 +20,29 @@ Quickstart::
     assert cross_off(program).deadlock_free
     result = simulate(program, registers=fig2_registers())
     result.assert_completed()
+
+Performance
+-----------
+
+The simulator hot path is a zero-allocation event engine: same-time
+events ride a FIFO fast lane (the heap is only for strictly-future
+timestamps), agents/queues/words are slotted, and waiters are reusable
+bound methods. Two knobs matter for throughput at scale:
+
+* **Analysis caching** — ``Simulator(..., reuse_analysis=True)`` (the
+  default) shares routing, competing-message sets, lookahead capacities
+  and the constraint labeling through a process-global content-keyed
+  cache (:mod:`repro.perf`). Repeated simulations of the same program
+  (sweeps, policy ablations, Theorem-1 ensembles) skip static analysis
+  entirely — buffered-queue configs, whose analysis runs the full
+  crossing-off procedure, speed up by orders of magnitude. Use
+  ``repro.perf.clear_analysis_cache()`` to reset, and
+  ``reuse_analysis=False`` for stateful custom routers.
+* **Batched ensembles** — :func:`repro.sim.batch.simulate_many` runs
+  many (program, config, policy) jobs with a deterministic merge order,
+  in-process or via chunked multiprocessing (``workers=N``); see also
+  the ``repro sweep`` CLI subcommand and
+  :func:`repro.workloads.ensemble_programs`.
 """
 
 from repro.arch import (
@@ -68,14 +91,17 @@ from repro.algorithms.figures import (
     fig8_program,
     fig9_program,
 )
+from repro.perf import analysis_cache_stats, clear_analysis_cache
 from repro.sim import (
     FCFSPolicy,
     OrderedPolicy,
+    SimJob,
     SimulationResult,
     Simulator,
     StaticPolicy,
     compare_models,
     simulate,
+    simulate_many,
 )
 
 __version__ = "1.0.0"
@@ -98,13 +124,16 @@ __all__ = [
     "OrderedPolicy",
     "R",
     "RingArray",
+    "SimJob",
     "SimulationResult",
     "Simulator",
     "StaticPolicy",
     "Torus2D",
     "W",
     "all_figures",
+    "analysis_cache_stats",
     "check_consistency",
+    "clear_analysis_cache",
     "compare_models",
     "competing_messages",
     "constraint_labeling",
@@ -125,6 +154,7 @@ __all__ = [
     "label_messages",
     "related_groups",
     "simulate",
+    "simulate_many",
     "trivial_labeling",
     "uniform_lookahead",
     "verify_theorem1",

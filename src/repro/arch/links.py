@@ -13,10 +13,21 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True, order=True)
 class Link:
-    """A directed connection from cell ``src`` to adjacent cell ``dst``."""
+    """A directed connection from cell ``src`` to adjacent cell ``dst``.
+
+    Links key every per-link table in the simulator, so the field hash is
+    precomputed once at construction (same value the generated dataclass
+    hash would produce) instead of being recomputed on every dict lookup.
+    """
 
     src: str
     dst: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.src, self.dst)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def interval(self) -> frozenset[str]:

@@ -15,12 +15,17 @@ message at a time (Section 2.3). Capacity semantics follow the paper:
 The queue is engine-agnostic: blocked parties park callbacks, and state
 changes invoke them. The simulator wraps callbacks so they re-schedule the
 blocked agent.
+
+The class sits on the simulator's per-word hot path, so it is slotted and
+its bookkeeping is all O(1) counter arithmetic: completion is tracked by
+``words_remaining`` counting down to zero rather than recomparing totals,
+and stats accumulate into plain slotted integers.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.arch.links import Link
@@ -30,7 +35,7 @@ Word = Any
 Callback = Callable[[], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters accumulated by one hardware queue over a run."""
 
@@ -45,6 +50,24 @@ class QueueStats:
 
 class HardwareQueue:
     """One physical queue on a directed link."""
+
+    __slots__ = (
+        "link",
+        "index",
+        "capacity",
+        "extension_allowed",
+        "extension_penalty",
+        "assigned",
+        "expected_words",
+        "words_passed",
+        "words_remaining",
+        "_buffer",
+        "_parked",
+        "_word_waiters",
+        "_space_waiters",
+        "extended",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -64,6 +87,7 @@ class HardwareQueue:
         self.assigned: str | None = None
         self.expected_words: int = 0
         self.words_passed: int = 0
+        self.words_remaining: int = 0
         self._buffer: deque[Word] = deque()
         self._parked: tuple[Word, Callback] | None = None
         self._word_waiters: list[Callback] = []
@@ -86,13 +110,14 @@ class HardwareQueue:
         self.assigned = message
         self.expected_words = expected_words
         self.words_passed = 0
+        self.words_remaining = expected_words
         self.extended = False
         self.stats.assignments += 1
 
     @property
     def complete(self) -> bool:
         """True once the assigned message's last word has passed through."""
-        return self.assigned is not None and self.words_passed >= self.expected_words
+        return self.assigned is not None and self.words_remaining <= 0
 
     def release(self) -> None:
         """Free the queue for reassignment (direction may be reset too)."""
@@ -103,6 +128,7 @@ class HardwareQueue:
         self.assigned = None
         self.expected_words = 0
         self.words_passed = 0
+        self.words_remaining = 0
         self.extended = False
 
     # ------------------------------------------------------------------
@@ -125,31 +151,46 @@ class HardwareQueue:
             raise SimulationError(f"push on unassigned queue {self}")
         if self._parked is not None:
             raise SimulationError(f"queue {self} already has a parked writer")
-        if len(self._buffer) < self.capacity:
-            self._accept(word)
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(word)
+            stats = self.stats
+            stats.words_pushed += 1
+            occupancy = len(buffer)
+            if occupancy > stats.peak_occupancy:
+                stats.peak_occupancy = occupancy
+            waiters = self._word_waiters
+            if waiters:
+                self._notify(waiters)
             return True
         if self.extension_allowed:
             if not self.extended:
                 self.extended = True
                 self.stats.extension_invocations += 1
             self.stats.spilled_words += 1
-            overflow = len(self._buffer) + 1 - self.capacity
-            self.stats.extension_peak_words = max(
-                self.stats.extension_peak_words, overflow
-            )
+            overflow = len(buffer) + 1 - self.capacity
+            if overflow > self.stats.extension_peak_words:
+                self.stats.extension_peak_words = overflow
             self._accept(word)
             return True
         self._parked = (word, blocked)
         # A parked word is pop-visible (capacity-0 handoff), so waiting
         # readers must be woken to take it.
-        self._notify(self._word_waiters)
+        waiters = self._word_waiters
+        if waiters:
+            self._notify(waiters)
         return False
 
     def _accept(self, word: Word) -> None:
         self._buffer.append(word)
-        self.stats.words_pushed += 1
-        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._buffer))
-        self._notify(self._word_waiters)
+        stats = self.stats
+        stats.words_pushed += 1
+        occupancy = len(self._buffer)
+        if occupancy > stats.peak_occupancy:
+            stats.peak_occupancy = occupancy
+        waiters = self._word_waiters
+        if waiters:
+            self._notify(waiters)
 
     def peek(self) -> Word | None:
         """The word at the front, or None. Parked words are visible so that
@@ -171,8 +212,9 @@ class HardwareQueue:
         The extra latency is nonzero only for words that were spilled via
         queue extension. Popping unparks a blocked writer if any.
         """
-        if self._buffer:
-            word = self._buffer.popleft()
+        buffer = self._buffer
+        if buffer:
+            word = buffer.popleft()
         elif self._parked is not None:
             word, resume = self._parked
             self._parked = None
@@ -183,7 +225,7 @@ class HardwareQueue:
         else:
             raise SimulationError(f"pop on empty queue {self}")
         penalty = 0
-        if self.extended and len(self._buffer) >= self.capacity:
+        if self.extended and len(buffer) >= self.capacity:
             penalty = self.extension_penalty
         if self._parked is not None:
             parked_word, resume = self._parked
@@ -191,16 +233,31 @@ class HardwareQueue:
             self._accept(parked_word)
             resume()
         else:
-            self._notify(self._space_waiters)
-        self._finish_pop()
+            waiters = self._space_waiters
+            if waiters:
+                self._notify(waiters)
+        # Inlined _finish_pop (same statement order — callback ordering is
+        # part of the determinism contract).
+        stats = self.stats
+        stats.words_popped += 1
+        self.words_passed += 1
+        self.words_remaining -= 1
+        if self.extended and len(buffer) <= self.capacity:
+            self.extended = False
+        waiters = self._word_waiters
+        if waiters:
+            self._notify(waiters)
         return word, penalty
 
     def _finish_pop(self) -> None:
         self.stats.words_popped += 1
         self.words_passed += 1
+        self.words_remaining -= 1
         if self.extended and len(self._buffer) <= self.capacity:
             self.extended = False
-        self._notify(self._word_waiters)
+        waiters = self._word_waiters
+        if waiters:
+            self._notify(waiters)
 
     # ------------------------------------------------------------------
     # Waiting
@@ -216,7 +273,10 @@ class HardwareQueue:
 
     @staticmethod
     def _notify(waiters: list[Callback]) -> None:
-        pending, waiters[:] = waiters[:], []
+        if not waiters:
+            return
+        pending = waiters.copy()
+        waiters.clear()
         for poke in pending:
             poke()
 

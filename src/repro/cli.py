@@ -8,11 +8,13 @@ The textual format is that of :mod:`repro.lang.parser`. Examples::
     python -m repro run    program.sysp --queues 2 --policy ordered
     python -m repro run    program.sysp --policy fcfs --trace
     python -m repro show   program.sysp            # paper-style listing
+    python -m repro sweep  program.sysp --policies ordered,fcfs --queues 1,2
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -20,9 +22,10 @@ from repro.arch.config import ArrayConfig
 from repro.core.crossing import cross_off, uniform_lookahead
 from repro.core.labeling import constraint_labeling, labels_as_str
 from repro.core.schedule import summarize_schedule
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.lang.parser import parse_program
 from repro.lang.printer import side_by_side
+from repro.sim.batch import BatchError, simulate_many, sweep_jobs, sweep_labels
 from repro.sim.runtime import simulate
 from repro.viz.crossing_view import render_annotated, render_steps
 from repro.viz.timeline import render_assignments, render_outcome
@@ -86,6 +89,66 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.completed else 1
 
 
+def _int_list(raw: str, flag: str) -> list[int]:
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            values.append(int(token))
+        except ValueError:
+            raise ConfigError(f"{flag} expects integers, got {token!r}") from None
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    queues = _int_list(args.queues, "--queues")
+    capacities = _int_list(args.capacity, "--capacity")
+    jobs = sweep_jobs(
+        program,
+        policies=policies,
+        queues=queues,
+        capacities=capacities,
+        repeat=args.repeat,
+    )
+    labels = sweep_labels(
+        policies=policies,
+        queues=queues,
+        capacities=capacities,
+        repeat=args.repeat,
+    )
+    results = simulate_many(jobs, workers=args.workers, on_error="collect")
+    rows = []
+    for label, result in zip(labels, results):
+        if isinstance(result, BatchError):
+            rows.append((label, "infeasible", None, None))
+            print(f"{label:<28} infeasible {result.kind}: {result.error}")
+            continue
+        outcome = (
+            "completed"
+            if result.completed
+            else ("deadlock" if result.deadlocked else "timeout")
+        )
+        rows.append((label, outcome, result.time, result.events))
+        print(
+            f"{label:<28} {outcome:<10} t={result.time:<8} "
+            f"events={result.events}"
+        )
+    completed = sum(1 for _l, outcome, _t, _e in rows if outcome == "completed")
+    print(f"{completed}/{len(rows)} runs completed")
+    if args.json:
+        payload = [
+            {"label": label, "outcome": outcome, "time": t, "events": e}
+            for label, outcome, t, e in rows
+        ]
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if completed == len(rows) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,6 +187,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true", help="print the assignment timeline"
     )
     run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="batched ensemble: policy x queue-provisioning sweep",
+    )
+    sweep.add_argument("file")
+    sweep.add_argument(
+        "--policies", default="ordered",
+        help="comma-separated assignment policies (ordered,static,fcfs)",
+    )
+    sweep.add_argument(
+        "--queues", default="1", help="comma-separated queues-per-link values"
+    )
+    sweep.add_argument(
+        "--capacity", default="0", help="comma-separated queue capacities"
+    )
+    sweep.add_argument(
+        "--repeat", type=int, default=1, help="repetitions per combination"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process with shared analysis cache)",
+    )
+    sweep.add_argument("--json", help="write results to this JSON file")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

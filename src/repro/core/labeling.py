@@ -42,7 +42,14 @@ from repro.errors import DeadlockedProgramError, LabelingError
 
 @dataclass(frozen=True)
 class Labeling:
-    """An assignment of labels to every message of a program."""
+    """An assignment of labels to every message of a program.
+
+    ``groups()`` and ``normalized()`` are derived views computed once and
+    cached on the instance (via ``object.__setattr__`` — the dataclass is
+    frozen but labelings are immutable after construction, so the cache
+    can never go stale). Callers receive fresh shallow copies, so the
+    cached values cannot be corrupted from outside.
+    """
 
     labels: dict[str, Fraction]
 
@@ -55,13 +62,17 @@ class Labeling:
 
     def groups(self) -> list[tuple[Fraction, tuple[str, ...]]]:
         """Label classes, ascending by label, members sorted by name."""
-        by_label: dict[Fraction, list[str]] = {}
-        for name, lab in self.labels.items():
-            by_label.setdefault(lab, []).append(name)
-        return [
-            (lab, tuple(sorted(names)))
-            for lab, names in sorted(by_label.items())
-        ]
+        cached = self.__dict__.get("_groups_cache")
+        if cached is None:
+            by_label: dict[Fraction, list[str]] = {}
+            for name, lab in self.labels.items():
+                by_label.setdefault(lab, []).append(name)
+            cached = tuple(
+                (lab, tuple(sorted(names)))
+                for lab, names in sorted(by_label.items())
+            )
+            object.__setattr__(self, "_groups_cache", cached)
+        return list(cached)
 
     def normalized(self) -> dict[str, int]:
         """Dense integer ranks (1-based) preserving order and equality.
@@ -69,8 +80,12 @@ class Labeling:
         Fig. 7's walkthrough labels (A, C, B) = (1, 2, 3); normalization
         recovers exactly such small integers from fraction labels.
         """
-        ranks = {lab: i + 1 for i, (lab, _names) in enumerate(self.groups())}
-        return {name: ranks[lab] for name, lab in self.labels.items()}
+        cached = self.__dict__.get("_normalized_cache")
+        if cached is None:
+            ranks = {lab: i + 1 for i, (lab, _names) in enumerate(self.groups())}
+            cached = {name: ranks[lab] for name, lab in self.labels.items()}
+            object.__setattr__(self, "_normalized_cache", cached)
+        return dict(cached)
 
     def same_label(self, a: str, b: str) -> bool:
         """True if ``a`` and ``b`` share a label."""

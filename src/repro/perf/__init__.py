@@ -1,0 +1,32 @@
+"""Performance subsystem: static-analysis caching for the simulator.
+
+Repeated simulations of the same program (parameter sweeps, policy
+ablations, Theorem-1 ensembles) share one content-keyed
+:class:`AnalysisEntry` holding routes, competing-message sets, lookahead
+capacities and the constraint labeling — so only the first run pays for
+static analysis. See :mod:`repro.perf.analysis_cache`.
+"""
+
+from repro.perf.analysis_cache import (
+    AnalysisCache,
+    AnalysisEntry,
+    AnalysisKey,
+    GLOBAL_ANALYSIS_CACHE,
+    analysis_cache_stats,
+    clear_analysis_cache,
+    program_fingerprint,
+    router_fingerprint,
+    topology_fingerprint,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "AnalysisEntry",
+    "AnalysisKey",
+    "GLOBAL_ANALYSIS_CACHE",
+    "analysis_cache_stats",
+    "clear_analysis_cache",
+    "program_fingerprint",
+    "router_fingerprint",
+    "topology_fingerprint",
+]

@@ -1,5 +1,6 @@
 """Discrete-event simulation of programmable systolic arrays."""
 
+from repro.sim.batch import BatchError, SimJob, simulate_many, sweep_jobs, sweep_labels
 from repro.sim.engine import Engine, StopReason
 from repro.sim.memory_model import ModelComparison, compare_models
 from repro.sim.queue_manager import (
@@ -17,6 +18,11 @@ from repro.sim.words import Word
 
 __all__ = [
     "AssignmentEvent",
+    "BatchError",
+    "SimJob",
+    "simulate_many",
+    "sweep_jobs",
+    "sweep_labels",
     "AssignmentPolicy",
     "Engine",
     "FCFSPolicy",

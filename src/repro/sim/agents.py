@@ -6,10 +6,18 @@ that are transparent to cell programs (Section 2.3) — here, one
 :class:`ForwarderAgent` per intermediate hop of each message. A
 :class:`MessageFlow` tracks the queue granted on each hop of a message's
 route and wakes parties waiting on grants.
+
+Everything here is on the per-word hot path, so the classes are slotted,
+waiters are reusable bound methods created once per agent, and wait
+*reasons* are stored as cheap condition codes — the human-readable
+description is only formatted when deadlock diagnosis actually asks for
+it (see :meth:`_Agent.wait_reason`). A word transfer allocates no
+closures, no lists, and no strings.
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Callable
 
 from repro.arch.config import CommModel
@@ -26,9 +34,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Callback = Callable[[], None]
 
+# Wait condition codes (the formatted description is derived on demand
+# from these plus wait_queue/wait_grant — see _Agent.wait_reason).
+_W_GRANT = "w-grant"
+_W_FULL = "w-full"
+_R_GRANT = "r-grant"
+_R_EMPTY = "r-empty"
+_F_UP_GRANT = "f-up-grant"
+_F_UP_EMPTY = "f-up-empty"
+_F_DOWN_GRANT = "f-down-grant"
+_F_DOWN_FULL = "f-down-full"
+
 
 class MessageFlow:
     """Run-time state of one message across its route."""
+
+    __slots__ = (
+        "sim",
+        "message",
+        "route",
+        "last_hop",
+        "queues",
+        "requested",
+        "_grant_waiters",
+        "words_written",
+        "words_delivered",
+    )
 
     def __init__(self, sim: "Simulator", message: Message, route: Route) -> None:
         if not route:
@@ -36,6 +67,7 @@ class MessageFlow:
         self.sim = sim
         self.message = message
         self.route = route
+        self.last_hop = len(route) - 1
         self.queues: list[HardwareQueue | None] = [None] * len(route)
         self.requested: list[bool] = [False] * len(route)
         self._grant_waiters: list[list[Callback]] = [[] for _ in route]
@@ -56,9 +88,11 @@ class MessageFlow:
     def granted(self, hop: int, queue: HardwareQueue) -> None:
         """Manager callback: ``queue`` now carries this message on ``hop``."""
         self.queues[hop] = queue
-        waiters, self._grant_waiters[hop] = self._grant_waiters[hop], []
-        for poke in waiters:
-            poke()
+        waiters = self._grant_waiters[hop]
+        if waiters:
+            self._grant_waiters[hop] = []
+            for poke in waiters:
+                poke()
 
     def when_granted(self, hop: int, poke: Callback) -> None:
         """Invoke ``poke`` once a queue is granted on ``hop``."""
@@ -67,19 +101,37 @@ class MessageFlow:
         else:
             self._grant_waiters[hop].append(poke)
 
-    def after_pop(self, hop: int) -> None:
-        """Bookkeeping after a word leaves the queue on ``hop``.
-
-        Releases the queue once the message's last word has passed it —
-        only then may the queue be assigned to another message.
-        """
-        queue = self.queues[hop]
-        if queue is not None and queue.complete:
-            self.sim.manager.release(queue)
-
 
 class _Agent:
-    """Base: deduplicated scheduling plus wait bookkeeping for diagnosis."""
+    """Base: deduplicated scheduling plus wait bookkeeping for diagnosis.
+
+    Two hot-path idioms are inlined at their call sites rather than kept
+    as methods (one call frame per word adds up):
+
+    * *queue release after pop* — a queue is released exactly when its
+      ``words_remaining`` counter (kept by :meth:`HardwareQueue.pop`)
+      reaches zero while still assigned; only then may it carry another
+      message.
+    * *spend-and-continue scheduling* — after an operation, agents
+      schedule ``_run`` directly (not via ``poke``): while an agent is
+      spending cycles it is not registered as a waiter anywhere, so no
+      poke can arrive mid-delay, and ``_scheduled`` stays True for the
+      window so a (hypothetical) stray poke cannot double-fire.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "done",
+        "busy_cycles",
+        "_scheduled",
+        "waiting",
+        "wait_queue",
+        "wait_grant",
+        "wait_space",
+        "poke",
+        "_run_cb",
+    )
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
@@ -91,13 +143,21 @@ class _Agent:
         self.wait_queue: HardwareQueue | None = None
         self.wait_grant: tuple[MessageFlow, int] | None = None
         self.wait_space = False
+        # Reusable bound-method waiters: one allocation per agent, not one
+        # per wait/poke.
+        self.poke: Callback = self._poke
+        self._run_cb: Callback = self._run
 
-    def poke(self) -> None:
+    def _poke(self) -> None:
         """Schedule one step at the current time (coalescing duplicates)."""
         if self._scheduled or self.done:
             return
         self._scheduled = True
-        self.sim.engine.after(0, self._run)
+        engine = self.sim.engine
+        if engine._fast:
+            engine._fifo.append(self._run_cb)
+        else:
+            engine.after(0, self._run_cb)
 
     def _run(self) -> None:
         self._scheduled = False
@@ -107,20 +167,71 @@ class _Agent:
     def step(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def wait_reason(self) -> str | None:
+        """Human-readable description of the current wait, or ``None``.
+
+        Formatted on demand from the stored wait state; by quiescence the
+        queue/grant state an agent last waited on is exactly its current
+        state, so this reproduces the eagerly-formatted description.
+        """
+        code = self.waiting
+        if code is None:
+            return None
+        queue = self.wait_queue
+        grant = self.wait_grant
+        if code is _W_GRANT:
+            flow, hop = grant
+            return (
+                f"{self.name} W({flow.message.name}): awaiting queue on "
+                f"{flow.route[hop]}"
+            )
+        if code is _W_FULL:
+            return (
+                f"{self.name} W({queue.assigned}): queue {queue} full "
+                f"(occupancy {queue.occupancy}/{queue.capacity})"
+            )
+        if code is _R_GRANT:
+            flow, hop = grant
+            return (
+                f"{self.name} R({flow.message.name}): no queue granted on "
+                f"{flow.route[hop]}"
+            )
+        if code is _R_EMPTY:
+            return f"{self.name} R({queue.assigned}): queue {queue} empty"
+        if code is _F_UP_GRANT:
+            flow, hop = grant
+            return (
+                f"{self.name}: upstream queue not granted on {flow.route[hop]}"
+            )
+        if code is _F_UP_EMPTY:
+            return f"{self.name}: upstream queue {queue} empty"
+        if code is _F_DOWN_GRANT:
+            flow, hop = grant
+            return (
+                f"{self.name}: header blocked, awaiting queue on "
+                f"{flow.route[hop]}"
+            )
+        if code is _F_DOWN_FULL:
+            return (
+                f"{self.name}: downstream queue {queue} full "
+                f"(occupancy {queue.occupancy}/{queue.capacity})"
+            )
+        return code  # pragma: no cover - unknown code, show it raw
+
     def _clear_wait(self) -> None:
         self.waiting = None
         self.wait_queue = None
         self.wait_grant = None
         self.wait_space = False
 
-    def _wait_word(self, queue: HardwareQueue, why: str) -> None:
-        self.waiting = why
+    def _wait_word(self, queue: HardwareQueue, code: str) -> None:
+        self.waiting = code
         self.wait_queue = queue
         self.wait_space = False
         queue.when_word(self.poke)
 
-    def _wait_grant(self, flow: MessageFlow, hop: int, why: str) -> None:
-        self.waiting = why
+    def _wait_grant(self, flow: MessageFlow, hop: int, code: str) -> None:
+        self.waiting = code
         self.wait_grant = (flow, hop)
         flow.when_granted(hop, self.poke)
 
@@ -129,13 +240,25 @@ class _Agent:
         self._clear_wait()
         self.sim.agent_finished(self)
 
-    def _spend(self, cycles: int, then: Callback) -> None:
-        self.busy_cycles += cycles
-        self.sim.engine.after(cycles, then)
-
 
 class CellAgent(_Agent):
     """Executes one cell's program against its I/O queues."""
+
+    __slots__ = (
+        "cell",
+        "ops",
+        "pc",
+        "registers",
+        "memory_accesses",
+        "_write_parked",
+        "_write_flow",
+        "_write_latency",
+        "_write_complete_cb",
+        "_n_ops",
+        "_op_latency",
+        "_m2m_overhead",
+        "_plan",
+    )
 
     def __init__(
         self,
@@ -151,28 +274,55 @@ class CellAgent(_Agent):
         self.registers: dict[str, float | None] = dict(registers or {})
         self.memory_accesses = 0
         self._write_parked = False
+        self._write_flow: MessageFlow | None = None
+        self._write_latency = 0
+        self._write_complete_cb: Callback = self._write_complete
+        self._n_ops = len(ops)
+        cfg = sim.config
+        self._op_latency = cfg.op_latency
+        # Memory-to-memory staging cost per transfer, 0 under systolic.
+        self._m2m_overhead = (
+            2 * cfg.memory_access_cycles
+            if cfg.comm_model is CommModel.MEMORY_TO_MEMORY
+            else 0
+        )
+        # Pre-resolved execution plan: each op paired with its flow (None
+        # for computes), so the hot loop never does a by-name dict lookup.
+        flows = sim.flows
+        self._plan: list[tuple[Op, "MessageFlow | None"]] = [
+            (op, None if op.kind is OpKind.COMPUTE else flows[op.message])
+            for op in ops
+        ]
 
     def start(self) -> None:
         """Schedule the first step at t=0."""
-        if self.pc >= len(self.ops):
+        if self.pc >= self._n_ops:
             self._finish()
         else:
             self.poke()
 
-    def step(self) -> None:
-        if self._write_parked:
-            return  # a parked write completes via its queue callback
-        if self.pc >= len(self.ops):
-            if not self.done:
-                self._finish()
+    def _run(self) -> None:
+        # Specialised hot path: fold the base-class _run and step together
+        # (one event = one call).
+        self._scheduled = False
+        if self.done or self._write_parked:
             return
-        op = self.ops[self.pc]
-        if op.kind is OpKind.COMPUTE:
+        if self.pc >= self._n_ops:
+            self._finish()
+            return
+        op, flow = self._plan[self.pc]
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
             self._compute(op)
-        elif op.kind is OpKind.WRITE:
-            self._write(op)
+        elif kind is OpKind.WRITE:
+            self._write(op, flow)
         else:
-            self._read(op)
+            self._read(op, flow)
+
+    def step(self) -> None:
+        """One program step (engine events call ``_run`` directly)."""
+        self._scheduled = True
+        self._run()
 
     def _transfer_overhead(self) -> int:
         """Extra cycles per R/W under the memory-to-memory model.
@@ -181,14 +331,14 @@ class CellAgent(_Agent):
         program's own access) — half of the >= 4 accesses per word that
         flow through a cell (Section 1).
         """
-        cfg = self.sim.config
-        if cfg.comm_model is CommModel.MEMORY_TO_MEMORY:
+        overhead = self._m2m_overhead
+        if overhead:
             self.memory_accesses += 2
-            return 2 * cfg.memory_access_cycles
-        return 0
+        return overhead
 
     def _compute(self, op: Op) -> None:
-        self._clear_wait()
+        if self.waiting is not None:
+            self._clear_wait()
         if op.func is not None and op.register is not None:
             args = [self.registers.get(r) for r in op.operands]
             if any(arg is None for arg in args):
@@ -197,72 +347,103 @@ class CellAgent(_Agent):
             else:
                 self.registers[op.register] = op.func(*args)
         self.pc += 1
-        self._spend(max(op.cycles, 1), self.poke)
+        cycles = op.cycles or 1
+        self.busy_cycles += cycles
+        self._scheduled = True
+        engine = self.sim.engine
+        if cycles:
+            engine._seq += 1
+            _heappush(
+                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
+            )
+        elif engine._fast:
+            engine._fifo.append(self._run_cb)
+        else:
+            engine.after(0, self._run_cb)
 
-    def _write(self, op: Op) -> None:
-        flow = self.sim.flows[op.message]
+    def _write(self, op: Op, flow: MessageFlow) -> None:
         queue = flow.queues[0]
         if queue is None:
             flow.request(0)
             queue = flow.queues[0]
             if queue is None:
-                self._wait_grant(
-                    flow, 0, f"{self.name} W({op.message}): awaiting queue on "
-                    f"{flow.route[0]}"
-                )
+                self._wait_grant(flow, 0, _W_GRANT)
                 return
         value = op.source.resolve(self.registers) if op.source else None
         word = Word(op.message, flow.words_written, value)
-        latency = self.sim.config.op_latency + op.cycles + self._transfer_overhead()
-
-        def complete() -> None:
-            self._write_parked = False
-            self._clear_wait()
-            flow.words_written += 1
-            self.pc += 1
-            self._spend(latency, self.poke)
-
-        if queue.try_push(word, blocked=complete):
-            complete()
+        self._write_flow = flow
+        overhead = self._m2m_overhead
+        if overhead:
+            self.memory_accesses += 2
+        self._write_latency = self._op_latency + op.cycles + overhead
+        if queue.try_push(word, blocked=self._write_complete_cb):
+            self._write_complete()
         else:
             self._write_parked = True
-            self.waiting = (
-                f"{self.name} W({op.message}): queue {queue} full "
-                f"(occupancy {queue.occupancy}/{queue.capacity})"
-            )
+            self.waiting = _W_FULL
             self.wait_queue = queue
             self.wait_space = True
 
-    def _read(self, op: Op) -> None:
-        flow = self.sim.flows[op.message]
-        last = flow.hops - 1
+    def _write_complete(self) -> None:
+        """A pushed (or unparked) word was accepted — advance the program."""
+        self._write_parked = False
+        if self.waiting is not None:
+            self._clear_wait()
+        flow = self._write_flow
+        self._write_flow = None
+        flow.words_written += 1
+        self.pc += 1
+        cycles = self._write_latency
+        self.busy_cycles += cycles
+        self._scheduled = True
+        engine = self.sim.engine
+        if cycles:
+            engine._seq += 1
+            _heappush(
+                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
+            )
+        elif engine._fast:
+            engine._fifo.append(self._run_cb)
+        else:
+            engine.after(0, self._run_cb)
+
+    def _read(self, op: Op, flow: MessageFlow) -> None:
+        last = flow.last_hop
         queue = flow.queues[last]
         if queue is None:
-            self._wait_grant(
-                flow, last,
-                f"{self.name} R({op.message}): no queue granted on {flow.route[last]}",
-            )
+            self._wait_grant(flow, last, _R_GRANT)
             return
-        if not queue.has_word:
-            self._wait_word(
-                queue, f"{self.name} R({op.message}): queue {queue} empty"
-            )
+        if not (queue._buffer or queue._parked is not None):
+            self._wait_word(queue, _R_EMPTY)
             return
-        self._clear_wait()
+        if self.waiting is not None:
+            self._clear_wait()
         word, penalty = queue.pop()
-        flow.after_pop(last)
+        # Release once the remaining-words counter runs dry (only then
+        # may the queue carry another message).
+        if queue.words_remaining <= 0 and queue.assigned is not None:
+            self.sim.manager.release(queue)
         flow.words_delivered += 1
-        self.sim.record_delivery(word)
+        self.sim.received[word.message].append(word.value)
         if op.register is not None:
             self.registers[op.register] = word.value
-        latency = (
-            self.sim.config.op_latency
-            + op.cycles
-            + penalty
-            + self._transfer_overhead()
-        )
+        overhead = self._m2m_overhead
+        if overhead:
+            self.memory_accesses += 2
         self.pc += 1
-        self._spend(latency, self.poke)
+        cycles = self._op_latency + op.cycles + penalty + overhead
+        self.busy_cycles += cycles
+        self._scheduled = True
+        engine = self.sim.engine
+        if cycles:
+            engine._seq += 1
+            _heappush(
+                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
+            )
+        elif engine._fast:
+            engine._fifo.append(self._run_cb)
+        else:
+            engine.after(0, self._run_cb)
 
 
 class ForwarderAgent(_Agent):
@@ -276,6 +457,16 @@ class ForwarderAgent(_Agent):
     blocked).
     """
 
+    __slots__ = (
+        "flow",
+        "hop",
+        "moved",
+        "holding",
+        "_push_parked",
+        "_push_complete_cb",
+        "_hop_latency",
+    )
+
     def __init__(self, sim: "Simulator", flow: MessageFlow, hop: int) -> None:
         super().__init__(sim, f"fwd:{flow.message.name}:{hop}")
         self.flow = flow
@@ -283,69 +474,85 @@ class ForwarderAgent(_Agent):
         self.moved = 0
         self.holding: Word | None = None
         self._push_parked = False
+        self._push_complete_cb: Callback = self._push_complete
+        self._hop_latency = sim.config.hop_latency
 
     def start(self) -> None:
         """Arm the forwarder; it sleeps until words arrive."""
         self.poke()
 
-    def step(self) -> None:
-        if self._push_parked:
+    def _run(self) -> None:
+        # Specialised hot path mirroring CellAgent._run.
+        self._scheduled = False
+        if self.done or self._push_parked:
             return
         if self.holding is None:
             self._try_pop()
         else:
             self._try_push()
 
+    def step(self) -> None:
+        """One forwarding step (engine events call ``_run`` directly)."""
+        self._scheduled = True
+        self._run()
+
     def _try_pop(self) -> None:
-        if self.moved >= self.flow.message.length:
+        flow = self.flow
+        if self.moved >= flow.message.length:
             self._finish()
             return
-        queue = self.flow.queues[self.hop]
+        queue = flow.queues[self.hop]
         if queue is None:
-            self._wait_grant(
-                self.flow, self.hop,
-                f"{self.name}: upstream queue not granted on {self.flow.route[self.hop]}",
-            )
+            self._wait_grant(flow, self.hop, _F_UP_GRANT)
             return
-        if not queue.has_word:
-            self._wait_word(queue, f"{self.name}: upstream queue {queue} empty")
+        if not (queue._buffer or queue._parked is not None):
+            self._wait_word(queue, _F_UP_EMPTY)
             return
-        self._clear_wait()
+        if self.waiting is not None:
+            self._clear_wait()
         word, penalty = queue.pop()
-        self.flow.after_pop(self.hop)
+        # Release once the remaining-words counter runs dry (only then
+        # may the queue carry another message).
+        if queue.words_remaining <= 0 and queue.assigned is not None:
+            self.sim.manager.release(queue)
         self.holding = word
-        self._spend(self.sim.config.hop_latency + penalty, self.poke)
+        cycles = self._hop_latency + penalty
+        self.busy_cycles += cycles
+        self._scheduled = True
+        engine = self.sim.engine
+        if cycles:
+            engine._seq += 1
+            _heappush(
+                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
+            )
+        elif engine._fast:
+            engine._fifo.append(self._run_cb)
+        else:
+            engine.after(0, self._run_cb)
 
     def _try_push(self) -> None:
         nxt = self.hop + 1
-        queue = self.flow.queues[nxt]
+        flow = self.flow
+        queue = flow.queues[nxt]
         if queue is None:
-            self.flow.request(nxt)
-            queue = self.flow.queues[nxt]
+            flow.request(nxt)
+            queue = flow.queues[nxt]
             if queue is None:
-                self._wait_grant(
-                    self.flow, nxt,
-                    f"{self.name}: header blocked, awaiting queue on "
-                    f"{self.flow.route[nxt]}",
-                )
+                self._wait_grant(flow, nxt, _F_DOWN_GRANT)
                 return
-        word = self.holding
-        assert word is not None
-
-        def complete() -> None:
-            self._push_parked = False
-            self._clear_wait()
-            self.holding = None
-            self.moved += 1
-            self.poke()
-
-        if queue.try_push(word, blocked=complete):
-            complete()
+        if queue.try_push(self.holding, blocked=self._push_complete_cb):
+            self._push_complete()
         else:
             self._push_parked = True
-            self.waiting = (
-                f"{self.name}: downstream queue {queue} full "
-                f"(occupancy {queue.occupancy}/{queue.capacity})"
-            )
+            self.waiting = _F_DOWN_FULL
             self.wait_queue = queue
             self.wait_space = True
+
+    def _push_complete(self) -> None:
+        """The held word was accepted downstream — go pop the next one."""
+        self._push_parked = False
+        if self.waiting is not None:
+            self._clear_wait()
+        self.holding = None
+        self.moved += 1
+        self.poke()

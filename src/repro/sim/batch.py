@@ -1,0 +1,257 @@
+"""Batched ensemble simulation: many programs/configs, one call.
+
+Theorem-1 ensembles, policy ablations and queue-provisioning sweeps all
+boil down to "simulate these N (program, config, policy) combinations
+and collect the results". :func:`simulate_many` does that with:
+
+* **deterministic merge order** — results come back in job order no
+  matter how many workers ran them or which finished first;
+* **chunked multiprocessing** — jobs are split into contiguous chunks
+  and farmed to a process pool (``workers > 1``); each worker warms its
+  own analysis cache, so chunking by program keeps the cache hot;
+* **graceful degradation** — programs whose compute closures cannot be
+  pickled (e.g. inline lambdas) fall back to in-process execution, where
+  the shared analysis cache still applies.
+
+The in-process path (``workers=1``, the default) is not a consolation
+prize: repeated jobs over the same program hit the content-keyed
+analysis cache (:mod:`repro.perf`), which is where ensemble time went
+historically.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.config import ArrayConfig
+from repro.core.program import ArrayProgram
+from repro.errors import ConfigError, ReproError
+from repro.sim.result import SimulationResult
+from repro.sim.runtime import Simulator
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """A job that raised instead of producing a result.
+
+    Returned in place of a :class:`SimulationResult` when
+    :func:`simulate_many` runs with ``on_error="collect"`` — sweeps over
+    queue provisioning legitimately contain infeasible corners (e.g. a
+    static assignment with too few queues) and one such corner must not
+    abort the batch.
+    """
+
+    kind: str
+    error: str
+
+    @property
+    def completed(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: program plus run parameters."""
+
+    program: ArrayProgram
+    config: ArrayConfig | None = None
+    policy: str = "ordered"
+    registers: dict[str, dict[str, float | None]] | None = None
+    strict: bool = True
+    max_events: int | None = 5_000_000
+    max_time: int | None = None
+
+    def run(self) -> SimulationResult:
+        """Execute this job in the current process."""
+        sim = Simulator(
+            self.program,
+            config=self.config,
+            policy=self.policy,
+            registers=self.registers,
+            strict=self.strict,
+        )
+        return sim.run(max_events=self.max_events, max_time=self.max_time)
+
+
+def _normalize_jobs(
+    programs: Sequence[ArrayProgram] | Sequence[SimJob],
+    configs: ArrayConfig | Sequence[ArrayConfig | None] | None,
+    policy: str,
+    registers: dict[str, dict[str, float | None]] | None,
+) -> list[SimJob]:
+    jobs: list[SimJob] = []
+    if not programs:
+        return jobs
+    if isinstance(programs[0], SimJob):
+        if configs is not None:
+            raise ConfigError("pass configs inside SimJob objects, not both")
+        for job in programs:
+            if not isinstance(job, SimJob):
+                raise ConfigError("mix of SimJob and ArrayProgram inputs")
+            jobs.append(job)
+        return jobs
+    if configs is None or isinstance(configs, ArrayConfig):
+        config_list: list[ArrayConfig | None] = [configs] * len(programs)
+    else:
+        config_list = list(configs)
+        if len(config_list) != len(programs):
+            raise ConfigError(
+                f"{len(programs)} programs but {len(config_list)} configs"
+            )
+    for program, config in zip(programs, config_list):
+        jobs.append(
+            SimJob(program, config=config, policy=policy, registers=registers)
+        )
+    return jobs
+
+
+def _run_job(job: SimJob, collect_errors: bool) -> SimulationResult | BatchError:
+    if not collect_errors:
+        return job.run()
+    try:
+        return job.run()
+    except ReproError as exc:
+        return BatchError(kind=type(exc).__name__, error=str(exc))
+
+
+def _run_chunk(
+    chunk: list[tuple[int, SimJob]], collect_errors: bool = False
+) -> list[tuple[int, SimulationResult | BatchError]]:
+    """Worker entry point: run a chunk, tagging results with job indices."""
+    return [(index, _run_job(job, collect_errors)) for index, job in chunk]
+
+
+def _chunked(
+    indexed: list[tuple[int, SimJob]], chunk_size: int
+) -> list[list[tuple[int, SimJob]]]:
+    return [
+        indexed[start : start + chunk_size]
+        for start in range(0, len(indexed), chunk_size)
+    ]
+
+
+def simulate_many(
+    programs: Sequence[ArrayProgram] | Sequence[SimJob],
+    configs: ArrayConfig | Sequence[ArrayConfig | None] | None = None,
+    *,
+    policy: str = "ordered",
+    registers: dict[str, dict[str, float | None]] | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    on_error: str = "raise",
+) -> list[SimulationResult | BatchError]:
+    """Simulate every (program, config) job; results in job order.
+
+    Args:
+        programs: the programs to run — or prebuilt :class:`SimJob`
+            objects for full per-job control.
+        configs: ``None`` (defaults per job), one :class:`ArrayConfig`
+            broadcast to every program, or one per program.
+        policy: assignment policy for every job (ignored for ``SimJob``
+            inputs).
+        registers: initial registers for every job (ignored for
+            ``SimJob`` inputs).
+        workers: process count. ``1`` runs in-process (and still reuses
+            the analysis cache across jobs); ``N > 1`` farms chunks to a
+            ``multiprocessing`` pool.
+        chunk_size: jobs per worker task; defaults to an even split that
+            gives each worker ~4 chunks for load balance.
+        on_error: ``"raise"`` propagates the first job error;
+            ``"collect"`` replaces a failed job's result with a
+            :class:`BatchError` so the rest of the batch still runs
+            (infeasible sweep corners are data, not fatal).
+
+    Returns:
+        One :class:`SimulationResult` (or :class:`BatchError` under
+        ``on_error="collect"``) per job, in input order — the merge is
+        deterministic regardless of worker scheduling.
+    """
+    if on_error not in ("raise", "collect"):
+        raise ConfigError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
+    collect_errors = on_error == "collect"
+    jobs = _normalize_jobs(programs, configs, policy, registers)
+    if not jobs:
+        return []
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    indexed = list(enumerate(jobs))
+    if workers == 1 or len(jobs) == 1:
+        return [_run_job(job, collect_errors) for _index, job in indexed]
+    try:
+        # Probe the whole batch in one dumps (shared objects are memoized,
+        # so this is cheap) — any job with an unpicklable compute closure
+        # must divert the entire batch to the in-process path.
+        pickle.dumps(jobs)
+    except Exception:
+        return [_run_job(job, collect_errors) for _index, job in indexed]
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(jobs) // (workers * 4)))
+    chunks = _chunked(indexed, chunk_size)
+    import functools
+    import multiprocessing
+
+    run_chunk = functools.partial(_run_chunk, collect_errors=collect_errors)
+    results: dict[int, SimulationResult | BatchError] = {}
+    with multiprocessing.Pool(processes=workers) as pool:
+        for chunk_result in pool.imap_unordered(run_chunk, chunks):
+            for index, result in chunk_result:
+                results[index] = result
+    return [results[i] for i in range(len(jobs))]
+
+
+def _sweep_grid(
+    policies: Sequence[str],
+    queues: Sequence[int],
+    capacities: Sequence[int],
+    repeat: int,
+):
+    """The one canonical (policy, queues, capacity, label) iteration.
+
+    Both :func:`sweep_jobs` and :func:`sweep_labels` derive from this
+    grid, so their positional alignment cannot drift.
+    """
+    for pol in policies:
+        for nq in queues:
+            for cap in capacities:
+                for rep in range(repeat):
+                    suffix = f" #{rep + 1}" if repeat > 1 else ""
+                    yield pol, nq, cap, f"{pol} q={nq} cap={cap}{suffix}"
+
+
+def sweep_jobs(
+    program: ArrayProgram,
+    policies: Sequence[str] = ("ordered",),
+    queues: Sequence[int] = (1,),
+    capacities: Sequence[int] = (0,),
+    registers: dict[str, dict[str, float | None]] | None = None,
+    repeat: int = 1,
+) -> list[SimJob]:
+    """The cartesian sweep (policy x queues x capacity) x repeat as jobs."""
+    return [
+        SimJob(
+            program,
+            config=ArrayConfig(queues_per_link=nq, queue_capacity=cap),
+            policy=pol,
+            registers=registers,
+        )
+        for pol, nq, cap, _label in _sweep_grid(
+            policies, queues, capacities, repeat
+        )
+    ]
+
+
+def sweep_labels(
+    policies: Sequence[str] = ("ordered",),
+    queues: Sequence[int] = (1,),
+    capacities: Sequence[int] = (0,),
+    repeat: int = 1,
+) -> list[str]:
+    """Human-readable labels aligned with :func:`sweep_jobs` order."""
+    return [
+        label
+        for _pol, _nq, _cap, label in _sweep_grid(
+            policies, queues, capacities, repeat
+        )
+    ]

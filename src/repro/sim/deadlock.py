@@ -127,7 +127,7 @@ def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
 def diagnose(sim: "Simulator") -> tuple[list[str], list[str] | None]:
     """Blocked-agent descriptions plus a wait-for cycle if present."""
     blocked = [
-        agent.waiting or f"{agent.name}: blocked (no detail)"
+        agent.wait_reason() or f"{agent.name}: blocked (no detail)"
         for agent in sim.all_agents()
         if not agent.done
     ]

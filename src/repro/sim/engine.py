@@ -1,17 +1,31 @@
 """Discrete-event simulation kernel.
 
-A minimal, deterministic event engine: a heap of (time, sequence,
-callback) entries. Determinism comes from the monotone sequence number —
-events at equal times fire in scheduling order, so runs are exactly
-reproducible. Quiescence (an empty heap) with unfinished agents is how
-run-time deadlock manifests; the kernel itself never decides deadlock, it
-just stops.
+A minimal, deterministic event engine with a two-lane scheduler:
+
+* a **fast lane** — a plain FIFO for events scheduled at the current
+  time (``after(0, ...)`` pokes, the overwhelming majority of traffic in
+  the systolic simulator), which bypasses the heap entirely;
+* a **heap lane** — ``(time, sequence, callback)`` entries for strictly
+  future timestamps.
+
+Determinism is preserved exactly: events at equal times fire in
+scheduling order. The invariant making the two lanes mergeable without
+comparing sequence numbers is that a heap entry at time ``t`` can only
+have been pushed while ``now < t`` (same-time scheduling goes to the
+FIFO), so every heap entry due *now* precedes every FIFO entry in
+scheduling order; the heap orders its own same-time entries by sequence,
+and the FIFO is order-preserving by construction.
+
+Quiescence (both lanes empty) with unfinished agents is how run-time
+deadlock manifests; the kernel itself never decides deadlock, it just
+stops.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
+from collections import deque
 from typing import Callable
 
 Callback = Callable[[], None]
@@ -26,31 +40,48 @@ class StopReason(enum.Enum):
 
 
 class Engine:
-    """Event heap with integer timestamps."""
+    """Two-lane event scheduler with integer timestamps.
 
-    def __init__(self) -> None:
+    Args:
+        fast_lane: route same-time events through the FIFO fast lane.
+            ``False`` forces every event through the heap (the seed
+            engine's behaviour) — kept for determinism cross-checks.
+    """
+
+    __slots__ = ("now", "events_processed", "_heap", "_fifo", "_seq", "_fast")
+
+    def __init__(self, fast_lane: bool = True) -> None:
         self.now: int = 0
         self.events_processed: int = 0
         self._heap: list[tuple[int, int, Callback]] = []
+        self._fifo: deque[Callback] = deque()
         self._seq: int = 0
+        self._fast = fast_lane
 
     def at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        if time == self.now and self._fast:
+            self._fifo.append(callback)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (time, self._seq, callback))
 
     def after(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` ``delay`` cycles from now."""
-        if delay < 0:
+        if delay == 0 and self._fast:
+            self._fifo.append(callback)
+        elif delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.at(self.now + delay, callback)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
 
     @property
     def pending(self) -> int:
         """Number of scheduled events not yet fired."""
-        return len(self._heap)
+        return len(self._heap) + len(self._fifo)
 
     def run(
         self,
@@ -58,14 +89,41 @@ class Engine:
         max_time: int | None = None,
     ) -> StopReason:
         """Process events until quiescent or a limit is hit."""
-        while self._heap:
-            if max_events is not None and self.events_processed >= max_events:
-                return StopReason.MAX_EVENTS
-            time, _seq, callback = self._heap[0]
-            if max_time is not None and time > max_time:
-                return StopReason.MAX_TIME
-            heapq.heappop(self._heap)
-            self.now = time
-            self.events_processed += 1
-            callback()
+        heap = self._heap
+        fifo = self._fifo
+        pop = heapq.heappop
+        popleft = fifo.popleft
+        if max_time is not None and self.now > max_time and (fifo or heap):
+            # Only reachable when run() is re-entered with a tighter limit;
+            # inside the loop `now` never advances past max_time.
+            return StopReason.MAX_TIME
+        events = self.events_processed
+        limit = float("inf") if max_events is None else max_events
+        while fifo or heap:
+            # Heap entries due now precede every FIFO entry in scheduling
+            # order (see module docstring); drain them first. FIFO
+            # processing cannot create heap entries due now (same-time
+            # scheduling goes to the FIFO), so each inner loop runs dry
+            # exactly once per timestamp.
+            while heap and heap[0][0] == self.now:
+                if events >= limit:
+                    self.events_processed = events
+                    return StopReason.MAX_EVENTS
+                callback = pop(heap)[2]
+                events += 1
+                callback()
+            while fifo:
+                if events >= limit:
+                    self.events_processed = events
+                    return StopReason.MAX_EVENTS
+                callback = popleft()
+                events += 1
+                callback()
+            if heap and heap[0][0] > self.now:
+                time = heap[0][0]
+                if max_time is not None and time > max_time:
+                    self.events_processed = events
+                    return StopReason.MAX_TIME
+                self.now = time
+        self.events_processed = events
         return StopReason.QUIESCENT

@@ -12,15 +12,19 @@ under two rules that make it compatible with a consistent labeling:
 
 The non-compatible **FCFS** policy grants free queues in arrival order; it
 is the baseline that reproduces the queue-induced deadlocks of Figs. 7-9.
+
+Per-link policy state lives directly on the :class:`LinkState` (the
+``policy_data`` slot) rather than in ``Link``-keyed side tables, so the
+assignment hot path performs no hashing.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.arch.links import Link
 from repro.arch.queue import HardwareQueue
@@ -30,8 +34,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.labeling import Labeling
     from repro.sim.agents import MessageFlow
 
+#: Per-link label groups, ascending by label, members sorted by name.
+LabelGroups = Sequence[Sequence[str]]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Request:
     """A message (flow) asking for a queue on one hop of its route."""
 
@@ -43,7 +50,7 @@ class Request:
         return self.flow.message.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AssignmentEvent:
     """One grant or release, for traces and the Fig. 7-9 timelines."""
 
@@ -60,11 +67,14 @@ class AssignmentEvent:
 class LinkState:
     """Mutable per-link assignment state shared with the policy."""
 
+    __slots__ = ("link", "queues", "free", "granted_ever", "policy_data")
+
     def __init__(self, link: Link, queues: list[HardwareQueue]) -> None:
         self.link = link
         self.queues = queues
         self.free: list[HardwareQueue] = list(queues)
         self.granted_ever: set[str] = set()
+        self.policy_data: object = None
 
     def take_free(self) -> HardwareQueue:
         if not self.free:
@@ -81,10 +91,16 @@ class AssignmentPolicy(ABC):
     def setup_link(
         self,
         state: LinkState,
-        competing: list[str],
+        competing: Sequence[str],
         labeling: "Labeling | None",
+        groups: LabelGroups | None = None,
     ) -> None:
-        """Prepare per-link data; called once per used link before t=0."""
+        """Prepare per-link data; called once per used link before t=0.
+
+        ``groups`` optionally supplies precomputed label groups (ascending
+        label, names sorted) so cached analyses skip the per-link grouping
+        sort; policies that ignore labels ignore it.
+        """
 
     @abstractmethod
     def on_request(self, manager: "QueueManager", state: LinkState, req: Request) -> None:
@@ -104,23 +120,32 @@ class FCFSPolicy(AssignmentPolicy):
 
     name = "fcfs"
 
-    def __init__(self) -> None:
-        self._pending: dict[Link, deque[Request]] = {}
-
-    def setup_link(self, state, competing, labeling) -> None:
-        self._pending[state.link] = deque()
+    def setup_link(self, state, competing, labeling, groups=None) -> None:
+        state.policy_data = deque()
 
     def on_request(self, manager, state, req) -> None:
-        self._pending[state.link].append(req)
+        state.policy_data.append(req)
         self._evaluate(manager, state)
 
     def on_release(self, manager, state) -> None:
         self._evaluate(manager, state)
 
     def _evaluate(self, manager, state) -> None:
-        pending = self._pending[state.link]
+        pending = state.policy_data
         while pending and state.free:
             manager.grant(state, pending.popleft())
+
+
+class _OrderedLinkData:
+    """Per-link state of the ordered policy (kept on ``LinkState``)."""
+
+    __slots__ = ("groups", "gidx", "granted", "pending")
+
+    def __init__(self, groups: LabelGroups) -> None:
+        self.groups = groups
+        self.gidx = 0
+        self.granted: set[str] = set()
+        self.pending: dict[str, Request] = {}
 
 
 class OrderedPolicy(AssignmentPolicy):
@@ -140,51 +165,46 @@ class OrderedPolicy(AssignmentPolicy):
 
     def __init__(self, strict: bool = True) -> None:
         self.strict = strict
-        self._groups: dict[Link, list[list[str]]] = {}
-        self._gidx: dict[Link, int] = {}
-        self._granted: dict[Link, set[str]] = {}
-        self._pending: dict[Link, dict[str, Request]] = {}
 
-    def setup_link(self, state, competing, labeling) -> None:
-        if labeling is None:
-            raise ConfigError("OrderedPolicy requires a labeling")
-        by_label: dict[Fraction, list[str]] = {}
-        for name in competing:
-            by_label.setdefault(labeling.label(name), []).append(name)
-        groups = [sorted(names) for _lab, names in sorted(by_label.items())]
+    def setup_link(self, state, competing, labeling, groups=None) -> None:
+        if groups is None:
+            if labeling is None:
+                raise ConfigError("OrderedPolicy requires a labeling")
+            groups = label_groups(competing, labeling)
         if self.strict:
             for group in groups:
                 if len(group) > len(state.queues):
                     raise ConfigError(
-                        f"link {state.link}: same-label group {group} needs "
+                        f"link {state.link}: same-label group {list(group)} needs "
                         f"{len(group)} queues, only {len(state.queues)} exist "
                         f"(Theorem 1 assumption (ii))"
                     )
-        self._groups[state.link] = groups
-        self._gidx[state.link] = 0
-        self._granted[state.link] = set()
-        self._pending[state.link] = {}
+        state.policy_data = _OrderedLinkData(groups)
 
     def on_request(self, manager, state, req) -> None:
-        self._pending[state.link][req.message] = req
+        state.policy_data.pending[req.message] = req
         self._evaluate(manager, state)
 
     def on_release(self, manager, state) -> None:
         self._evaluate(manager, state)
 
     def _evaluate(self, manager, state) -> None:
-        link = state.link
-        groups = self._groups[link]
-        granted = self._granted[link]
-        pending = self._pending[link]
-        while self._gidx[link] < len(groups):
-            group = groups[self._gidx[link]]
+        data: _OrderedLinkData = state.policy_data
+        groups = data.groups
+        granted = data.granted
+        pending = data.pending
+        while data.gidx < len(groups):
+            group = groups[data.gidx]
+            fully_granted = True
             for name in group:
-                if name not in granted and name in pending and state.free:
-                    manager.grant(state, pending.pop(name))
-                    granted.add(name)
-            if all(name in granted for name in group):
-                self._gidx[link] += 1
+                if name not in granted:
+                    if name in pending and state.free:
+                        manager.grant(state, pending.pop(name))
+                        granted.add(name)
+                    else:
+                        fully_granted = False
+            if fully_granted:
+                data.gidx += 1
                 continue
             break  # remaining free queues stay reserved for this group
 
@@ -200,30 +220,41 @@ class StaticPolicy(AssignmentPolicy):
 
     name = "static"
 
-    def __init__(self) -> None:
-        self._reserved: dict[Link, dict[str, HardwareQueue]] = {}
-
-    def setup_link(self, state, competing, labeling) -> None:
+    def setup_link(self, state, competing, labeling, groups=None) -> None:
         if len(competing) > len(state.queues):
             raise ConfigError(
                 f"link {state.link}: static assignment needs "
-                f"{len(competing)} queues for {competing}, only "
+                f"{len(competing)} queues for {list(competing)}, only "
                 f"{len(state.queues)} exist"
             )
-        self._reserved[state.link] = {
+        state.policy_data = {
             name: state.queues[i] for i, name in enumerate(competing)
         }
 
     def on_request(self, manager, state, req) -> None:
-        queue = self._reserved[state.link][req.message]
+        queue = state.policy_data[req.message]
         manager.grant(state, req, queue)
 
     def on_release(self, manager, state) -> None:
         pass  # reservations never move
 
 
+def label_groups(
+    competing: Sequence[str], labeling: "Labeling"
+) -> tuple[tuple[str, ...], ...]:
+    """Group competing messages by label, ascending; names sorted."""
+    by_label: dict[Fraction, list[str]] = {}
+    for name in competing:
+        by_label.setdefault(labeling.label(name), []).append(name)
+    return tuple(
+        tuple(sorted(names)) for _lab, names in sorted(by_label.items())
+    )
+
+
 class QueueManager:
     """Owns link states, dispatches requests to the policy, records a trace."""
+
+    __slots__ = ("policy", "clock", "links", "trace")
 
     def __init__(
         self,
@@ -239,13 +270,14 @@ class QueueManager:
         self,
         link: Link,
         queues: list[HardwareQueue],
-        competing: list[str],
+        competing: Sequence[str],
         labeling: "Labeling | None",
+        groups: LabelGroups | None = None,
     ) -> None:
         """Register a link and let the policy prepare it."""
         state = LinkState(link, queues)
         self.links[link] = state
-        self.policy.setup_link(state, competing, labeling)
+        self.policy.setup_link(state, competing, labeling, groups)
 
     def request(self, req: Request) -> None:
         """A flow asks for a queue on one hop; the policy decides."""

@@ -4,6 +4,14 @@ or deadlock.
 This is the run-time half of the paper: a deadlock-free program plus a
 consistent labeling plus a compatible queue assignment runs to completion
 (Theorem 1); drop any premise and the simulator shows you the deadlock.
+
+Static analyses (routing, competing-message sets, lookahead capacities,
+labeling) are shared across simulators through the content-keyed cache in
+:mod:`repro.perf` — repeated simulations of the same program pay for them
+once. Custom router/topology subclasses are automatically excluded from
+sharing unless they expose an ``analysis_fingerprint`` token (see
+:mod:`repro.perf.analysis_cache`); ``reuse_analysis=False`` disables
+sharing entirely.
 """
 
 from __future__ import annotations
@@ -19,13 +27,12 @@ from repro.core.labeling import Labeling, constraint_labeling
 from repro.core.crossing import route_capacities
 from repro.core.program import ArrayProgram
 from repro.core.requirements import competing_messages
-from repro.errors import ConfigError
+from repro.perf.analysis_cache import GLOBAL_ANALYSIS_CACHE, AnalysisEntry
 from repro.sim.agents import CellAgent, ForwarderAgent, MessageFlow, _Agent
 from repro.sim.deadlock import diagnose
 from repro.sim.engine import Engine, StopReason
 from repro.sim.queue_manager import AssignmentPolicy, QueueManager, make_policy
 from repro.sim.result import SimulationResult
-from repro.sim.words import Word
 
 
 class Simulator:
@@ -49,6 +56,10 @@ class Simulator:
             weights).
         strict: enforce Theorem 1 assumption (ii) at setup for the
             ordered policy.
+        reuse_analysis: share static analyses (routes, competing sets,
+            capacities, labeling) through the process-global content-keyed
+            cache. Identical results either way; repeated simulations of
+            the same program skip re-analysis.
 
     Simulators are single-shot: build, :meth:`run`, inspect the result.
     """
@@ -63,11 +74,20 @@ class Simulator:
         labeling: Labeling | None = None,
         registers: dict[str, dict[str, float | None]] | None = None,
         strict: bool = True,
+        reuse_analysis: bool = True,
     ) -> None:
         self.program = program
         self.config = config or ArrayConfig()
         self.topology = topology or ExplicitLinear(tuple(program.cells))
         self.router = router or default_router(self.topology)
+        self.reuse_analysis = reuse_analysis
+        self._analysis: AnalysisEntry | None = (
+            GLOBAL_ANALYSIS_CACHE.lookup(
+                program, self.topology, self.router, self.config
+            )
+            if reuse_analysis
+            else None
+        )
         if isinstance(policy, str):
             self.policy = make_policy(policy, strict=strict)
         else:
@@ -89,6 +109,8 @@ class Simulator:
         # The constraint-based labeling always exists and matches the
         # Section 6 scheme on every example the paper works; see
         # repro.core.labeling for why the literal scheme is not used here.
+        if self._analysis is not None:
+            return self._analysis.labeling
         lookahead = None
         if self.config.queue_capacity > 0 or self.config.allow_extension:
             lookahead = route_capacities(
@@ -100,26 +122,46 @@ class Simulator:
         return constraint_labeling(self.program, lookahead=lookahead)
 
     def _build(self, registers: dict[str, dict[str, float | None]]) -> None:
+        analysis = self._analysis
+        if analysis is not None:
+            routes = analysis.routes
+            competing = analysis.competing
+        else:
+            routes = {
+                msg.name: self.router.route(msg.sender, msg.receiver)
+                for msg in self.program.messages.values()
+            }
+            competing = competing_messages(self.program, self.router)
         for msg in self.program.messages.values():
-            route = self.router.route(msg.sender, msg.receiver)
-            self.flows[msg.name] = MessageFlow(self, msg, route)
-        competing = competing_messages(self.program, self.router)
+            self.flows[msg.name] = MessageFlow(self, msg, routes[msg.name])
+        groups_table = None
+        if (
+            analysis is not None
+            and self.policy.name == "ordered"
+            and self.labeling is not None
+        ):
+            groups_table = analysis.ordered_groups(self.labeling)
         used_links: set[Link] = set()
         for flow in self.flows.values():
             used_links.update(flow.route)
+        cfg = self.config
         for link in sorted(used_links):
             queues = [
                 HardwareQueue(
                     link,
                     index,
-                    capacity=self.config.queue_capacity,
-                    extension_allowed=self.config.allow_extension,
-                    extension_penalty=self.config.extension_penalty,
+                    capacity=cfg.queue_capacity,
+                    extension_allowed=cfg.allow_extension,
+                    extension_penalty=cfg.extension_penalty,
                 )
-                for index in range(self.config.queues_on(link))
+                for index in range(cfg.queues_on(link))
             ]
             self.manager.add_link(
-                link, queues, competing.get(link, []), self.labeling
+                link,
+                queues,
+                competing.get(link, ()),
+                self.labeling,
+                groups_table.get(link) if groups_table is not None else None,
             )
         for cell in self.program.cells:
             agent = CellAgent(
@@ -144,10 +186,6 @@ class Simulator:
     def agent_finished(self, agent: _Agent) -> None:
         """An agent completed all its work."""
         self._unfinished -= 1
-
-    def record_delivery(self, word: Word) -> None:
-        """A receiver consumed ``word`` — record it for result inspection."""
-        self.received[word.message].append(word.value)
 
     # ------------------------------------------------------------------
     # Execution

@@ -2,6 +2,7 @@
 
 from repro.workloads.random_programs import (
     WorkloadSpec,
+    ensemble_programs,
     hoist_writes,
     inject_read_cycle,
     random_program,
@@ -15,6 +16,7 @@ from repro.workloads.schedule_builder import (
 
 __all__ = [
     "WorkloadSpec",
+    "ensemble_programs",
     "hoist_writes",
     "inject_read_cycle",
     "program_from_schedule",

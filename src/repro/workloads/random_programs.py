@@ -189,3 +189,32 @@ def spec_family(
         )
         for i in range(count)
     ]
+
+
+def ensemble_programs(
+    count: int,
+    cells: int = 6,
+    messages: int = 8,
+    max_length: int = 5,
+    max_span: int = 3,
+    burst: int = 3,
+    base_seed: int = 0,
+) -> list[ArrayProgram]:
+    """``count`` random deadlock-free programs, one per seed.
+
+    The materialised form of :func:`spec_family` — the input shape the
+    batched runner (:func:`repro.sim.batch.simulate_many`) consumes
+    directly for Theorem-1 ensembles.
+    """
+    return [
+        random_program(spec)
+        for spec in spec_family(
+            count,
+            cells=cells,
+            messages=messages,
+            max_length=max_length,
+            max_span=max_span,
+            burst=burst,
+            base_seed=base_seed,
+        )
+    ]

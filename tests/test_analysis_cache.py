@@ -1,0 +1,198 @@
+"""Analysis-cache tests: keying, sharing, equivalence, bounds."""
+
+import pytest
+
+from repro import ArrayConfig, Simulator, simulate
+from repro.perf import (
+    AnalysisCache,
+    GLOBAL_ANALYSIS_CACHE,
+    analysis_cache_stats,
+    clear_analysis_cache,
+    program_fingerprint,
+    topology_fingerprint,
+)
+from repro.algorithms.fir import fir_program, fir_registers
+from repro.arch.topology import ExplicitLinear, LinearArray, Mesh2D
+from repro.workloads import WorkloadSpec, random_program
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_analysis_cache()
+    yield
+    clear_analysis_cache()
+
+
+class TestFingerprints:
+    def test_identical_programs_share_fingerprint(self):
+        a = fir_program(4, 8)
+        b = fir_program(4, 8)
+        assert a is not b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_different_structure_differs(self):
+        assert program_fingerprint(fir_program(4, 8)) != program_fingerprint(
+            fir_program(4, 9)
+        )
+
+    def test_fingerprint_memoized_on_instance(self):
+        program = fir_program(4, 8)
+        first = program_fingerprint(program)
+        assert program_fingerprint(program) is first
+
+    def test_topology_fingerprint_separates_shapes(self):
+        cells = ("C1", "C2", "C3", "C4")
+        linear = ExplicitLinear(cells)
+        assert topology_fingerprint(linear) != topology_fingerprint(
+            Mesh2D(2, 2)
+        )
+        assert topology_fingerprint(Mesh2D(2, 2)) != topology_fingerprint(
+            Mesh2D(1, 4)
+        )
+
+
+class TestCacheBehaviour:
+    def test_repeat_simulation_hits_cache(self):
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        simulate(program, registers=registers)
+        stats = analysis_cache_stats()
+        assert stats["misses"] == 1
+        simulate(program, registers=registers)
+        stats = analysis_cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["misses"] == 1
+
+    def test_structurally_equal_program_object_hits(self):
+        registers = fir_registers((1.0,) * 4)
+        simulate(fir_program(4, 8), registers=registers)
+        simulate(fir_program(4, 8), registers=registers)
+        assert analysis_cache_stats()["misses"] == 1
+
+    def test_config_bits_key_the_entry(self):
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        simulate(program, registers=registers)
+        simulate(
+            program, config=ArrayConfig(queue_capacity=2), registers=registers
+        )
+        assert analysis_cache_stats()["misses"] == 2
+        # queues_per_link does not affect the analyses -> same entry.
+        simulate(
+            program,
+            config=ArrayConfig(queues_per_link=3),
+            registers=registers,
+        )
+        assert analysis_cache_stats()["misses"] == 2
+
+    def test_reuse_analysis_false_bypasses_cache(self):
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        result = Simulator(
+            program, registers=registers, reuse_analysis=False
+        ).run()
+        assert result.completed
+        assert analysis_cache_stats()["misses"] == 0
+
+    def test_clear_resets_counters(self):
+        simulate(fir_program(4, 8), registers=fir_registers((1.0,) * 4))
+        clear_analysis_cache()
+        stats = analysis_cache_stats()
+        assert stats == {"size": 0, "hits": 0, "misses": 0}
+
+    def test_lru_bound_respected(self):
+        cache = AnalysisCache(maxsize=2)
+        config = ArrayConfig()
+        for outputs in (4, 5, 6):
+            program = fir_program(2, outputs)
+            topo = ExplicitLinear(tuple(program.cells))
+            from repro.arch.routing import default_router
+
+            cache.lookup(program, topo, default_router(topo), config)
+        assert len(cache) == 2
+
+
+class TestCachedEqualsFresh:
+    @pytest.mark.parametrize("seed", [0, 5])
+    @pytest.mark.parametrize("capacity", [0, 2])
+    def test_identical_results(self, seed, capacity):
+        spec = WorkloadSpec(cells=6, messages=10, max_length=3, seed=seed)
+        program = random_program(spec)
+        config = ArrayConfig(queues_per_link=8, queue_capacity=capacity)
+        fresh = Simulator(program, config=config, reuse_analysis=False).run()
+        cold = Simulator(program, config=config).run()  # fills the cache
+        warm = Simulator(program, config=config).run()  # reads the cache
+        for result in (cold, warm):
+            assert result.received == fresh.received
+            assert result.registers == fresh.registers
+            assert result.assignment_trace == fresh.assignment_trace
+            assert result.time == fresh.time
+            assert result.events == fresh.events
+
+    def test_custom_labeling_not_cached_across_runs(self):
+        from repro.core.labeling import trivial_labeling
+
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        config = ArrayConfig(queues_per_link=4)
+        auto = simulate(program, config=config, registers=registers)
+        custom = Simulator(
+            program,
+            config=config,
+            registers=registers,
+            labeling=trivial_labeling(program),
+        ).run()
+        assert auto.completed and custom.completed
+        assert auto.received == custom.received
+
+    def test_global_cache_is_shared_across_simulators(self):
+        program = fir_program(4, 8)
+        sim1 = Simulator(program, registers=fir_registers((1.0,) * 4))
+        sim2 = Simulator(program, registers=fir_registers((1.0,) * 4))
+        assert sim1.labeling is sim2.labeling
+        assert GLOBAL_ANALYSIS_CACHE.stats()["size"] == 1
+
+
+class TestCustomSubclassSafety:
+    def test_custom_router_is_uncacheable_without_token(self):
+        from repro.arch.routing import LinearRouter
+        from repro.perf import router_fingerprint
+
+        class ParamRouter(LinearRouter):
+            def __init__(self, topology, reverse=False):
+                super().__init__(topology)
+                self.reverse = reverse
+
+        program = fir_program(4, 8)
+        topo = ExplicitLinear(tuple(program.cells))
+        router = ParamRouter(topo)
+        assert router_fingerprint(router) is None
+        result = Simulator(
+            program, router=router, registers=fir_registers((1.0,) * 4)
+        ).run()
+        assert result.completed
+        assert analysis_cache_stats()["size"] == 0  # nothing was cached
+
+    def test_custom_router_with_token_is_cacheable(self):
+        from repro.arch.routing import LinearRouter
+        from repro.perf import router_fingerprint
+
+        class TokenRouter(LinearRouter):
+            def __init__(self, topology, flavor):
+                super().__init__(topology)
+                self.flavor = flavor
+                self.analysis_fingerprint = f"flavor={flavor}"
+
+        program = fir_program(4, 8)
+        topo = ExplicitLinear(tuple(program.cells))
+        fp_a = router_fingerprint(TokenRouter(topo, "a"))
+        fp_b = router_fingerprint(TokenRouter(topo, "b"))
+        assert fp_a is not None and fp_a != fp_b
+
+    def test_custom_topology_is_uncacheable_without_token(self):
+        from repro.perf import topology_fingerprint
+
+        class WeirdTopology(ExplicitLinear):
+            pass
+
+        assert topology_fingerprint(WeirdTopology(("C1", "C2"))) is None

@@ -87,3 +87,40 @@ class TestRun:
         path.write_text(print_program(fig8_program()))
         # 1 queue but a size-2 same-label group: ConfigError -> exit 2.
         assert main(["run", str(path), "--queues", "1"]) == 2
+
+
+class TestSweep:
+    def test_sweep_table_and_exit(self, fig7_file, capsys):
+        # FCFS with one queue deadlocks on Fig. 7 -> nonzero exit.
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs", "--queues", "1,2"
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ordered q=1 cap=0" in out
+        assert "fcfs q=1 cap=0" in out
+        assert "deadlock" in out
+        assert "3/4 runs completed" in out
+
+    def test_sweep_all_completed_exit_zero(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--policies", "ordered"]) == 0
+        assert "1/1 runs completed" in capsys.readouterr().out
+
+    def test_sweep_json_output(self, fig7_file, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "sweep.json"
+        main([
+            "sweep", fig7_file, "--queues", "1,2", "--json", str(out_path)
+        ])
+        payload = json.loads(out_path.read_text())
+        assert len(payload) == 2
+        assert {"label", "outcome", "time", "events"} <= set(payload[0])
+
+    def test_sweep_trailing_comma_tolerated(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--queues", "1,2,"]) == 0
+        assert "2/2 runs completed" in capsys.readouterr().out
+
+    def test_sweep_non_integer_queues_clean_error(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--queues", "1,x"]) == 2
+        err = capsys.readouterr().err
+        assert "--queues expects integers" in err

@@ -1,0 +1,169 @@
+"""Engine fast-lane tests: ordering, limits, and heap-vs-FIFO determinism."""
+
+import pytest
+
+from repro import ArrayConfig, Simulator
+from repro.algorithms.fir import fir_program, fir_registers
+from repro.sim.engine import Engine, StopReason
+from repro.workloads import WorkloadSpec, random_program
+
+
+class TestFastLaneOrdering:
+    def test_after_zero_fires_in_scheduling_order(self):
+        engine = Engine()
+        log = []
+        for tag in "abcde":
+            engine.after(0, lambda t=tag: log.append(t))
+        engine.run()
+        assert log == list("abcde")
+
+    def test_at_now_and_after_zero_interleave_in_order(self):
+        engine = Engine()
+        log = []
+        engine.at(0, lambda: log.append("a"))
+        engine.after(0, lambda: log.append("b"))
+        engine.at(0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_heap_entries_due_now_precede_fifo_entries(self):
+        # Events scheduled for time 5 from time 0 (heap lane) must fire
+        # before events scheduled *at* time 5 via after(0) (fast lane),
+        # because the heap entries were scheduled first.
+        engine = Engine()
+        log = []
+
+        def at_five():
+            log.append("heap1")
+            engine.after(0, lambda: log.append("fifo"))
+
+        engine.at(5, at_five)
+        engine.at(5, lambda: log.append("heap2"))
+        engine.run()
+        assert log == ["heap1", "heap2", "fifo"]
+
+    def test_fifo_spawned_during_fifo_processing_runs_same_time(self):
+        engine = Engine()
+        seen = []
+
+        def spawn(depth):
+            seen.append((engine.now, depth))
+            if depth:
+                engine.after(0, lambda: spawn(depth - 1))
+
+        engine.at(3, lambda: spawn(3))
+        engine.run()
+        assert seen == [(3, 3), (3, 2), (3, 1), (3, 0)]
+        assert engine.now == 3
+
+    def test_mixed_times_keep_global_time_order(self):
+        engine = Engine()
+        log = []
+        engine.at(2, lambda: log.append(("t2", engine.now)))
+        engine.after(0, lambda: log.append(("t0", engine.now)))
+        engine.at(1, lambda: engine.after(0, lambda: log.append(("t1", engine.now))))
+        engine.run()
+        assert log == [("t0", 0), ("t1", 1), ("t2", 2)]
+
+
+class TestSemanticsUnchanged:
+    def test_past_scheduling_still_raises(self):
+        engine = Engine()
+        engine.at(5, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.at(3, lambda: None)
+
+    def test_negative_delay_still_raises(self):
+        with pytest.raises(ValueError):
+            Engine().after(-1, lambda: None)
+
+    def test_quiescent_with_fast_lane_only(self):
+        engine = Engine()
+        engine.after(0, lambda: None)
+        assert engine.run() is StopReason.QUIESCENT
+
+    def test_max_events_counts_fast_lane_events(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.after(0, reschedule)
+
+        engine.after(0, reschedule)
+        assert engine.run(max_events=7) is StopReason.MAX_EVENTS
+        assert engine.events_processed == 7
+
+    def test_max_time_leaves_future_event_pending(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.after(10, reschedule)
+
+        engine.at(0, reschedule)
+        assert engine.run(max_time=25) is StopReason.MAX_TIME
+        assert engine.now <= 25
+        assert engine.pending == 1  # the over-limit event was not consumed
+
+    def test_rerun_with_tighter_max_time_returns_immediately(self):
+        engine = Engine()
+        engine.at(30, lambda: None)
+        assert engine.run(max_time=10) is StopReason.MAX_TIME
+        assert engine.run(max_time=10) is StopReason.MAX_TIME
+        assert engine.run() is StopReason.QUIESCENT
+
+    def test_pending_counts_both_lanes(self):
+        engine = Engine()
+        engine.after(0, lambda: None)
+        engine.at(4, lambda: None)
+        assert engine.pending == 2
+
+
+def _trace_of(program, *, fast, policy="ordered", config=None, registers=None):
+    sim = Simulator(program, config=config, policy=policy, registers=registers)
+    sim.engine = Engine(fast_lane=fast)
+    result = sim.run()
+    return result
+
+
+class TestHeapOnlyEquivalence:
+    """fast_lane=False forces every event through the heap (the seed
+    engine's behaviour); both paths must be event-for-event identical."""
+
+    def test_fir_identical_results(self):
+        program = fir_program(8, 16)
+        registers = fir_registers(tuple(1.0 for _ in range(8)))
+        fast = _trace_of(program, fast=True, registers=registers)
+        slow = _trace_of(program, fast=False, registers=registers)
+        assert fast.assignment_trace == slow.assignment_trace
+        assert fast.received == slow.received
+        assert fast.registers == slow.registers
+        assert fast.time == slow.time
+        assert fast.events == slow.events
+
+    def test_fcfs_deadlock_identical_diagnosis(self, fig7):
+        fast = _trace_of(fig7, fast=True, policy="fcfs")
+        slow = _trace_of(fig7, fast=False, policy="fcfs")
+        assert fast.deadlocked and slow.deadlocked
+        assert fast.assignment_trace == slow.assignment_trace
+        assert fast.blocked == slow.blocked
+        assert fast.wait_cycle == slow.wait_cycle
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_programs_identical_traces(self, seed):
+        spec = WorkloadSpec(cells=6, messages=12, max_length=3, seed=seed)
+        program = random_program(spec)
+        config = ArrayConfig(queues_per_link=8)
+        fast = _trace_of(program, fast=True, config=config)
+        slow = _trace_of(program, fast=False, config=config)
+        assert fast.assignment_trace == slow.assignment_trace
+        assert fast.received == slow.received
+        assert fast.time == slow.time
+        assert fast.events == slow.events
+
+    def test_buffered_queues_identical_traces(self, fig7):
+        config = ArrayConfig(queue_capacity=2)
+        fast = _trace_of(fig7, fast=True, config=config)
+        slow = _trace_of(fig7, fast=False, config=config)
+        assert fast.assignment_trace == slow.assignment_trace
+        assert fast.completed and slow.completed
+        assert fast.time == slow.time
