@@ -8,13 +8,16 @@ Three claims, each recorded into ``BENCH_core.json``:
 * **repeated-program ensembles** — simulating one program many times
   (policy ablations, Theorem-1 sweeps) amortises static analysis through
   the content-keyed cache; with buffered queues, whose analysis runs the
-  full lookahead crossing-off, the cached ensemble is orders of
-  magnitude faster than uncached;
+  full lookahead crossing-off, the cache still pays measurably — though
+  far less dramatically than in PR 1, because the incremental crossing
+  engine (see ``bench_crossing_cold.py``) made cold analysis itself
+  ~5x cheaper;
 * **batched ensembles** — ``simulate_many`` sustains the same
   throughput over many distinct programs with a deterministic merge.
 
-Expected shape: cached ensemble >> uncached (>=5x); all ensemble runs
-complete; dispatch rate far above workload event rates.
+Expected shape: cached ensemble beats uncached (the residual analysis
+cost is real but no longer dominant); all ensemble runs complete;
+dispatch rate far above workload event rates.
 """
 
 import time
@@ -110,11 +113,17 @@ def test_repeated_program_ensemble_cached(benchmark, core_metrics):
         cached_ms_per_run=round(cached_total / REPEAT_RUNS * 1e3, 3),
         speedup_vs_uncached=round(speedup, 1),
     )
-    # The acceptance bar: the cache buys >=5x end-to-end on repeated
-    # simulations of one program. Only asserted on recording runs, where
-    # the machine is expected to be quiet enough for timing to mean
-    # something.
-    assert speedup >= 5.0
+    # The cache must still pay end-to-end on repeated simulations of one
+    # program. The bar was 5x when cold analysis cost ~44 ms/run; the
+    # incremental crossing engine cut that to single-digit milliseconds,
+    # so the residual cacheable cost bounds the ratio near 2x. Only
+    # asserted on quiet recording machines — shared CI runners record
+    # numbers for the relative regression guard but are too noisy for a
+    # hard wall-clock ratio.
+    import os
+
+    if not os.environ.get("CI"):
+        assert speedup >= 1.4
 
 
 def test_distinct_program_ensemble_batched(benchmark, core_metrics):

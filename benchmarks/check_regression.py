@@ -1,0 +1,95 @@
+"""Benchmark regression guard: fail when throughput drops below baseline.
+
+Compares a freshly recorded bench file (``REPRO_BENCH_RECORD=1
+REPRO_BENCH_OUT=... pytest benchmarks/...``) against the committed
+``BENCH_core.json`` trajectory. Any record whose ``events_per_sec``
+falls more than ``--max-drop`` (default 30%) below the baseline fails
+the check; records present on only one side are reported but never
+fatal, so adding or retiring benches doesn't break the guard.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_core.json --current /tmp/bench_current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+METRIC = "events_per_sec"
+
+
+def load_records(path: Path) -> dict[str, dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    records = payload.get("records")
+    if not isinstance(records, dict):
+        raise SystemExit(f"error: {path} has no 'records' object")
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_core.json",
+        help="committed trajectory to compare against",
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly recorded bench file"
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=0.30,
+        help="maximum tolerated fractional drop in events_per_sec "
+             "(default 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_records(Path(args.baseline))
+    current = load_records(Path(args.current))
+
+    failures: list[str] = []
+    compared = 0
+    for name in sorted(baseline):
+        base_value = baseline[name].get(METRIC)
+        if base_value is None:
+            continue
+        entry = current.get(name)
+        if entry is None or entry.get(METRIC) is None:
+            print(f"  [skip]  {name}: not measured in current run")
+            continue
+        compared += 1
+        value = entry[METRIC]
+        ratio = value / base_value if base_value else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.max_drop:
+            status = "FAIL"
+            failures.append(name)
+        print(
+            f"  [{status:>4}]  {name}: {value:,} vs baseline "
+            f"{base_value:,} ({ratio:.2f}x)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        if current[name].get(METRIC) is not None:
+            print(f"  [new ]  {name}: {current[name][METRIC]:,} (no baseline)")
+
+    if not compared:
+        print("error: no overlapping events_per_sec records to compare")
+        return 2
+    if failures:
+        print(
+            f"\n{len(failures)} record(s) dropped more than "
+            f"{args.max_drop:.0%} below baseline: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nall {compared} compared records within {args.max_drop:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,13 @@ locally) must not clobber the baseline with throwaway timings.
 Regenerate with::
 
     REPRO_BENCH_RECORD=1 pytest benchmarks/bench_scaling_simulation.py \
-        benchmarks/bench_batch_throughput.py -q
+        benchmarks/bench_batch_throughput.py benchmarks/bench_crossing_cold.py -q
+
+Setting ``REPRO_BENCH_OUT=/some/path.json`` redirects the recorded
+records to that file instead of the checked-in baseline — this is how
+the CI regression guard captures fresh numbers to diff against
+``BENCH_core.json`` (see ``benchmarks/check_regression.py``) without
+touching the committed trajectory.
 """
 
 from __future__ import annotations
@@ -84,13 +90,14 @@ def recording_enabled() -> bool:
 def pytest_sessionfinish(session, exitstatus):
     if not _RECORDS or not recording_enabled():
         return
-    # Merge into the checked-in trajectory: a partial run (one bench file,
-    # a -k subset) updates only the records it produced and must not wipe
-    # the rest of the baseline.
+    out_path = Path(os.environ.get("REPRO_BENCH_OUT") or BENCH_CORE_PATH)
+    # Merge into the existing trajectory at the target path: a partial
+    # run (one bench file, a -k subset) updates only the records it
+    # produced and must not wipe the rest of the baseline.
     existing: dict = {}
-    if BENCH_CORE_PATH.exists():
+    if out_path.exists():
         try:
-            existing = json.loads(BENCH_CORE_PATH.read_text()).get("records", {})
+            existing = json.loads(out_path.read_text()).get("records", {})
         except (ValueError, OSError):
             existing = {}
     existing.update(_RECORDS)
@@ -100,11 +107,9 @@ def pytest_sessionfinish(session, exitstatus):
         "python": platform.python_version(),
         "records": dict(sorted(existing.items())),
     }
-    BENCH_CORE_PATH.write_text(
-        json.dumps(payload, indent=2, sort_keys=False) + "\n"
-    )
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     print(
         f"\n[bench] updated {len(_RECORDS)} of {len(existing)} records in "
-        f"{BENCH_CORE_PATH}",
+        f"{out_path}",
         file=sys.stderr,
     )

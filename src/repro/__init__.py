@@ -25,24 +25,39 @@ Performance
 -----------
 
 The simulator hot path is a zero-allocation event engine: same-time
-events ride a FIFO fast lane (the heap is only for strictly-future
-timestamps), agents/queues/words are slotted, and waiters are reusable
-bound methods. Two knobs matter for throughput at scale:
+events ride a FIFO fast lane, near-future delays (1-8 cycles, the
+simulator's whole repertoire) ride a 16-slot timing wheel, and the heap
+only sees far-future overflow; agents/queues/words are slotted and
+waiters are reusable bound methods. The compile-time half is an
+incremental crossing-off engine (:mod:`repro.core.crossing`): position
+indexes, prefix write-counts for the Section 8.1 R2 checks and a
+dirty-message worklist classify ensemble-scale programs ~5x faster than
+the literal op-by-op procedure. The knobs that matter at scale:
 
 * **Analysis caching** — ``Simulator(..., reuse_analysis=True)`` (the
   default) shares routing, competing-message sets, lookahead capacities
   and the constraint labeling through a process-global content-keyed
   cache (:mod:`repro.perf`). Repeated simulations of the same program
   (sweeps, policy ablations, Theorem-1 ensembles) skip static analysis
-  entirely — buffered-queue configs, whose analysis runs the full
-  crossing-off procedure, speed up by orders of magnitude. Use
-  ``repro.perf.clear_analysis_cache()`` to reset, and
+  entirely. Use ``repro.perf.clear_analysis_cache()`` to reset, and
   ``reuse_analysis=False`` for stateful custom routers.
+* **Persistent disk tier** — export
+  ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` (or call
+  :func:`repro.perf.configure_disk_cache`) and analyses persist across
+  processes and sessions under the same content fingerprints, with
+  atomic writes and corruption-tolerant loads: pool workers and
+  restarted sweeps skip re-analysis entirely.
 * **Batched ensembles** — :func:`repro.sim.batch.simulate_many` runs
   many (program, config, policy) jobs with a deterministic merge order,
   in-process or via chunked multiprocessing (``workers=N``); see also
   the ``repro sweep`` CLI subcommand and
   :func:`repro.workloads.ensemble_programs`.
+* **Streaming reduction** — :func:`repro.sim.batch.simulate_stream`
+  yields one flat :class:`repro.sim.batch.RunSummary` row per job with
+  O(1) retained state (full results never accumulate, nor cross the
+  pool pipe) while feeding built-in reducers — completed counts,
+  makespan histograms, deadlock rate by config. ``repro sweep --stream``
+  exposes it on the command line for sweeps too large to hold.
 """
 
 from repro.arch import (

@@ -25,7 +25,18 @@ from repro.core.schedule import summarize_schedule
 from repro.errors import ConfigError, ReproError
 from repro.lang.parser import parse_program
 from repro.lang.printer import side_by_side
-from repro.sim.batch import BatchError, simulate_many, sweep_jobs, sweep_labels
+from repro.sim.batch import (
+    BatchError,
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    iter_sweep_jobs,
+    iter_sweep_labels,
+    simulate_many,
+    simulate_stream,
+    sweep_jobs,
+    sweep_labels,
+)
 from repro.sim.runtime import simulate
 from repro.viz.crossing_view import render_annotated, render_steps
 from repro.viz.timeline import render_assignments, render_outcome
@@ -102,11 +113,51 @@ def _int_list(raw: str, flag: str) -> list[int]:
     return values
 
 
+def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
+    """Streaming sweep: O(1) retained results, reducer summaries at the end.
+
+    Jobs are generated lazily and every result is folded into the
+    reducers the moment it arrives — a 10k-run sweep holds one summary
+    row at a time no matter how long it runs.
+    """
+    reducers = (CompletedCount(), MakespanHistogram(), DeadlockRateByConfig())
+    outcomes = reducers[0]
+    jobs = iter_sweep_jobs(
+        program,
+        policies=policies,
+        queues=queues,
+        capacities=capacities,
+        repeat=args.repeat,
+    )
+    labels = iter_sweep_labels(
+        policies=policies, queues=queues, capacities=capacities, repeat=args.repeat
+    )
+    rows = simulate_stream(jobs, reducers=reducers, workers=args.workers)
+    for label, row in zip(labels, rows):
+        if row.error_kind is not None:
+            print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
+        else:
+            print(
+                f"{label:<28} {row.outcome:<10} t={row.time:<8} "
+                f"events={row.events}"
+            )
+    print(f"{outcomes.completed}/{outcomes.total} runs completed")
+    for reducer in reducers:
+        print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
+    if args.json:
+        payload = {reducer.name: reducer.summary() for reducer in reducers}
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if outcomes.completed == outcomes.total else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     program = _load(args.file)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     queues = _int_list(args.queues, "--queues")
     capacities = _int_list(args.capacity, "--capacity")
+    if args.stream:
+        return _cmd_sweep_stream(args, program, policies, queues, capacities)
     jobs = sweep_jobs(
         program,
         policies=policies,
@@ -209,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (1 = in-process with shared analysis cache)",
+    )
+    sweep.add_argument(
+        "--stream", action="store_true",
+        help="stream per-run summary rows with O(1) memory (for sweeps too "
+             "large to hold) and print reducer aggregates — outcome counts, "
+             "makespan histogram, deadlock rate by config; with --json, "
+             "writes the aggregates instead of per-run rows",
     )
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)

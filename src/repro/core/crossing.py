@@ -18,11 +18,43 @@ Two stepping modes are provided. ``parallel`` crosses every pair executable
 at the start of a step simultaneously — this reproduces Fig. 4, whose steps
 3, 5 and 9 each cross two pairs. ``sequential`` crosses one pair per step
 and is the mode the labeling scheme of Section 6 drives.
+
+Implementation
+--------------
+
+The procedure is an *incremental* engine rather than a per-step simulation
+of the text. Three ingredients make it fast on ensemble-scale analysis:
+
+* **position indexes** — per (cell, kind, message) sorted operation
+  positions, built once. Locating "the next uncrossed ``W(X)`` in this
+  cell" is an O(1) index probe, because operations of one (cell, kind,
+  message) key are always crossed in program order (``executable_pair``
+  only ever locates the *first* uncrossed match), so a monotone crossed
+  counter identifies the next candidate. Rule R1 likewise makes reads
+  cross in per-cell program order, so "first uncrossed read" is another
+  monotone counter.
+* **prefix write-counts** — an R2 check needs the number of uncrossed
+  writes per message between a cell's front and the candidate position.
+  With crossed operations forming a prefix of each (cell, message) write
+  index, that count is ``bisect(positions, pos) - crossed``; the skipped
+  region is never rescanned.
+* **a dirty-message worklist** — a message's executable pair depends only
+  on the state of its two endpoint cells, so its cached candidate is
+  invalidated only when one of those cells changes (its front moves or
+  any of its operations is crossed). ``executable_pairs`` re-locates only
+  invalidated messages instead of re-scanning the whole program every
+  step.
+
+The original scan-based implementation is preserved as a reference oracle
+in ``tests/reference_crossing.py``; property tests assert bit-identical
+``steps``/``crossings``/``max_skipped`` in both modes.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
+from heapq import heappop, heappush
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -101,22 +133,39 @@ class CrossingResult:
         return self.steps[step - 1]
 
 
-class _Located:
-    """A candidate operation found by scanning (possibly with lookahead)."""
-
-    __slots__ = ("pos", "skipped")
-
-    def __init__(self, pos: int, skipped: dict[str, int]) -> None:
-        self.pos = pos
-        self.skipped = skipped
-
-
 class CrossingState:
     """Mutable state of the procedure over one program.
 
     Exposes the queries the Section 6 labeling scheme needs while it drives
-    a sequential crossing-off run.
+    a sequential crossing-off run. Pairs passed to :meth:`cross` must come
+    from :meth:`executable_pair`/:meth:`executable_pairs` of this state —
+    the incremental indexes rely on operations being crossed first-uncrossed
+    first, and :meth:`cross` rejects anything else.
     """
+
+    __slots__ = (
+        "program",
+        "lookahead",
+        "seqs",
+        "crossed",
+        "fronts",
+        "remaining_per_message",
+        "last_crossed_message",
+        "max_skipped",
+        "total_remaining",
+        "_write_pos",
+        "_write_crossed",
+        "_read_pos",
+        "_read_crossed",
+        "_cell_reads",
+        "_cell_reads_crossed",
+        "_msg_remaining_in_cell",
+        "_executable",
+        "_dirty",
+        "_endpoints",
+        "_msg_ctx",
+        "_incident",
+    )
 
     def __init__(
         self,
@@ -140,6 +189,73 @@ class CrossingState:
         }
         self.max_skipped: dict[str, int] = {name: 0 for name in program.messages}
         self.total_remaining = sum(self.remaining_per_message.values())
+        # --- incremental indexes (built once, updated in cross()) -------
+        # Per cell: sorted write/read positions per message, the
+        # crossed-prefix length per (cell, kind, message) — operations of
+        # one key are always crossed in program order — the cell's read
+        # positions with a crossed-reads counter (reads cross in per-cell
+        # order thanks to R1), and the per-message uncrossed-op counts
+        # backing future_messages().
+        self._write_pos: dict[str, dict[str, list[int]]] = {}
+        self._write_crossed: dict[str, dict[str, int]] = {}
+        self._read_pos: dict[str, dict[str, list[int]]] = {}
+        self._read_crossed: dict[str, dict[str, int]] = {}
+        self._cell_reads: dict[str, list[int]] = {}
+        self._cell_reads_crossed: dict[str, int] = {}
+        self._msg_remaining_in_cell: dict[str, dict[str, int]] = {}
+        for cell, seq in self.seqs.items():
+            writes: dict[str, list[int]] = {}
+            reads: dict[str, list[int]] = {}
+            all_reads: list[int] = []
+            remaining: dict[str, int] = {}
+            for pos, op in enumerate(seq):
+                if op.kind is OpKind.WRITE:
+                    writes.setdefault(op.message, []).append(pos)
+                else:
+                    reads.setdefault(op.message, []).append(pos)
+                    all_reads.append(pos)
+                remaining[op.message] = remaining.get(op.message, 0) + 1
+            self._write_pos[cell] = writes
+            self._write_crossed[cell] = dict.fromkeys(writes, 0)
+            self._read_pos[cell] = reads
+            self._read_crossed[cell] = dict.fromkeys(reads, 0)
+            self._cell_reads[cell] = all_reads
+            self._cell_reads_crossed[cell] = 0
+            self._msg_remaining_in_cell[cell] = remaining
+        # Candidate worklist: each message's executable pair is cached in
+        # `_executable` as a lightweight (sender_pos, receiver_pos,
+        # skipped_sender, skipped_receiver) tuple (absence = no pair) and
+        # recomputed only for messages in `_dirty` — a message is dirtied
+        # exactly when one of its endpoint cells changes. PairCrossing
+        # objects are materialized only at the public API boundary.
+        self._executable: dict[str, tuple] = {}
+        self._dirty: set[str] = set(program.messages)
+        self._endpoints: dict[str, tuple[str, str]] = {
+            name: (msg.sender, msg.receiver)
+            for name, msg in program.messages.items()
+        }
+        # Per-message locate context: both endpoint cells plus their
+        # relevant index/counter dicts, resolved once.
+        self._msg_ctx: dict[str, tuple] = {
+            name: (
+                sender,
+                receiver,
+                self._write_pos[sender],
+                self._write_crossed[sender],
+                self._read_pos[receiver],
+                self._read_crossed[receiver],
+            )
+            for name, (sender, receiver) in self._endpoints.items()
+        }
+        # Incident lists are pruned as messages finish, so dirty marking
+        # only ever walks live messages.
+        self._incident: dict[str, list[str]] = {
+            cell: [] for cell in program.cells
+        }
+        for name, msg in program.messages.items():
+            self._incident[msg.sender].append(name)
+            if msg.receiver != msg.sender:
+                self._incident[msg.receiver].append(name)
 
     # ------------------------------------------------------------------
     # Queries
@@ -157,90 +273,228 @@ class CrossingState:
 
     def future_messages(self, cell: str, exclude: str | None = None) -> set[str]:
         """Messages ``cell`` will still access, optionally excluding one."""
-        out = {op.message for op in self.uncrossed_ops(cell)}
+        out = {
+            name
+            for name, count in self._msg_remaining_in_cell[cell].items()
+            if count
+        }
         out.discard(exclude or "")
         return out
 
-    def _advance_front(self, cell: str) -> None:
-        seq, crossed = self.seqs[cell], self.crossed[cell]
-        front = self.fronts[cell]
-        while front < len(seq) and crossed[front]:
-            front += 1
-        self.fronts[cell] = front
+    def _locate_end(
+        self,
+        cell: str,
+        message: str,
+        positions_map: dict[str, list[int]],
+        crossed_map: dict[str, int],
+    ) -> tuple[int, tuple[tuple[str, int], ...]] | None:
+        """Find the next uncrossed op of ``message`` in one pair end.
 
-    def _locate(self, cell: str, kind: OpKind, message: str) -> _Located | None:
-        """Find the next uncrossed ``kind`` op on ``message`` in ``cell``.
-
-        Without lookahead only the front operation qualifies. With
-        lookahead we scan forward, skipping uncrossed writes subject to R2
-        and stopping at the first uncrossed read (R1).
+        ``positions_map``/``crossed_map`` are the cell's write (sender
+        end) or read (receiver end) indexes. Without lookahead only the
+        front operation qualifies. With lookahead the candidate may sit
+        deeper, subject to no uncrossed read before it (R1) and
+        per-message skipped-write budgets (R2), both answered from the
+        indexes without scanning the skipped region. Returns ``(pos,
+        skipped)`` with ``skipped`` already in sorted-tuple form.
         """
-        seq, crossed = self.seqs[cell], self.crossed[cell]
-        skipped: dict[str, int] = {}
-        for pos in range(self.fronts[cell], len(seq)):
-            if crossed[pos]:
-                continue
-            op = seq[pos]
-            if op.kind is kind and op.message == message:
-                return _Located(pos, skipped)
-            if self.lookahead is None:
-                return None
-            if op.kind is OpKind.READ:
-                return None  # R1: reads cannot be skipped
-            count = skipped.get(op.message, 0) + 1
-            if count > self.lookahead.capacity(op.message):
-                return None  # R2: buffering along the route exhausted
-            skipped[op.message] = count
-        return None
+        positions = positions_map.get(message)
+        if positions is None:
+            return None
+        key_crossed = crossed_map[message]
+        if key_crossed >= len(positions):
+            return None
+        pos = positions[key_crossed]
+        if pos == self.fronts[cell]:
+            # Everything before the front is crossed: nothing was skipped.
+            return (pos, ())
+        lookahead = self.lookahead
+        if lookahead is None:
+            return None
+        # R1: an uncrossed read before `pos` blocks the skip.
+        reads = self._cell_reads[cell]
+        reads_crossed = self._cell_reads_crossed[cell]
+        if reads_crossed < len(reads) and reads[reads_crossed] < pos:
+            return None
+        # R2: uncrossed writes per message in [front, pos) from the prefix
+        # counts — crossed writes form a prefix of each message's index.
+        skipped: list[tuple[str, int]] = []
+        capacity = lookahead.capacity
+        crossed_counts = self._write_crossed[cell]
+        for name, write_positions in self._write_pos[cell].items():
+            count = bisect_left(write_positions, pos) - crossed_counts[name]
+            if count > 0:
+                if count > capacity(name):
+                    return None  # R2: buffering along the route exhausted
+                skipped.append((name, count))
+        skipped.sort()
+        return (pos, tuple(skipped))
+
+    def _compute_entry(self, message: str) -> tuple | None:
+        """Locate both ends of ``message``'s executable pair, if any."""
+        if self.remaining_per_message[message] == 0:
+            return None
+        sender, receiver, wpos, wcrossed, rpos, rcrossed = self._msg_ctx[message]
+        write = self._locate_end(sender, message, wpos, wcrossed)
+        if write is None:
+            return None
+        read = self._locate_end(receiver, message, rpos, rcrossed)
+        if read is None:
+            return None
+        return (write[0], read[0], write[1], read[1])
+
+    def _flush_dirty(self) -> None:
+        """Re-locate every dirtied message, updating the executable set."""
+        dirty = self._dirty
+        if not dirty:
+            return
+        executable = self._executable
+        compute = self._compute_entry
+        for name in dirty:
+            entry = compute(name)
+            if entry is None:
+                executable.pop(name, None)
+            else:
+                executable[name] = entry
+        dirty.clear()
+
+    def _as_pair(self, message: str, entry: tuple, step: int = 0) -> PairCrossing:
+        sender, receiver = self._endpoints[message]
+        sender_pos, receiver_pos, skipped_sender, skipped_receiver = entry
+        return PairCrossing(
+            step=step,
+            message=message,
+            sender=sender,
+            sender_pos=sender_pos,
+            receiver=receiver,
+            receiver_pos=receiver_pos,
+            skipped_sender=skipped_sender,
+            skipped_receiver=skipped_receiver,
+        )
 
     def executable_pair(self, message: str) -> PairCrossing | None:
         """The executable pair for ``message``, if one exists right now."""
-        if self.remaining_per_message[message] == 0:
+        if message in self._dirty:
+            self._dirty.discard(message)
+            entry = self._compute_entry(message)
+            if entry is None:
+                self._executable.pop(message, None)
+            else:
+                self._executable[message] = entry
+        cached = self._executable.get(message)
+        if cached is None:
             return None
-        msg = self.program.messages[message]
-        write = self._locate(msg.sender, OpKind.WRITE, message)
-        if write is None:
-            return None
-        read = self._locate(msg.receiver, OpKind.READ, message)
-        if read is None:
-            return None
-        return PairCrossing(
-            step=0,
-            message=message,
-            sender=msg.sender,
-            sender_pos=write.pos,
-            receiver=msg.receiver,
-            receiver_pos=read.pos,
-            skipped_sender=tuple(sorted(write.skipped.items())),
-            skipped_receiver=tuple(sorted(read.skipped.items())),
-        )
+        return self._as_pair(message, cached)
 
     def executable_pairs(self) -> list[PairCrossing]:
         """All currently executable pairs, ordered by message name."""
-        pairs = []
-        for name in sorted(self.program.messages):
-            pair = self.executable_pair(name)
-            if pair is not None:
-                pairs.append(pair)
-        return pairs
+        self._flush_dirty()
+        executable = self._executable
+        return [
+            self._as_pair(name, executable[name]) for name in sorted(executable)
+        ]
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
+    def _apply_cross(
+        self, message: str, sender_pos: int, receiver_pos: int,
+        skipped_sender: tuple, skipped_receiver: tuple,
+    ) -> None:
+        """Mutation core shared by :meth:`cross` and the fast loop."""
+        dirty = self._dirty
+        remaining = self.remaining_per_message
+        fronts = self.fronts
+        sender, receiver = self._endpoints[message]
+        for cell, pos, is_write in (
+            (sender, sender_pos, True),
+            (receiver, receiver_pos, False),
+        ):
+            if is_write:
+                self._write_crossed[cell][message] += 1
+            else:
+                self._read_crossed[cell][message] += 1
+                self._cell_reads_crossed[cell] += 1
+            crossed_list = self.crossed[cell]
+            crossed_list[pos] = True
+            self._msg_remaining_in_cell[cell][message] -= 1
+            self.last_crossed_message[cell] = message
+            # The front moves iff the crossed op *was* the front.
+            if pos == fronts[cell]:
+                size = len(crossed_list)
+                front = pos + 1
+                while front < size and crossed_list[front]:
+                    front += 1
+                fronts[cell] = front
+                # The front moved: every incident message's eligibility
+                # (front fast path, skip region) may have changed.
+                for name in self._incident[cell]:
+                    dirty.add(name)
+            else:
+                # Front unchanged: a message's candidate in this cell is
+                # affected only if the crossed position lies *before* its
+                # first uncrossed op here — R1/R2 look solely at the
+                # region up to the candidate, and the first-uncrossed
+                # pointers of other messages did not move.
+                write_pos = self._write_pos[cell]
+                write_crossed = self._write_crossed[cell]
+                read_pos = self._read_pos[cell]
+                read_crossed = self._read_crossed[cell]
+                for name in self._incident[cell]:
+                    if name in dirty:
+                        continue
+                    positions = write_pos.get(name)
+                    if positions is not None:
+                        k = write_crossed[name]
+                        if k < len(positions) and pos < positions[k]:
+                            dirty.add(name)
+                            continue
+                    positions = read_pos.get(name)
+                    if positions is not None:
+                        k = read_crossed[name]
+                        if k < len(positions) and pos < positions[k]:
+                            dirty.add(name)
+        # The crossed message's own candidate always changes (and must be
+        # dropped once its remaining count reaches zero) — the positional
+        # probes above miss it when its final operation in a cell crossed.
+        dirty.add(message)
+        remaining[message] -= 2
+        if remaining[message] == 0:
+            # Finished: stop dirty marking from ever touching it again.
+            self._incident[sender].remove(message)
+            if receiver != sender:
+                self._incident[receiver].remove(message)
+        self.total_remaining -= 2
+        if skipped_sender or skipped_receiver:
+            max_skipped = self.max_skipped
+            for msg_name, count in skipped_sender + skipped_receiver:
+                if count > max_skipped[msg_name]:
+                    max_skipped[msg_name] = count
+
     def cross(self, pair: PairCrossing, step: int) -> PairCrossing:
         """Cross off ``pair``'s two operations, returning it stamped with
         the step number."""
-        self.crossed[pair.sender][pair.sender_pos] = True
-        self.crossed[pair.receiver][pair.receiver_pos] = True
-        self._advance_front(pair.sender)
-        self._advance_front(pair.receiver)
-        self.remaining_per_message[pair.message] -= 2
-        self.total_remaining -= 2
-        self.last_crossed_message[pair.sender] = pair.message
-        self.last_crossed_message[pair.receiver] = pair.message
-        for msg_name, count in pair.skipped_sender + pair.skipped_receiver:
-            self.max_skipped[msg_name] = max(self.max_skipped[msg_name], count)
+        message = pair.message
+        for cell, pos, positions_map, crossed_map in (
+            (pair.sender, pair.sender_pos, self._write_pos, self._write_crossed),
+            (pair.receiver, pair.receiver_pos, self._read_pos, self._read_crossed),
+        ):
+            positions = positions_map[cell].get(message, ())
+            key_crossed = crossed_map[cell].get(message, 0)
+            if key_crossed >= len(positions) or positions[key_crossed] != pos:
+                raise ValueError(
+                    f"pair {pair} does not cross the first uncrossed "
+                    f"operation on {message!r} of {cell!r}; only pairs "
+                    f"returned by executable_pair(s) can be crossed"
+                )
+        self._apply_cross(
+            message,
+            pair.sender_pos,
+            pair.receiver_pos,
+            pair.skipped_sender,
+            pair.skipped_receiver,
+        )
         return PairCrossing(
             step=step,
             message=pair.message,
@@ -289,31 +543,90 @@ def cross_off(
     state = CrossingState(program, lookahead)
     steps: list[list[PairCrossing]] = []
     crossings: list[PairCrossing] = []
-    while not state.done:
-        pairs = state.executable_pairs()
-        if not pairs:
-            break
-        step_no = len(steps) + 1
-        if mode == "sequential":
-            chosen = pick(pairs) if pick is not None else pairs[0]
-            pairs = [chosen]
-        this_step: list[PairCrossing] = []
-        for pair in pairs:
-            if observer is not None:
-                observer(state, pair)
-            stamped = state.cross(pair, step_no)
-            this_step.append(stamped)
-            crossings.append(stamped)
-        steps.append(this_step)
+    if observer is None and pick is None:
+        # Fast loop for the analysis path: work on the cached entry
+        # tuples directly, materializing exactly one (already-stamped)
+        # PairCrossing per crossing. Output is identical to the general
+        # loop below — the sequential choice is the lowest message name
+        # and parallel steps cross the step-start set in name order.
+        executable = state._executable
+        dirty = state._dirty
+        apply_cross = state._apply_cross
+        as_pair = state._as_pair
+        compute = state._compute_entry
+        # Sequential mode keeps a lazy-deletion heap of *clean* executable
+        # names: every name is pushed when it (re)gains a fresh entry, and
+        # stale tops (dirtied or no longer executable) are popped on peek.
+        # Every clean executable name therefore has a live heap entry.
+        heap: list[str] = []
+        while state.total_remaining > 0:
+            if mode == "sequential":
+                # Only the lowest-name executable pair is crossed this
+                # step. Dirty names are evaluated in ascending order just
+                # far enough to beat the clean minimum; the rest stay
+                # deferred in the worklist for later steps.
+                while heap and (heap[0] in dirty or heap[0] not in executable):
+                    heappop(heap)
+                clean_min = heap[0] if heap else None
+                best = clean_min
+                for name in sorted(dirty):
+                    if clean_min is not None and name > clean_min:
+                        break
+                    dirty.discard(name)
+                    entry = compute(name)
+                    if entry is None:
+                        executable.pop(name, None)
+                    else:
+                        executable[name] = entry
+                        heappush(heap, name)
+                        best = name
+                        break  # ascending: first hit is the dirty minimum
+                if best is None:
+                    break
+                chosen = [best]
+            else:
+                state._flush_dirty()
+                if not executable:
+                    break
+                chosen = sorted(executable)
+            step_no = len(steps) + 1
+            this_step = []
+            # Entries are fixed at step start: _apply_cross only dirties
+            # messages, it never mutates the executable set.
+            for name in chosen:
+                entry = executable[name]
+                stamped = as_pair(name, entry, step_no)
+                apply_cross(name, entry[0], entry[1], entry[2], entry[3])
+                this_step.append(stamped)
+                crossings.append(stamped)
+            steps.append(this_step)
+    else:
+        while not state.done:
+            pairs = state.executable_pairs()
+            if not pairs:
+                break
+            step_no = len(steps) + 1
+            if mode == "sequential":
+                chosen_pair = pick(pairs) if pick is not None else pairs[0]
+                pairs = [chosen_pair]
+            this_step = []
+            for pair in pairs:
+                if observer is not None:
+                    observer(state, pair)
+                stamped = state.cross(pair, step_no)
+                this_step.append(stamped)
+                crossings.append(stamped)
+            steps.append(this_step)
+    uncrossed: dict[str, list[Op]] = {}
+    for cell in program.cells:
+        remaining_ops = state.uncrossed_ops(cell)
+        if remaining_ops:
+            uncrossed[cell] = remaining_ops
     return CrossingResult(
         deadlock_free=state.done,
         steps=steps,
         crossings=crossings,
-        uncrossed={
-            cell: state.uncrossed_ops(cell)
-            for cell in program.cells
-            if state.uncrossed_ops(cell)
-        },
+        uncrossed=uncrossed,
         max_skipped=dict(state.max_skipped),
         lookahead_used=lookahead is not None,
     )

@@ -258,7 +258,14 @@ def constraint_labeling(
                 f"given lookahead; labeling is undefined"
             )
         for pair in result.crossings:
-            for skipped in pair.skipped_messages:
+            # Iterate the skipped tuples directly — building the
+            # skipped_messages set per pair is measurable on
+            # ensemble-scale analysis, and duplicates are free in a set
+            # of edges anyway.
+            for skipped, _count in pair.skipped_sender:
+                edges.add((pair.message, skipped))
+                edges.add((skipped, pair.message))
+            for skipped, _count in pair.skipped_receiver:
                 edges.add((pair.message, skipped))
                 edges.add((skipped, pair.message))
     components = _condense(names, edges)

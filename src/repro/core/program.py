@@ -28,10 +28,27 @@ class CellProgram:
         if not self.cell:
             raise ProgramError("cell name must be non-empty")
 
+    def _transfer_tuple(self) -> tuple[Op, ...]:
+        """The cached R/W projection (computed once; the dataclass is
+        frozen and ``ops`` is a tuple, so it cannot go stale)."""
+        cached = self.__dict__.get("_transfers_cache")
+        if cached is None:
+            cached = tuple(transfer_ops(self.ops))
+            object.__setattr__(self, "_transfers_cache", cached)
+        return cached
+
     @property
     def transfers(self) -> list[Op]:
-        """R/W operations only — the analyses' view of this program."""
-        return transfer_ops(self.ops)
+        """R/W operations only — the analyses' view of this program.
+
+        Callers get a fresh list they are free to mutate.
+        """
+        return list(self._transfer_tuple())
+
+    @property
+    def transfer_count(self) -> int:
+        """Number of R/W operations, without materializing a list."""
+        return len(self._transfer_tuple())
 
     def message_access_order(self) -> list[str]:
         """Message names in the order this cell touches them (R/W only)."""
@@ -143,7 +160,7 @@ class ArrayProgram:
     @property
     def total_transfer_ops(self) -> int:
         """Total number of R/W operations across all cells."""
-        return sum(len(p.transfers) for p in self.cell_programs.values())
+        return sum(p.transfer_count for p in self.cell_programs.values())
 
     @property
     def total_words(self) -> int:
@@ -197,7 +214,7 @@ class ProgramStats:
     @classmethod
     def of(cls, program: ArrayProgram) -> "ProgramStats":
         max_ops = max(
-            (len(p.transfers) for p in program.cell_programs.values()), default=0
+            (p.transfer_count for p in program.cell_programs.values()), default=0
         )
         return cls(
             cells=len(program.cells),

@@ -69,7 +69,9 @@ def summarize_schedule(
     busiest_cell = ""
     busiest_ops = 0
     for cell in program.cells:
-        ops = len(program.transfers(cell))
+        # transfer_count avoids materializing each cell's op list just to
+        # measure it — this runs once per job in ensemble sweeps.
+        ops = program.cell_programs[cell].transfer_count
         if ops > busiest_ops:
             busiest_cell, busiest_ops = cell, ops
     return ScheduleAnalysis(

@@ -5,6 +5,12 @@ ablations, Theorem-1 ensembles) share one content-keyed
 :class:`AnalysisEntry` holding routes, competing-message sets, lookahead
 capacities and the constraint labeling — so only the first run pays for
 static analysis. See :mod:`repro.perf.analysis_cache`.
+
+A persistent disk tier (:mod:`repro.perf.disk_cache`) sits under the
+in-memory cache: export ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` or
+call :func:`configure_disk_cache` and every process sharing that
+directory — pool workers, restarted sweeps, separate sessions — reuses
+analyses computed by any other.
 """
 
 from repro.perf.analysis_cache import (
@@ -18,14 +24,22 @@ from repro.perf.analysis_cache import (
     router_fingerprint,
     topology_fingerprint,
 )
+from repro.perf.disk_cache import (
+    DiskAnalysisCache,
+    active_disk_cache,
+    configure_disk_cache,
+)
 
 __all__ = [
     "AnalysisCache",
     "AnalysisEntry",
     "AnalysisKey",
+    "DiskAnalysisCache",
     "GLOBAL_ANALYSIS_CACHE",
+    "active_disk_cache",
     "analysis_cache_stats",
     "clear_analysis_cache",
+    "configure_disk_cache",
     "program_fingerprint",
     "router_fingerprint",
     "topology_fingerprint",

@@ -148,6 +148,7 @@ class AnalysisEntry:
     """
 
     __slots__ = (
+        "key",
         "_program",
         "_router",
         "_queue_capacity",
@@ -159,6 +160,7 @@ class AnalysisEntry:
         "_has_capacities",
         "_labeling",
         "_ordered_groups",
+        "_disk_synced",
     )
 
     def __init__(
@@ -167,7 +169,9 @@ class AnalysisEntry:
         router: Router,
         queue_capacity: int,
         allow_extension: bool,
+        key: "AnalysisKey | None" = None,
     ) -> None:
+        self.key = key
         self._program = program
         self._router = router
         self._queue_capacity = queue_capacity
@@ -181,6 +185,9 @@ class AnalysisEntry:
         self._has_capacities = False
         self._labeling: Labeling | None = None
         self._ordered_groups: dict[Link, tuple[tuple[str, ...], ...]] | None = None
+        # True while the disk tier (if any) already holds everything this
+        # entry has computed; any fresh computation clears it.
+        self._disk_synced = False
 
     @property
     def routes(self) -> dict[str, Route]:
@@ -189,6 +196,7 @@ class AnalysisEntry:
             with self._lock:
                 if self._routes is None:
                     program, router = self._program, self._router
+                    self._disk_synced = False
                     self._routes = {
                         msg.name: router.route(msg.sender, msg.receiver)
                         for msg in program.messages.values()
@@ -202,6 +210,7 @@ class AnalysisEntry:
             with self._lock:
                 if self._competing is None:
                     table = competing_messages(self._program, self._router)
+                    self._disk_synced = False
                     self._competing = {
                         link: tuple(names) for link, names in table.items()
                     }
@@ -213,6 +222,7 @@ class AnalysisEntry:
         if not self._has_capacities:
             with self._lock:
                 if not self._has_capacities:
+                    self._disk_synced = False
                     if self._queue_capacity > 0 or self._allow_extension:
                         self._capacities = route_capacities(
                             self._program,
@@ -229,6 +239,7 @@ class AnalysisEntry:
         if self._labeling is None:
             with self._lock:
                 if self._labeling is None:
+                    self._disk_synced = False
                     self._labeling = constraint_labeling(
                         self._program, lookahead=self.capacities
                     )
@@ -252,11 +263,74 @@ class AnalysisEntry:
         if self._ordered_groups is None:
             with self._lock:
                 if self._ordered_groups is None:
-                    self._ordered_groups = {
+                    groups = {
                         link: label_groups(names, labeling)
                         for link, names in self.competing.items()
                     }
+                    self._disk_synced = False
+                    self._ordered_groups = groups
         return self._ordered_groups
+
+    # ------------------------------------------------------------------
+    # Disk tier (repro.perf.disk_cache)
+    # ------------------------------------------------------------------
+
+    def preload_artifacts(self, artifacts: dict) -> None:
+        """Seed this entry from a disk-tier artifact dict.
+
+        Only known fields are accepted; anything missing stays lazily
+        computable. Marks the entry disk-synced, so an unchanged entry is
+        never written back.
+        """
+        with self._lock:
+            routes = artifacts.get("routes")
+            if isinstance(routes, dict):
+                self._routes = routes
+            competing = artifacts.get("competing")
+            if isinstance(competing, dict):
+                self._competing = competing
+            if artifacts.get("has_capacities"):
+                capacities = artifacts.get("capacities")
+                if capacities is None or isinstance(capacities, LookaheadConfig):
+                    self._capacities = capacities
+                    self._has_capacities = True
+            labeling = artifacts.get("labeling")
+            if isinstance(labeling, Labeling):
+                self._labeling = labeling
+            ordered_groups = artifacts.get("ordered_groups")
+            if isinstance(ordered_groups, dict):
+                self._ordered_groups = ordered_groups
+            self._disk_synced = True
+
+    def export_artifacts(self) -> dict:
+        """Everything computed so far, in disk-tier artifact form."""
+        with self._lock:
+            return {
+                "routes": self._routes,
+                "competing": self._competing,
+                "capacities": self._capacities,
+                "has_capacities": self._has_capacities,
+                "labeling": self._labeling,
+                "ordered_groups": self._ordered_groups,
+            }
+
+    def persist(self) -> bool:
+        """Write this entry to the active disk tier, if it needs it.
+
+        A no-op (returning False) when no disk cache is configured, the
+        entry has no content key (``reuse_analysis=False`` path), or
+        nothing changed since the last load/store.
+        """
+        from repro.perf.disk_cache import active_disk_cache
+
+        disk = active_disk_cache()
+        if disk is None or self.key is None or self._disk_synced:
+            return False
+        stored = disk.store(self.key, self.export_artifacts())
+        if stored:
+            with self._lock:
+                self._disk_synced = True
+        return stored
 
 
 class AnalysisCache:
@@ -302,12 +376,25 @@ class AnalysisCache:
                 return entry
             self.misses += 1
             entry = AnalysisEntry(
-                program, router, config.queue_capacity, config.allow_extension
+                program,
+                router,
+                config.queue_capacity,
+                config.allow_extension,
+                key=key,
             )
             self._entries[key] = entry
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-            return entry
+        # Probe the disk tier outside the cache lock — deserialization is
+        # slow compared to a dict hit and must not serialize other threads.
+        from repro.perf.disk_cache import active_disk_cache
+
+        disk = active_disk_cache()
+        if disk is not None:
+            artifacts = disk.load(key)
+            if artifacts is not None:
+                entry.preload_artifacts(artifacts)
+        return entry
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""

@@ -1,0 +1,192 @@
+"""Persistent cross-process tier under the in-memory analysis cache.
+
+Worker processes and restarted sweep sessions each start with a cold
+in-memory :class:`~repro.perf.analysis_cache.AnalysisCache`, so every one
+of them used to re-pay routing, competing-message sets, lookahead
+capacities and the constraint labeling for programs another process had
+already analysed. This module adds a disk tier keyed by the same content
+fingerprints (program x topology x router x queue-provisioning bits):
+
+* **atomic writes** — entries are serialized to a temporary file in the
+  cache directory and published with :func:`os.replace`, so concurrent
+  writers (pool workers racing on the same program) and crashed
+  processes can never leave a half-written entry visible;
+* **format versioning** — every entry embeds :data:`FORMAT_VERSION` and
+  its own :class:`~repro.perf.analysis_cache.AnalysisKey`; a version or
+  key mismatch reads as a miss, so upgrading the serialization never
+  poisons old caches;
+* **corruption tolerance** — any failure to read or deserialize an
+  entry (truncated file, foreign bytes, unpicklable content) is treated
+  as a miss, never an error.
+
+Enable it by exporting ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` (the
+directory is created on demand) or programmatically via
+:func:`configure_disk_cache`. :class:`~repro.sim.runtime.Simulator`
+persists entries after static analysis completes and
+:func:`~repro.sim.batch.simulate_many` / ``simulate_stream`` forward the
+configured path into worker processes.
+
+Entries are Python pickles: only point the cache at directories you
+trust, exactly as with any pickle-based artifact store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from pathlib import Path
+
+from repro.perf.analysis_cache import AnalysisKey
+
+#: Bump when the serialized artifact layout changes; old entries then
+#: read as misses instead of deserializing into garbage.
+FORMAT_VERSION = 1
+
+#: Environment variable naming the cache directory ("" = disabled).
+ENV_VAR = "REPRO_ANALYSIS_DISK_CACHE"
+
+_SUFFIX = ".analysis.pkl"
+
+
+def _key_digest(key: AnalysisKey) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        f"{key.program}|{key.topology}|{key.router}|"
+        f"{key.queue_capacity}|{key.allow_extension}".encode()
+    )
+    return h.hexdigest()
+
+
+class DiskAnalysisCache:
+    """One directory of pickled analysis artifacts, one file per key."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: AnalysisKey) -> Path:
+        return self.directory / f"{_key_digest(key)}{_SUFFIX}"
+
+    def load(self, key: AnalysisKey) -> dict | None:
+        """The stored artifact dict for ``key``, or ``None``.
+
+        Version-stamped and key-checked; every read or deserialization
+        failure is a miss.
+        """
+        try:
+            raw = self._path(key).read_bytes()
+            payload = pickle.loads(raw)
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == FORMAT_VERSION
+                and payload.get("key") == key
+                and isinstance(payload.get("artifacts"), dict)
+            ):
+                self.hits += 1
+                return payload["artifacts"]
+        except Exception:
+            pass
+        self.misses += 1
+        return None
+
+    def store(self, key: AnalysisKey, artifacts: dict) -> bool:
+        """Atomically publish ``artifacts`` under ``key``.
+
+        Returns False (without raising) when the entry cannot be
+        serialized or written — unpicklable custom artifacts and full
+        disks degrade to "no disk tier", never to a failed simulation.
+        """
+        payload = {
+            "version": FORMAT_VERSION,
+            "key": key,
+            "artifacts": artifacts,
+        }
+        path = self._path(key)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for entry in self.directory.glob(f"*{_SUFFIX}"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"*{_SUFFIX}"))
+
+    def stats(self) -> dict[str, int]:
+        """Entry count plus hit/miss/store counters of this process."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+_lock = threading.Lock()
+_configured = False  # has configure_disk_cache overridden the env var?
+_active: DiskAnalysisCache | None = None
+
+
+def configure_disk_cache(
+    directory: str | os.PathLike | None,
+) -> DiskAnalysisCache | None:
+    """Set (or, with ``None``, disable) the process-wide disk tier.
+
+    Overrides :data:`ENV_VAR`. Returns the active cache, if any.
+    """
+    global _configured, _active
+    with _lock:
+        _configured = True
+        if directory and _active is not None and _active.directory == Path(
+            directory
+        ):
+            return _active  # same directory: keep instance and counters
+        _active = DiskAnalysisCache(directory) if directory else None
+        return _active
+
+
+def active_disk_cache() -> DiskAnalysisCache | None:
+    """The process-wide disk tier, resolving :data:`ENV_VAR` lazily."""
+    global _configured, _active
+    with _lock:
+        if not _configured:
+            _configured = True
+            directory = os.environ.get(ENV_VAR, "")
+            if directory:
+                try:
+                    _active = DiskAnalysisCache(directory)
+                except OSError:
+                    _active = None
+        return _active
+
+
+def reset_disk_cache_state() -> None:
+    """Forget the configured/env-resolved state (for tests)."""
+    global _configured, _active
+    with _lock:
+        _configured = False
+        _active = None

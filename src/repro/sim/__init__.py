@@ -1,6 +1,20 @@
 """Discrete-event simulation of programmable systolic arrays."""
 
-from repro.sim.batch import BatchError, SimJob, simulate_many, sweep_jobs, sweep_labels
+from repro.sim.batch import (
+    BatchError,
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    RunSummary,
+    SimJob,
+    StreamReducer,
+    iter_sweep_jobs,
+    iter_sweep_labels,
+    simulate_many,
+    simulate_stream,
+    sweep_jobs,
+    sweep_labels,
+)
 from repro.sim.engine import Engine, StopReason
 from repro.sim.memory_model import ModelComparison, compare_models
 from repro.sim.queue_manager import (
@@ -19,8 +33,16 @@ from repro.sim.words import Word
 __all__ = [
     "AssignmentEvent",
     "BatchError",
+    "CompletedCount",
+    "DeadlockRateByConfig",
+    "MakespanHistogram",
+    "RunSummary",
     "SimJob",
+    "StreamReducer",
+    "iter_sweep_jobs",
+    "iter_sweep_labels",
     "simulate_many",
+    "simulate_stream",
     "sweep_jobs",
     "sweep_labels",
     "AssignmentPolicy",

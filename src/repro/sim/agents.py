@@ -17,7 +17,6 @@ closures, no lists, and no strings.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Callable
 
 from repro.arch.config import CommModel
@@ -352,10 +351,7 @@ class CellAgent(_Agent):
         self._scheduled = True
         engine = self.sim.engine
         if cycles:
-            engine._seq += 1
-            _heappush(
-                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
-            )
+            engine.after(cycles, self._run_cb)
         elif engine._fast:
             engine._fifo.append(self._run_cb)
         else:
@@ -398,10 +394,7 @@ class CellAgent(_Agent):
         self._scheduled = True
         engine = self.sim.engine
         if cycles:
-            engine._seq += 1
-            _heappush(
-                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
-            )
+            engine.after(cycles, self._run_cb)
         elif engine._fast:
             engine._fifo.append(self._run_cb)
         else:
@@ -436,10 +429,7 @@ class CellAgent(_Agent):
         self._scheduled = True
         engine = self.sim.engine
         if cycles:
-            engine._seq += 1
-            _heappush(
-                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
-            )
+            engine.after(cycles, self._run_cb)
         elif engine._fast:
             engine._fifo.append(self._run_cb)
         else:
@@ -521,10 +511,7 @@ class ForwarderAgent(_Agent):
         self._scheduled = True
         engine = self.sim.engine
         if cycles:
-            engine._seq += 1
-            _heappush(
-                engine._heap, (engine.now + cycles, engine._seq, self._run_cb)
-            )
+            engine.after(cycles, self._run_cb)
         elif engine._fast:
             engine._fifo.append(self._run_cb)
         else:

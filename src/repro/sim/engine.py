@@ -1,22 +1,36 @@
 """Discrete-event simulation kernel.
 
-A minimal, deterministic event engine with a two-lane scheduler:
+A minimal, deterministic event engine with a three-lane scheduler:
 
 * a **fast lane** — a plain FIFO for events scheduled at the current
   time (``after(0, ...)`` pokes, the overwhelming majority of traffic in
   the systolic simulator), which bypasses the heap entirely;
-* a **heap lane** — ``(time, sequence, callback)`` entries for strictly
-  future timestamps.
+* a **timing wheel** — calendar buckets for near-future events. Delays
+  in the simulator are small integers (queue hand-offs and compute
+  latencies of 1-8 cycles), so a 16-slot ring indexed by ``time &
+  mask`` absorbs them with O(1) push/pop and no heap traffic;
+* a **heap lane** — ``(time, sequence, callback)`` entries for
+  timestamps beyond the wheel horizon only (overflow).
 
 Determinism is preserved exactly: events at equal times fire in
-scheduling order. The invariant making the two lanes mergeable without
-comparing sequence numbers is that a heap entry at time ``t`` can only
-have been pushed while ``now < t`` (same-time scheduling goes to the
-FIFO), so every heap entry due *now* precedes every FIFO entry in
-scheduling order; the heap orders its own same-time entries by sequence,
-and the FIFO is order-preserving by construction.
+scheduling order. Three invariants make the lanes mergeable without
+comparing sequence numbers:
 
-Quiescence (both lanes empty) with unfinished agents is how run-time
+* a heap entry at time ``t`` can only have been pushed while
+  ``now < t - horizon`` (nearer futures go to the wheel), so every heap
+  entry due *now* precedes every wheel entry due now in scheduling
+  order — drain the heap first;
+* a wheel entry at ``t`` was pushed while ``t - horizon <= now < t``,
+  so it precedes every FIFO entry at ``t`` (same-time scheduling goes to
+  the FIFO) — drain the bucket second, the FIFO last;
+* a bucket is fully drained before time advances past it, and the
+  horizon is smaller than the ring, so two pending timestamps never
+  share a bucket.
+
+Within each lane same-time entries keep scheduling order: the heap by
+sequence number, bucket and FIFO deques by construction.
+
+Quiescence (all lanes empty) with unfinished agents is how run-time
 deadlock manifests; the kernel itself never decides deadlock, it just
 stops.
 """
@@ -30,6 +44,13 @@ from typing import Callable
 
 Callback = Callable[[], None]
 
+#: Delays of 1..WHEEL_HORIZON cycles ride the timing wheel; anything
+#: farther out overflows to the heap. The ring has twice the horizon so a
+#: pending bucket can never collide with a newly scheduled one.
+WHEEL_HORIZON = 8
+_WHEEL_SLOTS = 16
+_WHEEL_MASK = _WHEEL_SLOTS - 1
+
 
 class StopReason(enum.Enum):
     """Why :meth:`Engine.run` returned."""
@@ -40,48 +61,95 @@ class StopReason(enum.Enum):
 
 
 class Engine:
-    """Two-lane event scheduler with integer timestamps.
+    """Three-lane event scheduler with integer timestamps.
 
     Args:
-        fast_lane: route same-time events through the FIFO fast lane.
-            ``False`` forces every event through the heap (the seed
-            engine's behaviour) — kept for determinism cross-checks.
+        fast_lane: route same-time events through the FIFO fast lane and
+            near-future events through the timing wheel. ``False`` forces
+            every event through the heap (the seed engine's behaviour) —
+            kept for determinism cross-checks.
     """
 
-    __slots__ = ("now", "events_processed", "_heap", "_fifo", "_seq", "_fast")
+    __slots__ = (
+        "now",
+        "events_processed",
+        "_heap",
+        "_fifo",
+        "_wheel",
+        "_wheel_count",
+        "_wheel_occupied",
+        "_seq",
+        "_fast",
+    )
 
     def __init__(self, fast_lane: bool = True) -> None:
         self.now: int = 0
         self.events_processed: int = 0
         self._heap: list[tuple[int, int, Callback]] = []
         self._fifo: deque[Callback] = deque()
+        self._wheel: list[deque[Callback]] = [
+            deque() for _ in range(_WHEEL_SLOTS)
+        ]
+        self._wheel_count: int = 0
+        self._wheel_occupied: int = 0  # bitmask of nonempty wheel slots
         self._seq: int = 0
         self._fast = fast_lane
 
     def at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
-        if time < self.now:
+        delay = time - self.now
+        if delay < 0:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        if time == self.now and self._fast:
-            self._fifo.append(callback)
-        else:
-            self._seq += 1
-            heapq.heappush(self._heap, (time, self._seq, callback))
+        if self._fast:
+            if delay == 0:
+                self._fifo.append(callback)
+                return
+            if delay <= WHEEL_HORIZON:
+                slot = time & _WHEEL_MASK
+                self._wheel[slot].append(callback)
+                self._wheel_count += 1
+                self._wheel_occupied |= 1 << slot
+                return
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
 
     def after(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` ``delay`` cycles from now."""
-        if delay == 0 and self._fast:
-            self._fifo.append(callback)
-        elif delay < 0:
+        if self._fast:
+            if delay == 0:
+                self._fifo.append(callback)
+                return
+            if 0 < delay <= WHEEL_HORIZON:
+                slot = (self.now + delay) & _WHEEL_MASK
+                self._wheel[slot].append(callback)
+                self._wheel_count += 1
+                self._wheel_occupied |= 1 << slot
+                return
+        if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        else:
-            self._seq += 1
-            heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
 
     @property
     def pending(self) -> int:
         """Number of scheduled events not yet fired."""
-        return len(self._heap) + len(self._fifo)
+        return len(self._heap) + len(self._fifo) + self._wheel_count
+
+    def _next_wheel_time(self) -> int | None:
+        """Earliest nonempty wheel bucket within the horizon, if any.
+
+        Pending wheel entries always lie in ``(now, now + horizon]``, so
+        rotating the occupancy bitmask by ``now + 1`` turns "next
+        nonempty slot" into "lowest set bit".
+        """
+        occupied = self._wheel_occupied
+        if not occupied:
+            return None
+        shift = (self.now + 1) & _WHEEL_MASK
+        rotated = ((occupied >> shift) | (occupied << (_WHEEL_SLOTS - shift))) & (
+            (1 << _WHEEL_SLOTS) - 1
+        )
+        return self.now + 1 + ((rotated & -rotated).bit_length() - 1)
 
     def run(
         self,
@@ -91,20 +159,26 @@ class Engine:
         """Process events until quiescent or a limit is hit."""
         heap = self._heap
         fifo = self._fifo
+        wheel = self._wheel
         pop = heapq.heappop
         popleft = fifo.popleft
-        if max_time is not None and self.now > max_time and (fifo or heap):
+        if (
+            max_time is not None
+            and self.now > max_time
+            and (fifo or heap or self._wheel_count)
+        ):
             # Only reachable when run() is re-entered with a tighter limit;
             # inside the loop `now` never advances past max_time.
             return StopReason.MAX_TIME
         events = self.events_processed
         limit = float("inf") if max_events is None else max_events
-        while fifo or heap:
-            # Heap entries due now precede every FIFO entry in scheduling
-            # order (see module docstring); drain them first. FIFO
-            # processing cannot create heap entries due now (same-time
-            # scheduling goes to the FIFO), so each inner loop runs dry
-            # exactly once per timestamp.
+        while fifo or heap or self._wheel_count:
+            # Heap entries due now precede wheel-bucket entries, which
+            # precede FIFO entries, in scheduling order (see module
+            # docstring); drain in that order. Processing cannot add to an
+            # earlier lane at the current time: delay-0 goes to the FIFO
+            # and positive delays land strictly in the future, so each
+            # drain runs dry exactly once per timestamp.
             while heap and heap[0][0] == self.now:
                 if events >= limit:
                     self.events_processed = events
@@ -112,6 +186,20 @@ class Engine:
                 callback = pop(heap)[2]
                 events += 1
                 callback()
+            slot = self.now & _WHEEL_MASK
+            bucket = wheel[slot]
+            if bucket:
+                while bucket:
+                    if events >= limit:
+                        self.events_processed = events
+                        return StopReason.MAX_EVENTS
+                    callback = bucket.popleft()
+                    self._wheel_count -= 1
+                    events += 1
+                    callback()
+                # Fully drained (callbacks cannot refill the current
+                # slot: the horizon is below the ring size).
+                self._wheel_occupied &= ~(1 << slot)
             while fifo:
                 if events >= limit:
                     self.events_processed = events
@@ -119,8 +207,12 @@ class Engine:
                 callback = popleft()
                 events += 1
                 callback()
-            if heap and heap[0][0] > self.now:
-                time = heap[0][0]
+            # Advance to the next scheduled timestamp.
+            time = heap[0][0] if heap else None
+            wheel_time = self._next_wheel_time()
+            if wheel_time is not None and (time is None or wheel_time < time):
+                time = wheel_time
+            if time is not None and time > self.now:
                 if max_time is not None and time > max_time:
                     self.events_processed = events
                     return StopReason.MAX_TIME

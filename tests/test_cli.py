@@ -124,3 +124,60 @@ class TestSweep:
         assert main(["sweep", fig7_file, "--queues", "1,x"]) == 2
         err = capsys.readouterr().err
         assert "--queues expects integers" in err
+
+
+class TestSweepStream:
+    def test_stream_rows_and_reducer_summaries(self, fig7_file, capsys):
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs",
+            "--queues", "1,2", "--stream",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # fcfs q=1 deadlocks on Fig. 7
+        assert "ordered q=1 cap=0" in out
+        assert "deadlock" in out
+        assert "3/4 runs completed" in out
+        assert "[outcomes]" in out
+        assert "[makespan]" in out
+        assert "[deadlock-rate]" in out
+
+    def test_stream_exit_zero_when_all_complete(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--stream"]) == 0
+        assert "1/1 runs completed" in capsys.readouterr().out
+
+    def test_stream_repeat_scales_without_accumulation(self, fig7_file, capsys):
+        code = main([
+            "sweep", fig7_file, "--repeat", "50", "--stream",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "50/50 runs completed" in out
+        assert '"total": 50' in out
+
+    def test_stream_json_writes_reducer_aggregates(
+        self, fig7_file, tmp_path, capsys
+    ):
+        import json
+
+        out_path = tmp_path / "stream.json"
+        main([
+            "sweep", fig7_file, "--queues", "1,2", "--stream",
+            "--json", str(out_path),
+        ])
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"outcomes", "makespan", "deadlock-rate"}
+        assert payload["outcomes"]["total"] == 2
+
+    def test_stream_reports_infeasible_corners(self, tmp_path, capsys):
+        from repro.lang import print_program
+
+        path = tmp_path / "fig8.sysp"
+        path.write_text(print_program(fig8_program()))
+        code = main([
+            "sweep", str(path), "--policies", "ordered", "--queues", "1,2",
+            "--stream",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "infeasible" in out
+        assert '"infeasible": 1' in out

@@ -1,0 +1,224 @@
+"""A/B equivalence: incremental crossing-off vs the reference oracle.
+
+The production engine in :mod:`repro.core.crossing` is an incremental
+worklist algorithm; ``tests/reference_crossing.py`` preserves the seed's
+op-by-op scanning implementation. These properties pin the two to
+bit-identical output — ``steps``, ``crossings`` (full
+:class:`PairCrossing` equality, including skipped-write tuples),
+``max_skipped``, ``uncrossed`` and the classification — across random
+programs, deadlocked mutations, lookahead budgets and both stepping
+modes. The timing-wheel engine gets the same treatment against the
+heap-only scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from reference_crossing import reference_cross_off
+
+from repro import ArrayConfig, Simulator
+from repro.core.crossing import cross_off, uniform_lookahead
+from repro.sim.engine import WHEEL_HORIZON, Engine
+from repro.workloads import (
+    WorkloadSpec,
+    hoist_writes,
+    inject_read_cycle,
+    random_program,
+)
+
+specs = st.builds(
+    WorkloadSpec,
+    cells=st.integers(min_value=2, max_value=7),
+    messages=st.integers(min_value=1, max_value=10),
+    max_length=st.integers(min_value=1, max_value=4),
+    max_span=st.integers(min_value=1, max_value=3),
+    burst=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+lookaheads = st.sampled_from([None, 0, 1, 2, 4, math.inf])
+
+modes = st.sampled_from(["parallel", "sequential"])
+
+RELAXED = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def assert_identical(program, lookahead, mode):
+    """Full-output equality of the two implementations."""
+    expected = reference_cross_off(program, lookahead=lookahead, mode=mode)
+    got = cross_off(program, lookahead=lookahead, mode=mode)
+    assert got.deadlock_free == expected.deadlock_free
+    assert got.steps == expected.steps
+    assert got.crossings == expected.crossings
+    assert got.max_skipped == expected.max_skipped
+    assert got.uncrossed == expected.uncrossed
+    assert got.lookahead_used == expected.lookahead_used
+
+
+def _lookahead(program, capacity):
+    return None if capacity is None else uniform_lookahead(program, capacity)
+
+
+@given(specs, lookaheads, modes)
+@RELAXED
+def test_random_programs_identical(spec, capacity, mode):
+    program = random_program(spec)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(specs, lookaheads, modes)
+@RELAXED
+def test_hoisted_writes_identical(spec, capacity, mode):
+    """Hoisting creates programs that exercise the lookahead skip paths."""
+    program = hoist_writes(random_program(spec), swaps=4, seed=spec.seed + 1)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(specs, lookaheads, modes)
+@RELAXED
+def test_deadlocked_programs_identical(spec, capacity, mode):
+    """Deadlocked inputs must leave identical uncrossed remainders."""
+    program = inject_read_cycle(random_program(spec), seed=spec.seed)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(specs)
+@RELAXED
+def test_sequential_observer_path_identical(spec):
+    """The observer/pick general loop matches the oracle pair for pair."""
+    program = random_program(spec)
+    seen_ref: list[str] = []
+    seen_inc: list[str] = []
+    reference_cross_off(
+        program,
+        mode="sequential",
+        observer=lambda state, pair: seen_ref.append(str(pair)),
+    )
+    cross_off(
+        program,
+        mode="sequential",
+        observer=lambda state, pair: seen_inc.append(str(pair)),
+    )
+    assert seen_inc == seen_ref
+
+
+@given(specs)
+@RELAXED
+def test_pick_path_identical(spec):
+    """A non-default tie-breaker drives the same general loop in both."""
+    program = random_program(spec)
+    pick = lambda pairs: pairs[-1]
+    expected = reference_cross_off(program, mode="sequential", pick=pick)
+    got = cross_off(program, mode="sequential", pick=pick)
+    assert got.crossings == expected.crossings
+    assert got.deadlock_free == expected.deadlock_free
+
+
+class TestPaperFigures:
+    """Exact-output equality on every figure program of the paper."""
+
+    @pytest.mark.parametrize("mode", ["parallel", "sequential"])
+    @pytest.mark.parametrize("capacity", [None, 1, 2, math.inf])
+    def test_figures_identical(self, mode, capacity):
+        from repro.algorithms.figures import all_figures
+
+        for name, program in all_figures().items():
+            assert_identical(program, _lookahead(program, capacity), mode)
+
+
+class TestTimingWheelDeterminism:
+    """Timing-wheel engine vs heap-only: byte-identical simulations."""
+
+    def _results(self, program, config=None, registers=None, policy="ordered"):
+        out = []
+        for fast in (True, False):
+            sim = Simulator(
+                program, config=config, policy=policy, registers=registers
+            )
+            sim.engine = Engine(fast_lane=fast)
+            out.append(sim.run())
+        return out
+
+    def test_fir_identical_assignment_trace(self):
+        from repro.algorithms.fir import fir_program, fir_registers
+
+        program = fir_program(8, 16)
+        registers = fir_registers(tuple(1.0 for _ in range(8)))
+        wheel, heap = self._results(program, registers=registers)
+        assert wheel.assignment_trace == heap.assignment_trace
+        assert wheel.received == heap.received
+        assert wheel.registers == heap.registers
+        assert wheel.time == heap.time
+        assert wheel.events == heap.events
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_random_programs_identical_traces(self, seed):
+        spec = WorkloadSpec(cells=6, messages=12, max_length=3, seed=seed)
+        program = random_program(spec)
+        config = ArrayConfig(queues_per_link=8, queue_capacity=2)
+        wheel, heap = self._results(program, config=config)
+        assert wheel.assignment_trace == heap.assignment_trace
+        assert wheel.received == heap.received
+        assert wheel.time == heap.time
+        assert wheel.events == heap.events
+
+    def test_wheel_lane_actually_used(self):
+        engine = Engine()
+        engine.after(WHEEL_HORIZON, lambda: None)
+        assert engine.pending == 1
+        assert not engine._heap  # rode the wheel, not the heap
+        engine.after(WHEEL_HORIZON + 1, lambda: None)
+        assert len(engine._heap) == 1  # beyond the horizon: overflow
+
+    def test_mixed_delays_fire_in_time_then_scheduling_order(self):
+        engine = Engine()
+        log: list[tuple[int, str]] = []
+        for tag, delay in (
+            ("a", 5), ("b", 2), ("c", 5), ("d", 12), ("e", 2), ("f", 0),
+        ):
+            engine.after(delay, lambda t=tag: log.append((engine.now, t)))
+        engine.run()
+        assert log == [(0, "f"), (2, "b"), (2, "e"), (5, "a"), (5, "c"), (12, "d")]
+
+    def test_heap_overflow_precedes_wheel_entries_at_same_time(self):
+        # An event scheduled far in advance for time t (heap) must fire
+        # before one scheduled for t from nearby (wheel): it was
+        # scheduled earlier.
+        engine = Engine()
+        log: list[str] = []
+        engine.at(20, lambda: log.append("far"))  # beyond horizon -> heap
+        engine.at(
+            20 - WHEEL_HORIZON,
+            lambda: engine.after(WHEEL_HORIZON, lambda: log.append("near")),
+        )
+        engine.run()
+        assert log == ["far", "near"]
+
+    def test_max_time_leaves_wheel_event_pending(self):
+        from repro.sim.engine import StopReason
+
+        engine = Engine()
+        engine.after(4, lambda: None)
+        assert engine.run(max_time=3) is StopReason.MAX_TIME
+        assert engine.pending == 1
+        assert engine.run() is StopReason.QUIESCENT
+        assert engine.pending == 0
+
+    def test_max_events_mid_bucket_resumes_cleanly(self):
+        from repro.sim.engine import StopReason
+
+        engine = Engine()
+        log: list[int] = []
+        for i in range(4):
+            engine.after(2, lambda i=i: log.append(i))
+        assert engine.run(max_events=2) is StopReason.MAX_EVENTS
+        assert log == [0, 1]
+        assert engine.run() is StopReason.QUIESCENT
+        assert log == [0, 1, 2, 3]

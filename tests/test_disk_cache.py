@@ -1,0 +1,212 @@
+"""Disk-tier analysis cache: round trips, corruption, versioning, batch."""
+
+import pickle
+
+import pytest
+
+from repro import ArrayConfig, simulate
+from repro.algorithms.fir import fir_program, fir_registers
+from repro.perf import (
+    GLOBAL_ANALYSIS_CACHE,
+    DiskAnalysisCache,
+    active_disk_cache,
+    clear_analysis_cache,
+    configure_disk_cache,
+)
+from repro.perf.disk_cache import ENV_VAR, FORMAT_VERSION, reset_disk_cache_state
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_analysis_cache()
+    reset_disk_cache_state()
+    yield
+    clear_analysis_cache()
+    configure_disk_cache(None)
+    reset_disk_cache_state()
+
+
+def _run(program, registers, capacity=2):
+    return simulate(
+        program,
+        config=ArrayConfig(queue_capacity=capacity),
+        registers=registers,
+    )
+
+
+class TestRoundTrip:
+    def test_restart_skips_reanalysis(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        first = _run(program, registers)
+        assert disk.stats()["stores"] == 1
+        # Simulate a fresh process: the in-memory cache is gone, the
+        # disk tier is not.
+        clear_analysis_cache()
+        from repro.arch.routing import default_router
+        from repro.arch.topology import ExplicitLinear
+
+        topology = ExplicitLinear(tuple(program.cells))
+        entry = GLOBAL_ANALYSIS_CACHE.lookup(
+            program,
+            topology,
+            default_router(topology),
+            ArrayConfig(queue_capacity=2),
+        )
+        # The labeling arrived preloaded from disk before any simulation
+        # ran in this "process" — nothing recomputed it.
+        assert disk.stats()["hits"] == 1
+        assert entry._labeling is not None
+        second = _run(program, registers)
+        assert first.received == second.received
+        assert first.assignment_trace == second.assignment_trace
+        assert first.time == second.time
+
+    def test_unchanged_entry_not_rewritten(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        _run(program, registers)
+        stores = disk.stats()["stores"]
+        _run(program, registers)  # in-memory hit, nothing new computed
+        assert disk.stats()["stores"] == stores
+
+    def test_results_identical_to_fresh_analysis(self, tmp_path):
+        configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        _run(program, registers)
+        clear_analysis_cache()
+        from_disk = _run(program, registers)
+        configure_disk_cache(None)
+        clear_analysis_cache()
+        fresh = _run(program, registers)
+        assert from_disk.received == fresh.received
+        assert from_disk.registers == fresh.registers
+        assert from_disk.assignment_trace == fresh.assignment_trace
+        assert from_disk.time == fresh.time
+        assert from_disk.events == fresh.events
+
+    def test_distinct_configs_distinct_entries(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        _run(program, registers, capacity=0)
+        _run(program, registers, capacity=2)
+        assert len(disk) == 2
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        expected = _run(program, registers)
+        for entry in tmp_path.glob("*.analysis.pkl"):
+            entry.write_bytes(b"\x80garbage")
+        clear_analysis_cache()
+        result = _run(program, registers)
+        assert result.received == expected.received
+        assert disk.stats()["misses"] >= 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        _run(program, registers)
+        (path,) = tmp_path.glob("*.analysis.pkl")
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        clear_analysis_cache()
+        hits_before = disk.stats()["hits"]
+        _run(program, registers)
+        assert disk.stats()["hits"] == hits_before  # stale format ignored
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        configure_disk_cache(tmp_path)
+        _run(fir_program(4, 8), fir_registers((1.0,) * 4))
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unpicklable_artifacts_degrade_gracefully(self, tmp_path):
+        disk = DiskAnalysisCache(tmp_path)
+        from repro.perf import AnalysisKey
+
+        key = AnalysisKey("p", "t", "r", 0, False)
+        assert disk.store(key, {"labeling": lambda: None}) is False
+        assert disk.load(key) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        _run(fir_program(4, 8), fir_registers((1.0,) * 4))
+        assert len(disk) == 1
+        assert disk.clear() == 1
+        assert len(disk) == 0
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_disk_cache() is None
+
+    def test_env_var_activates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "cache"))
+        reset_disk_cache_state()
+        disk = active_disk_cache()
+        assert disk is not None
+        assert disk.directory == tmp_path / "cache"
+        assert disk.directory.is_dir()
+
+    def test_configure_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "env"))
+        configured = configure_disk_cache(tmp_path / "explicit")
+        assert active_disk_cache() is configured
+        assert configured.directory == tmp_path / "explicit"
+
+    def test_configure_none_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        configure_disk_cache(None)
+        assert active_disk_cache() is None
+
+
+class TestBatchIntegration:
+    def test_simulate_many_warms_the_disk_tier(self, tmp_path):
+        from repro.sim.batch import SimJob, simulate_many
+
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        jobs = [
+            SimJob(
+                program,
+                config=ArrayConfig(queue_capacity=2),
+                registers=registers,
+            )
+            for _ in range(3)
+        ]
+        results = simulate_many(jobs, disk_cache=str(tmp_path))
+        assert all(r.completed for r in results)
+        disk = active_disk_cache()
+        assert disk is not None and len(disk) == 1
+        # A restarted batch (fresh in-memory cache) reuses the entry.
+        clear_analysis_cache()
+        results2 = simulate_many(jobs, disk_cache=str(tmp_path))
+        assert [r.time for r in results2] == [r.time for r in results]
+        assert disk.stats()["hits"] >= 1
+
+    def test_worker_processes_share_the_tier(self, tmp_path):
+        from repro.sim.batch import SimJob, simulate_many
+
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        jobs = [
+            SimJob(
+                program,
+                config=ArrayConfig(queue_capacity=2),
+                registers=registers,
+            )
+            for _ in range(4)
+        ]
+        results = simulate_many(jobs, workers=2, disk_cache=str(tmp_path))
+        assert all(r.completed for r in results)
+        disk = active_disk_cache()
+        assert disk is not None and len(disk) == 1
