@@ -7,10 +7,16 @@ falls more than ``--max-drop`` (default 30%) below the baseline fails
 the check; records present on only one side are reported but never
 fatal, so adding or retiring benches doesn't break the guard.
 
+With ``--enforce GLOB`` (repeatable) only failing records matching one
+of the patterns are fatal; other drops are downgraded to warnings. This
+is how CI promotes the compile-time ``cross_off*`` records to a blocking
+gate while the noisier simulation benches stay report-only.
+
 Usage::
 
     python benchmarks/check_regression.py \
-        --baseline BENCH_core.json --current /tmp/bench_current.json
+        --baseline BENCH_core.json --current /tmp/bench_current.json \
+        [--enforce 'cross_off*']
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fnmatch import fnmatch
 from pathlib import Path
 
 METRIC = "events_per_sec"
@@ -48,12 +55,19 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum tolerated fractional drop in events_per_sec "
              "(default 0.30 = 30%%)",
     )
+    parser.add_argument(
+        "--enforce", action="append", metavar="GLOB", default=None,
+        help="fnmatch pattern of record names whose drops are fatal; "
+             "repeatable. Non-matching drops become warnings. Default: "
+             "every record is fatal.",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_records(Path(args.baseline))
     current = load_records(Path(args.current))
 
     failures: list[str] = []
+    warnings: list[str] = []
     compared = 0
     for name in sorted(baseline):
         base_value = baseline[name].get(METRIC)
@@ -68,8 +82,15 @@ def main(argv: list[str] | None = None) -> int:
         ratio = value / base_value if base_value else float("inf")
         status = "ok"
         if ratio < 1.0 - args.max_drop:
-            status = "FAIL"
-            failures.append(name)
+            enforced = args.enforce is None or any(
+                fnmatch(name, pattern) for pattern in args.enforce
+            )
+            if enforced:
+                status = "FAIL"
+                failures.append(name)
+            else:
+                status = "warn"
+                warnings.append(name)
         print(
             f"  [{status:>4}]  {name}: {value:,} vs baseline "
             f"{base_value:,} ({ratio:.2f}x)"
@@ -81,13 +102,22 @@ def main(argv: list[str] | None = None) -> int:
     if not compared:
         print("error: no overlapping events_per_sec records to compare")
         return 2
+    if warnings:
+        print(
+            f"\nwarning: {len(warnings)} unenforced record(s) dropped more "
+            f"than {args.max_drop:.0%}: {', '.join(warnings)}"
+        )
     if failures:
         print(
             f"\n{len(failures)} record(s) dropped more than "
             f"{args.max_drop:.0%} below baseline: {', '.join(failures)}"
         )
         return 1
-    print(f"\nall {compared} compared records within {args.max_drop:.0%} of baseline")
+    print(
+        f"\nall {compared} compared records within {args.max_drop:.0%} of "
+        f"baseline"
+        + ("" if args.enforce is None else " (or unenforced)")
+    )
     return 0
 
 

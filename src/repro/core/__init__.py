@@ -24,7 +24,12 @@ from repro.core.labeling import (
 )
 from repro.core.message import Message
 from repro.core.ops import COMPUTE, Op, OpKind, R, ValueSource, W, transfer_ops
-from repro.core.program import ArrayProgram, CellProgram, ProgramStats
+from repro.core.program import (
+    ArrayProgram,
+    CellProgram,
+    InternTable,
+    ProgramStats,
+)
 from repro.core.related import (
     are_related,
     interleaved_pairs,
@@ -59,6 +64,7 @@ __all__ = [
     "CrossingResult",
     "CrossingState",
     "ExtensionDemand",
+    "InternTable",
     "Labeling",
     "LookaheadConfig",
     "Message",

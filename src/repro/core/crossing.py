@@ -23,27 +23,46 @@ Implementation
 --------------
 
 The procedure is an *incremental* engine rather than a per-step simulation
-of the text. Three ingredients make it fast on ensemble-scale analysis:
+of the text, and it works entirely on **dense interned ids** rather than
+name strings. Four ingredients make it fast on 1k-10k-cell programs:
 
-* **position indexes** — per (cell, kind, message) sorted operation
-  positions, built once. Locating "the next uncrossed ``W(X)`` in this
-  cell" is an O(1) index probe, because operations of one (cell, kind,
-  message) key are always crossed in program order (``executable_pair``
-  only ever locates the *first* uncrossed match), so a monotone crossed
-  counter identifies the next candidate. Rule R1 likewise makes reads
-  cross in per-cell program order, so "first uncrossed read" is another
-  monotone counter.
+* **interning** — cells and messages are mapped to dense ints by the
+  program's :class:`~repro.core.program.InternTable` (cell ids in program
+  order, message ids in *sorted-name* order, so id comparisons order
+  exactly like name comparisons). Every per-(cell, kind, message)
+  dict-of-dicts of the previous engine is flattened into plain lists
+  indexed by those ids:
+
+  - per *message* id (each message has exactly one sender and one
+    receiver cell): sorted write/read positions (``_wpos``/``_rpos``)
+    and monotone crossed-prefix counters (``_wcrossed``/``_rcrossed``);
+  - per *cell* id: the crossed bitmap, the front pointer, the cell's
+    read positions plus a crossed-reads counter (reads cross in per-cell
+    program order thanks to R1), the ids of messages written in the cell
+    (the R2 scan list), and the incident-message list driving dirty
+    marking.
+
+  Names appear only at the API boundary: :class:`PairCrossing`,
+  ``uncrossed``, ``max_skipped`` and every public query translate ids
+  back through the intern table. Nothing outside this module sees an id.
+* **position indexes** — locating "the next uncrossed ``W(X)`` in this
+  cell" is an O(1) probe, because operations of one (cell, kind, message)
+  key are always crossed in program order (``executable_pair`` only ever
+  locates the *first* uncrossed match), so a monotone crossed counter
+  identifies the next candidate.
 * **prefix write-counts** — an R2 check needs the number of uncrossed
   writes per message between a cell's front and the candidate position.
-  With crossed operations forming a prefix of each (cell, message) write
-  index, that count is ``bisect(positions, pos) - crossed``; the skipped
-  region is never rescanned.
+  With crossed operations forming a prefix of each message's write index,
+  that count is ``bisect(positions, pos) - crossed``; the skipped region
+  is never rescanned.
 * **a dirty-message worklist** — a message's executable pair depends only
   on the state of its two endpoint cells, so its cached candidate is
-  invalidated only when one of those cells changes (its front moves or
-  any of its operations is crossed). ``executable_pairs`` re-locates only
-  invalidated messages instead of re-scanning the whole program every
-  step.
+  invalidated only when one of those cells changes. The sequential fast
+  loop additionally keeps the dirty ids in a lazy-deletion min-heap:
+  finding "the smallest dirty message that beats the clean minimum" is
+  O(log n) per step instead of re-sorting the (growing) dirty set every
+  step — the difference between linear and quadratic total work on
+  10k-cell programs.
 
 The original scan-based implementation is preserved as a reference oracle
 in ``tests/reference_crossing.py``; property tests assert bit-identical
@@ -56,9 +75,9 @@ import math
 from bisect import bisect_left
 from heapq import heappop, heappush
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Iterator, Mapping, Protocol
 
-from repro.core.ops import Op, OpKind
+from repro.core.ops import Op
 from repro.core.program import ArrayProgram
 
 
@@ -133,6 +152,26 @@ class CrossingResult:
         return self.steps[step - 1]
 
 
+class _LastCrossedView(Mapping):
+    """Read-only name-keyed view of the per-cell last-crossed message."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: "CrossingState") -> None:
+        self._state = state
+
+    def __getitem__(self, cell: str) -> str | None:
+        state = self._state
+        mid = state._last_crossed[state.intern.cell_ids[cell]]
+        return None if mid < 0 else state.intern.message_names[mid]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._state.intern.cell_names)
+
+    def __len__(self) -> int:
+        return len(self._state.intern.cell_names)
+
+
 class CrossingState:
     """Mutable state of the procedure over one program.
 
@@ -141,29 +180,37 @@ class CrossingState:
     from :meth:`executable_pair`/:meth:`executable_pairs` of this state —
     the incremental indexes rely on operations being crossed first-uncrossed
     first, and :meth:`cross` rejects anything else.
+
+    Internally everything is indexed by the program's interned cell and
+    message ids (see the module docstring for the layout); the public
+    queries and results speak names.
     """
 
     __slots__ = (
         "program",
         "lookahead",
-        "seqs",
-        "crossed",
-        "fronts",
-        "remaining_per_message",
-        "last_crossed_message",
-        "max_skipped",
+        "intern",
         "total_remaining",
-        "_write_pos",
-        "_write_crossed",
-        "_read_pos",
-        "_read_crossed",
+        "_senders",
+        "_receivers",
+        "_enc",
+        "_crossed",
+        "_fronts",
+        "_remaining",
+        "_last_crossed",
+        "_max_skipped",
+        "_wpos",
+        "_wcrossed",
+        "_rpos",
+        "_rcrossed",
         "_cell_reads",
         "_cell_reads_crossed",
+        "_cell_write_mids",
         "_msg_remaining_in_cell",
+        "_cap",
         "_executable",
         "_dirty",
-        "_endpoints",
-        "_msg_ctx",
+        "_dirty_heap",
         "_incident",
     )
 
@@ -174,88 +221,75 @@ class CrossingState:
     ) -> None:
         self.program = program
         self.lookahead = lookahead
-        self.seqs: dict[str, list[Op]] = {
-            cell: program.transfers(cell) for cell in program.cells
-        }
-        self.crossed: dict[str, list[bool]] = {
-            cell: [False] * len(seq) for cell, seq in self.seqs.items()
-        }
-        self.fronts: dict[str, int] = {cell: 0 for cell in program.cells}
-        self.remaining_per_message: dict[str, int] = {
-            name: 2 * msg.length for name, msg in program.messages.items()
-        }
-        self.last_crossed_message: dict[str, str | None] = {
-            cell: None for cell in program.cells
-        }
-        self.max_skipped: dict[str, int] = {name: 0 for name in program.messages}
-        self.total_remaining = sum(self.remaining_per_message.values())
-        # --- incremental indexes (built once, updated in cross()) -------
-        # Per cell: sorted write/read positions per message, the
-        # crossed-prefix length per (cell, kind, message) — operations of
-        # one key are always crossed in program order — the cell's read
-        # positions with a crossed-reads counter (reads cross in per-cell
-        # order thanks to R1), and the per-message uncrossed-op counts
-        # backing future_messages().
-        self._write_pos: dict[str, dict[str, list[int]]] = {}
-        self._write_crossed: dict[str, dict[str, int]] = {}
-        self._read_pos: dict[str, dict[str, list[int]]] = {}
-        self._read_crossed: dict[str, dict[str, int]] = {}
-        self._cell_reads: dict[str, list[int]] = {}
-        self._cell_reads_crossed: dict[str, int] = {}
-        self._msg_remaining_in_cell: dict[str, dict[str, int]] = {}
-        for cell, seq in self.seqs.items():
-            writes: dict[str, list[int]] = {}
-            reads: dict[str, list[int]] = {}
-            all_reads: list[int] = []
-            remaining: dict[str, int] = {}
-            for pos, op in enumerate(seq):
-                if op.kind is OpKind.WRITE:
-                    writes.setdefault(op.message, []).append(pos)
+        intern = program.intern
+        self.intern = intern
+        ncells = len(intern.cell_names)
+        nmsgs = len(intern.message_names)
+        self._senders = intern.senders
+        self._receivers = intern.receivers
+        enc = intern.encoded_transfers
+        self._enc = enc
+        self._crossed: list[list[bool]] = [[False] * len(seq) for seq in enc]
+        self._fronts: list[int] = [0] * ncells
+        self._remaining: list[int] = [2 * length for length in intern.lengths]
+        self.total_remaining = sum(self._remaining)
+        self._last_crossed: list[int] = [-1] * ncells
+        self._max_skipped: list[int] = [0] * nmsgs
+        # --- incremental indexes (built once, updated in _apply_cross) --
+        wpos: list[list[int]] = [[] for _ in range(nmsgs)]
+        rpos: list[list[int]] = [[] for _ in range(nmsgs)]
+        self._wcrossed: list[int] = [0] * nmsgs
+        self._rcrossed: list[int] = [0] * nmsgs
+        cell_reads: list[list[int]] = []
+        cell_write_mids: list[list[int]] = []
+        msg_remaining: list[dict[int, int]] = []
+        for seq in enc:
+            reads_here: list[int] = []
+            wmids: list[int] = []
+            remaining_here: dict[int, int] = {}
+            for pos, (is_write, mid) in enumerate(seq):
+                if is_write:
+                    positions = wpos[mid]
+                    if not positions:
+                        wmids.append(mid)
+                    positions.append(pos)
                 else:
-                    reads.setdefault(op.message, []).append(pos)
-                    all_reads.append(pos)
-                remaining[op.message] = remaining.get(op.message, 0) + 1
-            self._write_pos[cell] = writes
-            self._write_crossed[cell] = dict.fromkeys(writes, 0)
-            self._read_pos[cell] = reads
-            self._read_crossed[cell] = dict.fromkeys(reads, 0)
-            self._cell_reads[cell] = all_reads
-            self._cell_reads_crossed[cell] = 0
-            self._msg_remaining_in_cell[cell] = remaining
+                    rpos[mid].append(pos)
+                    reads_here.append(pos)
+                remaining_here[mid] = remaining_here.get(mid, 0) + 1
+            cell_reads.append(reads_here)
+            cell_write_mids.append(wmids)
+            msg_remaining.append(remaining_here)
+        self._wpos = wpos
+        self._rpos = rpos
+        self._cell_reads = cell_reads
+        self._cell_reads_crossed: list[int] = [0] * ncells
+        self._cell_write_mids = cell_write_mids
+        self._msg_remaining_in_cell = msg_remaining
+        # R2 bounds resolved to a per-id list once; None without lookahead.
+        self._cap: list[float] | None = (
+            None
+            if lookahead is None
+            else [lookahead.capacity(name) for name in intern.message_names]
+        )
         # Candidate worklist: each message's executable pair is cached in
         # `_executable` as a lightweight (sender_pos, receiver_pos,
-        # skipped_sender, skipped_receiver) tuple (absence = no pair) and
-        # recomputed only for messages in `_dirty` — a message is dirtied
-        # exactly when one of its endpoint cells changes. PairCrossing
-        # objects are materialized only at the public API boundary.
-        self._executable: dict[str, tuple] = {}
-        self._dirty: set[str] = set(program.messages)
-        self._endpoints: dict[str, tuple[str, str]] = {
-            name: (msg.sender, msg.receiver)
-            for name, msg in program.messages.items()
-        }
-        # Per-message locate context: both endpoint cells plus their
-        # relevant index/counter dicts, resolved once.
-        self._msg_ctx: dict[str, tuple] = {
-            name: (
-                sender,
-                receiver,
-                self._write_pos[sender],
-                self._write_crossed[sender],
-                self._read_pos[receiver],
-                self._read_crossed[receiver],
-            )
-            for name, (sender, receiver) in self._endpoints.items()
-        }
+        # skipped_sender, skipped_receiver) id-tuple (absence = no pair)
+        # and recomputed only for ids in `_dirty` — a message is dirtied
+        # exactly when one of its endpoint cells changes. `_dirty_heap` is
+        # a lazy-deletion min-heap over the dirty ids, maintained only
+        # while the sequential fast loop is active (it is the only
+        # consumer that needs ordered access to the dirty set).
+        self._executable: dict[int, tuple] = {}
+        self._dirty: set[int] = set(range(nmsgs))
+        self._dirty_heap: list[int] | None = None
         # Incident lists are pruned as messages finish, so dirty marking
         # only ever walks live messages.
-        self._incident: dict[str, list[str]] = {
-            cell: [] for cell in program.cells
-        }
-        for name, msg in program.messages.items():
-            self._incident[msg.sender].append(name)
-            if msg.receiver != msg.sender:
-                self._incident[msg.receiver].append(name)
+        incident: list[list[int]] = [[] for _ in range(ncells)]
+        for mid in range(nmsgs):
+            incident[self._senders[mid]].append(mid)
+            incident[self._receivers[mid]].append(mid)
+        self._incident = incident
 
     # ------------------------------------------------------------------
     # Queries
@@ -266,79 +300,102 @@ class CrossingState:
         """True when every R/W operation has been crossed off."""
         return self.total_remaining == 0
 
+    @property
+    def fronts(self) -> dict[str, int]:
+        """Front pointer of every cell, by name (boundary view)."""
+        return dict(zip(self.intern.cell_names, self._fronts))
+
+    @property
+    def remaining_per_message(self) -> dict[str, int]:
+        """Uncrossed R+W operation count per message, by name."""
+        return dict(zip(self.intern.message_names, self._remaining))
+
+    @property
+    def max_skipped(self) -> dict[str, int]:
+        """Peak skipped-write count per message, by name."""
+        return dict(zip(self.intern.message_names, self._max_skipped))
+
+    @property
+    def last_crossed_message(self) -> Mapping[str, str | None]:
+        """Per-cell name of the most recently crossed message (O(1) view)."""
+        return _LastCrossedView(self)
+
     def uncrossed_ops(self, cell: str) -> list[Op]:
         """Remaining (uncrossed) operations of ``cell``, in program order."""
-        seq, crossed = self.seqs[cell], self.crossed[cell]
-        return [op for op, done in zip(seq, crossed) if not done]
+        crossed = self._crossed[self.intern.cell_ids[cell]]
+        return [
+            op
+            for op, done in zip(self.program.transfers(cell), crossed)
+            if not done
+        ]
 
     def future_messages(self, cell: str, exclude: str | None = None) -> set[str]:
         """Messages ``cell`` will still access, optionally excluding one."""
+        names = self.intern.message_names
         out = {
-            name
-            for name, count in self._msg_remaining_in_cell[cell].items()
+            names[mid]
+            for mid, count in self._msg_remaining_in_cell[
+                self.intern.cell_ids[cell]
+            ].items()
             if count
         }
         out.discard(exclude or "")
         return out
 
     def _locate_end(
-        self,
-        cell: str,
-        message: str,
-        positions_map: dict[str, list[int]],
-        crossed_map: dict[str, int],
-    ) -> tuple[int, tuple[tuple[str, int], ...]] | None:
-        """Find the next uncrossed op of ``message`` in one pair end.
+        self, cid: int, positions: list[int], key_crossed: int
+    ) -> tuple[int, tuple[tuple[int, int], ...]] | None:
+        """Find the next uncrossed op of one pair end in cell ``cid``.
 
-        ``positions_map``/``crossed_map`` are the cell's write (sender
-        end) or read (receiver end) indexes. Without lookahead only the
+        ``positions``/``key_crossed`` are the message's write index (sender
+        end) or read index (receiver end). Without lookahead only the
         front operation qualifies. With lookahead the candidate may sit
         deeper, subject to no uncrossed read before it (R1) and
         per-message skipped-write budgets (R2), both answered from the
         indexes without scanning the skipped region. Returns ``(pos,
-        skipped)`` with ``skipped`` already in sorted-tuple form.
+        skipped)`` with ``skipped`` as an id-sorted tuple (which is also
+        name-sorted: message ids follow sorted-name order).
         """
-        positions = positions_map.get(message)
-        if positions is None:
-            return None
-        key_crossed = crossed_map[message]
         if key_crossed >= len(positions):
             return None
         pos = positions[key_crossed]
-        if pos == self.fronts[cell]:
+        if pos == self._fronts[cid]:
             # Everything before the front is crossed: nothing was skipped.
             return (pos, ())
-        lookahead = self.lookahead
-        if lookahead is None:
+        cap = self._cap
+        if cap is None:
             return None
         # R1: an uncrossed read before `pos` blocks the skip.
-        reads = self._cell_reads[cell]
-        reads_crossed = self._cell_reads_crossed[cell]
+        reads = self._cell_reads[cid]
+        reads_crossed = self._cell_reads_crossed[cid]
         if reads_crossed < len(reads) and reads[reads_crossed] < pos:
             return None
         # R2: uncrossed writes per message in [front, pos) from the prefix
         # counts — crossed writes form a prefix of each message's index.
-        skipped: list[tuple[str, int]] = []
-        capacity = lookahead.capacity
-        crossed_counts = self._write_crossed[cell]
-        for name, write_positions in self._write_pos[cell].items():
-            count = bisect_left(write_positions, pos) - crossed_counts[name]
+        skipped: list[tuple[int, int]] = []
+        wpos = self._wpos
+        wcrossed = self._wcrossed
+        for mid in self._cell_write_mids[cid]:
+            count = bisect_left(wpos[mid], pos) - wcrossed[mid]
             if count > 0:
-                if count > capacity(name):
+                if count > cap[mid]:
                     return None  # R2: buffering along the route exhausted
-                skipped.append((name, count))
+                skipped.append((mid, count))
         skipped.sort()
         return (pos, tuple(skipped))
 
-    def _compute_entry(self, message: str) -> tuple | None:
-        """Locate both ends of ``message``'s executable pair, if any."""
-        if self.remaining_per_message[message] == 0:
+    def _compute_entry(self, mid: int) -> tuple | None:
+        """Locate both ends of message ``mid``'s executable pair, if any."""
+        if self._remaining[mid] == 0:
             return None
-        sender, receiver, wpos, wcrossed, rpos, rcrossed = self._msg_ctx[message]
-        write = self._locate_end(sender, message, wpos, wcrossed)
+        write = self._locate_end(
+            self._senders[mid], self._wpos[mid], self._wcrossed[mid]
+        )
         if write is None:
             return None
-        read = self._locate_end(receiver, message, rpos, rcrossed)
+        read = self._locate_end(
+            self._receivers[mid], self._rpos[mid], self._rcrossed[mid]
+        )
         if read is None:
             return None
         return (write[0], read[0], write[1], read[1])
@@ -350,48 +407,51 @@ class CrossingState:
             return
         executable = self._executable
         compute = self._compute_entry
-        for name in dirty:
-            entry = compute(name)
+        for mid in dirty:
+            entry = compute(mid)
             if entry is None:
-                executable.pop(name, None)
+                executable.pop(mid, None)
             else:
-                executable[name] = entry
+                executable[mid] = entry
         dirty.clear()
 
-    def _as_pair(self, message: str, entry: tuple, step: int = 0) -> PairCrossing:
-        sender, receiver = self._endpoints[message]
+    def _as_pair(self, mid: int, entry: tuple, step: int = 0) -> PairCrossing:
+        intern = self.intern
+        names = intern.message_names
+        cells = intern.cell_names
         sender_pos, receiver_pos, skipped_sender, skipped_receiver = entry
         return PairCrossing(
             step=step,
-            message=message,
-            sender=sender,
+            message=names[mid],
+            sender=cells[self._senders[mid]],
             sender_pos=sender_pos,
-            receiver=receiver,
+            receiver=cells[self._receivers[mid]],
             receiver_pos=receiver_pos,
-            skipped_sender=skipped_sender,
-            skipped_receiver=skipped_receiver,
+            skipped_sender=tuple((names[m], c) for m, c in skipped_sender),
+            skipped_receiver=tuple((names[m], c) for m, c in skipped_receiver),
         )
 
     def executable_pair(self, message: str) -> PairCrossing | None:
         """The executable pair for ``message``, if one exists right now."""
-        if message in self._dirty:
-            self._dirty.discard(message)
-            entry = self._compute_entry(message)
+        mid = self.intern.message_ids[message]
+        if mid in self._dirty:
+            self._dirty.discard(mid)
+            entry = self._compute_entry(mid)
             if entry is None:
-                self._executable.pop(message, None)
+                self._executable.pop(mid, None)
             else:
-                self._executable[message] = entry
-        cached = self._executable.get(message)
+                self._executable[mid] = entry
+        cached = self._executable.get(mid)
         if cached is None:
             return None
-        return self._as_pair(message, cached)
+        return self._as_pair(mid, cached)
 
     def executable_pairs(self) -> list[PairCrossing]:
         """All currently executable pairs, ordered by message name."""
         self._flush_dirty()
         executable = self._executable
         return [
-            self._as_pair(name, executable[name]) for name in sorted(executable)
+            self._as_pair(mid, executable[mid]) for mid in sorted(executable)
         ]
 
     # ------------------------------------------------------------------
@@ -399,101 +459,124 @@ class CrossingState:
     # ------------------------------------------------------------------
 
     def _apply_cross(
-        self, message: str, sender_pos: int, receiver_pos: int,
+        self, mid: int, sender_pos: int, receiver_pos: int,
         skipped_sender: tuple, skipped_receiver: tuple,
     ) -> None:
-        """Mutation core shared by :meth:`cross` and the fast loop."""
+        """Mutation core shared by :meth:`cross` and the fast loop.
+
+        ``skipped_*`` tuples carry interned ids, not names.
+        """
         dirty = self._dirty
-        remaining = self.remaining_per_message
-        fronts = self.fronts
-        sender, receiver = self._endpoints[message]
-        for cell, pos, is_write in (
+        dirty_heap = self._dirty_heap
+        fronts = self._fronts
+        senders = self._senders
+        receivers = self._receivers
+        sender = senders[mid]
+        receiver = receivers[mid]
+        for cid, pos, is_write in (
             (sender, sender_pos, True),
             (receiver, receiver_pos, False),
         ):
             if is_write:
-                self._write_crossed[cell][message] += 1
+                self._wcrossed[mid] += 1
             else:
-                self._read_crossed[cell][message] += 1
-                self._cell_reads_crossed[cell] += 1
-            crossed_list = self.crossed[cell]
+                self._rcrossed[mid] += 1
+                self._cell_reads_crossed[cid] += 1
+            crossed_list = self._crossed[cid]
             crossed_list[pos] = True
-            self._msg_remaining_in_cell[cell][message] -= 1
-            self.last_crossed_message[cell] = message
+            self._msg_remaining_in_cell[cid][mid] -= 1
+            self._last_crossed[cid] = mid
             # The front moves iff the crossed op *was* the front.
-            if pos == fronts[cell]:
+            if pos == fronts[cid]:
                 size = len(crossed_list)
                 front = pos + 1
                 while front < size and crossed_list[front]:
                     front += 1
-                fronts[cell] = front
+                fronts[cid] = front
                 # The front moved: every incident message's eligibility
                 # (front fast path, skip region) may have changed.
-                for name in self._incident[cell]:
-                    dirty.add(name)
+                for m in self._incident[cid]:
+                    if m not in dirty:
+                        dirty.add(m)
+                        if dirty_heap is not None:
+                            heappush(dirty_heap, m)
             else:
                 # Front unchanged: a message's candidate in this cell is
                 # affected only if the crossed position lies *before* its
                 # first uncrossed op here — R1/R2 look solely at the
                 # region up to the candidate, and the first-uncrossed
-                # pointers of other messages did not move.
-                write_pos = self._write_pos[cell]
-                write_crossed = self._write_crossed[cell]
-                read_pos = self._read_pos[cell]
-                read_crossed = self._read_crossed[cell]
-                for name in self._incident[cell]:
-                    if name in dirty:
+                # pointers of other messages did not move. Each incident
+                # message keys exactly one index in this cell: its write
+                # index if this cell is its sender, its read index if its
+                # receiver (sender == receiver is impossible).
+                wpos = self._wpos
+                wcrossed = self._wcrossed
+                rpos = self._rpos
+                rcrossed = self._rcrossed
+                for m in self._incident[cid]:
+                    if m in dirty:
                         continue
-                    positions = write_pos.get(name)
-                    if positions is not None:
-                        k = write_crossed[name]
-                        if k < len(positions) and pos < positions[k]:
-                            dirty.add(name)
-                            continue
-                    positions = read_pos.get(name)
-                    if positions is not None:
-                        k = read_crossed[name]
-                        if k < len(positions) and pos < positions[k]:
-                            dirty.add(name)
+                    if senders[m] == cid:
+                        positions = wpos[m]
+                        k = wcrossed[m]
+                    else:
+                        positions = rpos[m]
+                        k = rcrossed[m]
+                    if k < len(positions) and pos < positions[k]:
+                        dirty.add(m)
+                        if dirty_heap is not None:
+                            heappush(dirty_heap, m)
         # The crossed message's own candidate always changes (and must be
         # dropped once its remaining count reaches zero) — the positional
         # probes above miss it when its final operation in a cell crossed.
-        dirty.add(message)
-        remaining[message] -= 2
-        if remaining[message] == 0:
+        if mid not in dirty:
+            dirty.add(mid)
+            if dirty_heap is not None:
+                heappush(dirty_heap, mid)
+        remaining = self._remaining
+        remaining[mid] -= 2
+        if remaining[mid] == 0:
             # Finished: stop dirty marking from ever touching it again.
-            self._incident[sender].remove(message)
-            if receiver != sender:
-                self._incident[receiver].remove(message)
+            self._incident[sender].remove(mid)
+            self._incident[receiver].remove(mid)
         self.total_remaining -= 2
         if skipped_sender or skipped_receiver:
-            max_skipped = self.max_skipped
-            for msg_name, count in skipped_sender + skipped_receiver:
-                if count > max_skipped[msg_name]:
-                    max_skipped[msg_name] = count
+            max_skipped = self._max_skipped
+            for m, count in skipped_sender + skipped_receiver:
+                if count > max_skipped[m]:
+                    max_skipped[m] = count
 
     def cross(self, pair: PairCrossing, step: int) -> PairCrossing:
         """Cross off ``pair``'s two operations, returning it stamped with
         the step number."""
-        message = pair.message
-        for cell, pos, positions_map, crossed_map in (
-            (pair.sender, pair.sender_pos, self._write_pos, self._write_crossed),
-            (pair.receiver, pair.receiver_pos, self._read_pos, self._read_crossed),
-        ):
-            positions = positions_map[cell].get(message, ())
-            key_crossed = crossed_map[cell].get(message, 0)
-            if key_crossed >= len(positions) or positions[key_crossed] != pos:
-                raise ValueError(
-                    f"pair {pair} does not cross the first uncrossed "
-                    f"operation on {message!r} of {cell!r}; only pairs "
-                    f"returned by executable_pair(s) can be crossed"
-                )
+        intern = self.intern
+        message_ids = intern.message_ids
+        mid = message_ids.get(pair.message)
+        valid = (
+            mid is not None
+            and pair.sender == intern.cell_names[self._senders[mid]]
+            and pair.receiver == intern.cell_names[self._receivers[mid]]
+        )
+        if valid:
+            for positions, key_crossed, pos in (
+                (self._wpos[mid], self._wcrossed[mid], pair.sender_pos),
+                (self._rpos[mid], self._rcrossed[mid], pair.receiver_pos),
+            ):
+                if key_crossed >= len(positions) or positions[key_crossed] != pos:
+                    valid = False
+                    break
+        if not valid:
+            raise ValueError(
+                f"pair {pair} does not cross the first uncrossed "
+                f"operation on {pair.message!r} of its endpoint cells; "
+                f"only pairs returned by executable_pair(s) can be crossed"
+            )
         self._apply_cross(
-            message,
+            mid,
             pair.sender_pos,
             pair.receiver_pos,
-            pair.skipped_sender,
-            pair.skipped_receiver,
+            tuple((message_ids[name], c) for name, c in pair.skipped_sender),
+            tuple((message_ids[name], c) for name, c in pair.skipped_receiver),
         )
         return PairCrossing(
             step=step,
@@ -544,62 +627,77 @@ def cross_off(
     steps: list[list[PairCrossing]] = []
     crossings: list[PairCrossing] = []
     if observer is None and pick is None:
-        # Fast loop for the analysis path: work on the cached entry
+        # Fast loop for the analysis path: work on the cached id-entry
         # tuples directly, materializing exactly one (already-stamped)
         # PairCrossing per crossing. Output is identical to the general
         # loop below — the sequential choice is the lowest message name
-        # and parallel steps cross the step-start set in name order.
+        # (== lowest id) and parallel steps cross the step-start set in
+        # name (== id) order.
         executable = state._executable
         dirty = state._dirty
         apply_cross = state._apply_cross
         as_pair = state._as_pair
         compute = state._compute_entry
-        # Sequential mode keeps a lazy-deletion heap of *clean* executable
-        # names: every name is pushed when it (re)gains a fresh entry, and
-        # stale tops (dirtied or no longer executable) are popped on peek.
-        # Every clean executable name therefore has a live heap entry.
-        heap: list[str] = []
-        while state.total_remaining > 0:
-            if mode == "sequential":
-                # Only the lowest-name executable pair is crossed this
-                # step. Dirty names are evaluated in ascending order just
-                # far enough to beat the clean minimum; the rest stay
-                # deferred in the worklist for later steps.
-                while heap and (heap[0] in dirty or heap[0] not in executable):
-                    heappop(heap)
-                clean_min = heap[0] if heap else None
+        if mode == "sequential":
+            # Two lazy-deletion heaps drive the "lowest executable name"
+            # choice in O(log n) per step: `exec_heap` holds the *clean*
+            # executable ids (every id is pushed when it (re)gains a
+            # fresh entry; stale tops — dirtied or no longer executable —
+            # are popped on peek), and `state._dirty_heap` mirrors the
+            # dirty set (ids whose set membership is gone are stale).
+            # Dirty ids are evaluated in ascending order just far enough
+            # to beat the clean minimum; the rest stay deferred.
+            exec_heap: list[int] = []
+            dirty_heap = sorted(dirty)  # a sorted list is a valid heap
+            state._dirty_heap = dirty_heap
+            while state.total_remaining > 0:
+                while exec_heap and (
+                    exec_heap[0] in dirty or exec_heap[0] not in executable
+                ):
+                    heappop(exec_heap)
+                clean_min = exec_heap[0] if exec_heap else None
                 best = clean_min
-                for name in sorted(dirty):
-                    if clean_min is not None and name > clean_min:
+                while dirty_heap:
+                    mid = dirty_heap[0]
+                    if mid not in dirty:
+                        heappop(dirty_heap)  # stale: already re-evaluated
+                        continue
+                    if clean_min is not None and mid > clean_min:
                         break
-                    dirty.discard(name)
-                    entry = compute(name)
+                    heappop(dirty_heap)
+                    dirty.discard(mid)
+                    entry = compute(mid)
                     if entry is None:
-                        executable.pop(name, None)
+                        executable.pop(mid, None)
                     else:
-                        executable[name] = entry
-                        heappush(heap, name)
-                        best = name
+                        executable[mid] = entry
+                        heappush(exec_heap, mid)
+                        best = mid
                         break  # ascending: first hit is the dirty minimum
                 if best is None:
                     break
-                chosen = [best]
-            else:
+                step_no = len(steps) + 1
+                entry = executable[best]
+                stamped = as_pair(best, entry, step_no)
+                apply_cross(best, entry[0], entry[1], entry[2], entry[3])
+                steps.append([stamped])
+                crossings.append(stamped)
+        else:
+            while state.total_remaining > 0:
                 state._flush_dirty()
                 if not executable:
                     break
-                chosen = sorted(executable)
-            step_no = len(steps) + 1
-            this_step = []
-            # Entries are fixed at step start: _apply_cross only dirties
-            # messages, it never mutates the executable set.
-            for name in chosen:
-                entry = executable[name]
-                stamped = as_pair(name, entry, step_no)
-                apply_cross(name, entry[0], entry[1], entry[2], entry[3])
-                this_step.append(stamped)
-                crossings.append(stamped)
-            steps.append(this_step)
+                step_no = len(steps) + 1
+                this_step = []
+                # Entries are fixed at step start: _apply_cross only
+                # dirties messages, it never mutates the executable set.
+                for mid in sorted(executable):
+                    entry = executable[mid]
+                    stamped = as_pair(mid, entry, step_no)
+                    apply_cross(mid, entry[0], entry[1], entry[2], entry[3])
+                    this_step.append(stamped)
+                    crossings.append(stamped)
+                steps.append(this_step)
     else:
         while not state.done:
             pairs = state.executable_pairs()
@@ -627,7 +725,7 @@ def cross_off(
         steps=steps,
         crossings=crossings,
         uncrossed=uncrossed,
-        max_skipped=dict(state.max_skipped),
+        max_skipped=state.max_skipped,
         lookahead_used=lookahead is not None,
     )
 

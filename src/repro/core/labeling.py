@@ -231,6 +231,12 @@ def constraint_labeling(
 ) -> Labeling:
     """The finest consistent labeling, by constraint condensation.
 
+    The constraint graph is built and condensed over the program's
+    interned message ids (see :class:`~repro.core.program.InternTable`);
+    since ids follow sorted-name order, every smallest-name tie-break
+    below is a plain integer comparison, and names reappear only in the
+    returned :class:`Labeling`.
+
     Args:
         program: the program to label (need not be deadlock-free — unlike
             the Section 6 scheme, the constraints exist statically —
@@ -243,13 +249,15 @@ def constraint_labeling(
         DeadlockedProgramError: only when ``lookahead`` is given and the
             program is not deadlock-free even with it.
     """
-    names = sorted(program.messages)
-    edges: set[tuple[str, str]] = set()
-    for cell in program.cells:
-        order = program.cell_programs[cell].message_access_order()
-        for prev, nxt in zip(order, order[1:]):
-            if prev != nxt:
-                edges.add((prev, nxt))
+    intern = program.intern
+    count = len(intern.message_names)
+    edges: set[tuple[int, int]] = set()
+    for seq in intern.encoded_transfers:
+        prev = -1
+        for _is_write, mid in seq:
+            if prev >= 0 and prev != mid:
+                edges.add((prev, mid))
+            prev = mid
     if lookahead is not None:
         result = cross_off(program, lookahead=lookahead, mode="sequential")
         if not result.deadlock_free:
@@ -257,59 +265,70 @@ def constraint_labeling(
                 f"program {program.name!r} is not deadlock-free under the "
                 f"given lookahead; labeling is undefined"
             )
+        message_ids = intern.message_ids
         for pair in result.crossings:
             # Iterate the skipped tuples directly — building the
             # skipped_messages set per pair is measurable on
             # ensemble-scale analysis, and duplicates are free in a set
             # of edges anyway.
+            pair_mid = message_ids[pair.message]
             for skipped, _count in pair.skipped_sender:
-                edges.add((pair.message, skipped))
-                edges.add((skipped, pair.message))
+                skipped_mid = message_ids[skipped]
+                edges.add((pair_mid, skipped_mid))
+                edges.add((skipped_mid, pair_mid))
             for skipped, _count in pair.skipped_receiver:
-                edges.add((pair.message, skipped))
-                edges.add((skipped, pair.message))
-    components = _condense(names, edges)
-    order = _topological(components, edges)
+                skipped_mid = message_ids[skipped]
+                edges.add((pair_mid, skipped_mid))
+                edges.add((skipped_mid, pair_mid))
+    component_of, members = _condense(count, edges)
+    order = _topological(component_of, members, edges)
+    names = intern.message_names
     labels: dict[str, Fraction] = {}
     for rank, component in enumerate(order, start=1):
-        for name in component:
-            labels[name] = Fraction(rank)
+        value = Fraction(rank)
+        for mid in members[component]:
+            labels[names[mid]] = value
     return Labeling(labels)
 
 
 def _condense(
-    names: list[str], edges: set[tuple[str, str]]
-) -> dict[str, frozenset[str]]:
-    """Map each message to its strongly connected component (Tarjan)."""
-    adjacency: dict[str, list[str]] = {n: [] for n in names}
+    count: int, edges: set[tuple[int, int]]
+) -> tuple[list[int], list[list[int]]]:
+    """Strongly connected components over nodes ``0..count-1`` (Tarjan).
+
+    Returns ``(component_of, members)``: the component index of each node
+    and each component's member list.
+    """
+    adjacency: list[list[int]] = [[] for _ in range(count)]
     for a, b in sorted(edges):
         adjacency[a].append(b)
-    index: dict[str, int] = {}
-    low: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    components: dict[str, frozenset[str]] = {}
+    index: list[int] = [-1] * count
+    low: list[int] = [0] * count
+    on_stack: list[bool] = [False] * count
+    stack: list[int] = []
+    component_of: list[int] = [-1] * count
+    members: list[list[int]] = []
     counter = [0]
 
-    def strongconnect(root: str) -> None:
+    def strongconnect(root: int) -> None:
         work = [(root, iter(adjacency[root]))]
         index[root] = low[root] = counter[0]
         counter[0] += 1
         stack.append(root)
-        on_stack.add(root)
+        on_stack[root] = True
         while work:
             node, nbrs = work[-1]
             advanced = False
             for nxt in nbrs:
-                if nxt not in index:
+                if index[nxt] < 0:
                     index[nxt] = low[nxt] = counter[0]
                     counter[0] += 1
                     stack.append(nxt)
-                    on_stack.add(nxt)
+                    on_stack[nxt] = True
                     work.append((nxt, iter(adjacency[nxt])))
                     advanced = True
                     break
-                if nxt in on_stack:
+                if on_stack[nxt]:
                     low[node] = min(low[node], index[nxt])
             if advanced:
                 continue
@@ -318,53 +337,58 @@ def _condense(
                 parent = work[-1][0]
                 low[parent] = min(low[parent], low[node])
             if low[node] == index[node]:
-                members = []
+                comp = len(members)
+                comp_members: list[int] = []
                 while True:
                     member = stack.pop()
-                    on_stack.discard(member)
-                    members.append(member)
+                    on_stack[member] = False
+                    comp_members.append(member)
+                    component_of[member] = comp
                     if member == node:
                         break
-                component = frozenset(members)
-                for member in members:
-                    components[member] = component
+                members.append(comp_members)
 
-    for name in names:
-        if name not in index:
-            strongconnect(name)
-    return components
+    for node in range(count):
+        if index[node] < 0:
+            strongconnect(node)
+    return component_of, members
 
 
 def _topological(
-    components: dict[str, frozenset[str]], edges: set[tuple[str, str]]
-) -> list[frozenset[str]]:
-    """Kahn's algorithm over the condensation, smallest-name-first ties.
+    component_of: list[int],
+    members: list[list[int]],
+    edges: set[tuple[int, int]],
+) -> list[int]:
+    """Kahn's algorithm over the condensation, smallest-id-first ties.
 
-    The deterministic tie-break (pop the component containing the
-    lexicographically smallest message) reproduces the paper's Fig. 7
-    walkthrough labels.
+    Message ids follow sorted-name order, so popping the component with
+    the smallest member id is exactly the "lexicographically smallest
+    message" tie-break that reproduces the paper's Fig. 7 walkthrough
+    labels.
     """
     import heapq
 
-    uniq: dict[frozenset[str], None] = {}
-    for comp in components.values():
-        uniq.setdefault(comp, None)
-    nodes = list(uniq)
-    indegree: dict[frozenset[str], int] = {comp: 0 for comp in nodes}
-    out: dict[frozenset[str], set[frozenset[str]]] = {comp: set() for comp in nodes}
+    comp_count = len(members)
+    comp_min = [min(member_ids) for member_ids in members]
+    indegree = [0] * comp_count
+    out: list[set[int]] = [set() for _ in range(comp_count)]
     for a, b in edges:
-        ca, cb = components[a], components[b]
-        if ca is not cb and cb not in out[ca]:
+        ca, cb = component_of[a], component_of[b]
+        if ca != cb and cb not in out[ca]:
             out[ca].add(cb)
             indegree[cb] += 1
-    heap = [(min(comp), comp) for comp in nodes if indegree[comp] == 0]
+    heap = [
+        (comp_min[comp], comp)
+        for comp in range(comp_count)
+        if indegree[comp] == 0
+    ]
     heapq.heapify(heap)
-    order: list[frozenset[str]] = []
+    order: list[int] = []
     while heap:
         _key, comp = heapq.heappop(heap)
         order.append(comp)
-        for succ in sorted(out[comp], key=min):
+        for succ in out[comp]:
             indegree[succ] -= 1
             if indegree[succ] == 0:
-                heapq.heappush(heap, (min(succ), succ))
+                heapq.heappush(heap, (comp_min[succ], succ))
     return order

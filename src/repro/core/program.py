@@ -116,6 +116,7 @@ class ArrayProgram:
         if unknown:
             raise ProgramError(f"programs given for unknown cells: {sorted(unknown)}")
         self._validate()
+        self._intern: InternTable | None = None
 
     def _validate(self) -> None:
         for cell, prog in self.cell_programs.items():
@@ -158,6 +159,19 @@ class ArrayProgram:
         return self.cell_programs[cell].transfers
 
     @property
+    def intern(self) -> "InternTable":
+        """This program's dense-int intern table (built once, lazily).
+
+        Programs are immutable after construction, so the table can never
+        go stale.
+        """
+        table = self._intern
+        if table is None:
+            table = InternTable(self)
+            self._intern = table
+        return table
+
+    @property
     def total_transfer_ops(self) -> int:
         """Total number of R/W operations across all cells."""
         return sum(p.transfer_count for p in self.cell_programs.values())
@@ -187,6 +201,91 @@ class ArrayProgram:
             f"ArrayProgram({self.name!r}, cells={len(self.cells)}, "
             f"messages={len(self.messages)}, ops={self.total_transfer_ops})"
         )
+
+
+class InternTable:
+    """Dense integer ids for one program's cells and messages.
+
+    Built once per :class:`ArrayProgram` (lazily, through
+    :attr:`ArrayProgram.intern`) and shared by every analysis over it.
+    The id assignment is *content-defined* and deterministic — never an
+    artifact of construction order:
+
+    * **cell ids** follow the program's cell tuple order (itself part of
+      the program's content);
+    * **message ids** follow sorted message-name order, so comparing two
+      ids orders exactly like comparing the names. Every "lowest message
+      name first" tie-break in the crossing engine and labeling scheme
+      therefore survives interning unchanged.
+
+    Alongside the name<->id maps the table carries the flat views the
+    hot analyses index by id: per-message endpoints/lengths, each cell's
+    R/W sequence encoded as ``(is_write, message_id)`` pairs, per-cell
+    transfer counts, and the maximum op latency (used to size the
+    simulator's timing wheel).
+    """
+
+    __slots__ = (
+        "cell_names",
+        "cell_ids",
+        "message_names",
+        "message_ids",
+        "senders",
+        "receivers",
+        "lengths",
+        "encoded_transfers",
+        "transfer_counts",
+        "max_op_cycles",
+    )
+
+    def __init__(self, program: "ArrayProgram") -> None:
+        self.cell_names: tuple[str, ...] = program.cells
+        self.cell_ids: dict[str, int] = {
+            cell: cid for cid, cell in enumerate(program.cells)
+        }
+        names = sorted(program.messages)
+        self.message_names: tuple[str, ...] = tuple(names)
+        self.message_ids: dict[str, int] = {
+            name: mid for mid, name in enumerate(names)
+        }
+        cell_ids = self.cell_ids
+        self.senders: tuple[int, ...] = tuple(
+            cell_ids[program.messages[name].sender] for name in names
+        )
+        self.receivers: tuple[int, ...] = tuple(
+            cell_ids[program.messages[name].receiver] for name in names
+        )
+        self.lengths: tuple[int, ...] = tuple(
+            program.messages[name].length for name in names
+        )
+        message_ids = self.message_ids
+        encoded: list[tuple[tuple[bool, int], ...]] = []
+        counts: list[int] = []
+        max_cycles = 0
+        for cell in program.cells:
+            cell_program = program.cell_programs[cell]
+            seq = tuple(
+                (op.kind is OpKind.WRITE, message_ids[op.message])
+                for op in cell_program._transfer_tuple()
+            )
+            encoded.append(seq)
+            counts.append(len(seq))
+            for op in cell_program.ops:
+                if op.cycles > max_cycles:
+                    max_cycles = op.cycles
+        self.encoded_transfers: tuple[tuple[tuple[bool, int], ...], ...] = tuple(
+            encoded
+        )
+        self.transfer_counts: tuple[int, ...] = tuple(counts)
+        self.max_op_cycles: int = max_cycles
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cell_names)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.message_names)
 
 
 @dataclass(frozen=True)

@@ -68,12 +68,13 @@ def summarize_schedule(
     sizes = [len(step) for step in result.steps]
     busiest_cell = ""
     busiest_ops = 0
-    for cell in program.cells:
-        # transfer_count avoids materializing each cell's op list just to
-        # measure it — this runs once per job in ensemble sweeps.
-        ops = program.cell_programs[cell].transfer_count
+    # The intern table's per-cell transfer counts avoid materializing any
+    # op list just to measure it — this runs once per job in ensemble
+    # sweeps. First strictly-greater cell wins, in program cell order.
+    intern = program.intern
+    for cid, ops in enumerate(intern.transfer_counts):
         if ops > busiest_ops:
-            busiest_cell, busiest_ops = cell, ops
+            busiest_cell, busiest_ops = intern.cell_names[cid], ops
     return ScheduleAnalysis(
         transfer_rounds=len(sizes),
         total_pairs=result.pairs_crossed,

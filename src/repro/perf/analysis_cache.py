@@ -57,13 +57,21 @@ def program_fingerprint(program: ArrayProgram) -> str:
     callables are excluded — they never influence routing, competition or
     labeling. The digest is memoized on the program instance (programs
     are immutable after construction).
+
+    The digest hashes *names*, never interned ids: two structurally
+    identical programs must share disk-cache entries even across
+    processes and releases, so the fingerprint cannot depend on how any
+    particular build assigned ids. (Intern order is itself content-
+    derived — sorted names — but keeping ids out of the hash makes the
+    independence unconditional.) The intern table is used only as the
+    pre-sorted message iteration order.
     """
     cached = getattr(program, _FINGERPRINT_ATTR, None)
     if cached is not None:
         return cached
     h = hashlib.blake2b(digest_size=16)
     h.update(repr(program.cells).encode())
-    for name in sorted(program.messages):
+    for name in program.intern.message_names:
         msg = program.messages[name]
         h.update(f"|m:{msg.name},{msg.sender},{msg.receiver},{msg.length}".encode())
     for cell in program.cells:

@@ -17,7 +17,14 @@ fingerprints (program x topology x router x queue-provisioning bits):
   poisons old caches;
 * **corruption tolerance** — any failure to read or deserialize an
   entry (truncated file, foreign bytes, unpicklable content) is treated
-  as a miss, never an error.
+  as a miss, never an error;
+* **integrity digest** — the artifact payload is pickled separately and
+  stored alongside a BLAKE2 checksum of those exact bytes; a load
+  verifies the checksum *before* deserializing the artifacts, so a
+  truncated or bit-flipped entry is rejected (and recomputed) without
+  ever unpickling corrupt bytes. Writing checksums can be disabled per
+  cache instance (``DiskAnalysisCache(dir, checksum=False)``); entries
+  written without one are still readable.
 
 Enable it by exporting ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` (the
 directory is created on demand) or programmatically via
@@ -41,8 +48,11 @@ from pathlib import Path
 from repro.perf.analysis_cache import AnalysisKey
 
 #: Bump when the serialized artifact layout changes; old entries then
-#: read as misses instead of deserializing into garbage.
-FORMAT_VERSION = 1
+#: read as misses instead of deserializing into garbage. Version 2: the
+#: crossing engine's dense-int interning landed (artifacts themselves are
+#: still name-keyed, but the layout guarantee is re-stated from scratch)
+#: and artifacts moved to a separately pickled, checksummed byte payload.
+FORMAT_VERSION = 2
 
 #: Environment variable naming the cache directory ("" = disabled).
 ENV_VAR = "REPRO_ANALYSIS_DISK_CACHE"
@@ -59,15 +69,31 @@ def _key_digest(key: AnalysisKey) -> str:
     return h.hexdigest()
 
 
-class DiskAnalysisCache:
-    """One directory of pickled analysis artifacts, one file per key."""
+def _artifact_checksum(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+
+class DiskAnalysisCache:
+    """One directory of pickled analysis artifacts, one file per key.
+
+    Args:
+        directory: where entry files live (created on demand).
+        checksum: write a BLAKE2 integrity digest with every entry
+            (verified on load before the artifacts are deserialized).
+            Loading always verifies a digest when one is present,
+            regardless of this flag.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, checksum: bool = True
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.checksum = checksum
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.rejected = 0  # checksum mismatches (a subset of misses)
 
     def _path(self, key: AnalysisKey) -> Path:
         return self.directory / f"{_key_digest(key)}{_SUFFIX}"
@@ -75,8 +101,9 @@ class DiskAnalysisCache:
     def load(self, key: AnalysisKey) -> dict | None:
         """The stored artifact dict for ``key``, or ``None``.
 
-        Version-stamped and key-checked; every read or deserialization
-        failure is a miss.
+        Version-stamped, key-checked and (when a digest is present)
+        checksum-verified *before* the artifact bytes are unpickled;
+        every read, verification or deserialization failure is a miss.
         """
         try:
             raw = self._path(key).read_bytes()
@@ -85,10 +112,18 @@ class DiskAnalysisCache:
                 isinstance(payload, dict)
                 and payload.get("version") == FORMAT_VERSION
                 and payload.get("key") == key
-                and isinstance(payload.get("artifacts"), dict)
+                and isinstance(payload.get("artifacts"), bytes)
             ):
-                self.hits += 1
-                return payload["artifacts"]
+                blob = payload["artifacts"]
+                digest = payload.get("checksum")
+                if digest is not None and digest != _artifact_checksum(blob):
+                    self.rejected += 1
+                    self.misses += 1
+                    return None
+                artifacts = pickle.loads(blob)
+                if isinstance(artifacts, dict):
+                    self.hits += 1
+                    return artifacts
         except Exception:
             pass
         self.misses += 1
@@ -101,10 +136,15 @@ class DiskAnalysisCache:
         serialized or written — unpicklable custom artifacts and full
         disks degrade to "no disk tier", never to a failed simulation.
         """
+        try:
+            blob = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
         payload = {
             "version": FORMAT_VERSION,
             "key": key,
-            "artifacts": artifacts,
+            "checksum": _artifact_checksum(blob) if self.checksum else None,
+            "artifacts": blob,
         }
         path = self._path(key)
         tmp = path.with_name(
@@ -143,6 +183,7 @@ class DiskAnalysisCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "rejected": self.rejected,
         }
 
 

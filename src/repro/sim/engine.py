@@ -7,8 +7,12 @@ A minimal, deterministic event engine with a three-lane scheduler:
   the systolic simulator), which bypasses the heap entirely;
 * a **timing wheel** — calendar buckets for near-future events. Delays
   in the simulator are small integers (queue hand-offs and compute
-  latencies of 1-8 cycles), so a 16-slot ring indexed by ``time &
-  mask`` absorbs them with O(1) push/pop and no heap traffic;
+  latencies, typically 1-8 cycles), so a ring indexed by ``time & mask``
+  absorbs them with O(1) push/pop and no heap traffic. The horizon is
+  sizable per engine: :class:`~repro.sim.runtime.Simulator` auto-sizes
+  it from the program's maximum op latency plus the config's fixed
+  latencies, so workloads with long compute kernels (``cycles`` > 8)
+  still ride the wheel instead of overflowing to the heap;
 * a **heap lane** — ``(time, sequence, callback)`` entries for
   timestamps beyond the wheel horizon only (overflow).
 
@@ -44,12 +48,15 @@ from typing import Callable
 
 Callback = Callable[[], None]
 
-#: Delays of 1..WHEEL_HORIZON cycles ride the timing wheel; anything
-#: farther out overflows to the heap. The ring has twice the horizon so a
-#: pending bucket can never collide with a newly scheduled one.
+#: Default horizon: delays of 1..WHEEL_HORIZON cycles ride the timing
+#: wheel; anything farther out overflows to the heap. The ring has (at
+#: least) twice the horizon so a pending bucket can never collide with a
+#: newly scheduled one.
 WHEEL_HORIZON = 8
-_WHEEL_SLOTS = 16
-_WHEEL_MASK = _WHEEL_SLOTS - 1
+
+#: Adaptive horizons are clamped here: beyond this, ring memory stops
+#: paying for itself and rare long delays can just take the heap.
+MAX_WHEEL_HORIZON = 256
 
 
 class StopReason(enum.Enum):
@@ -68,6 +75,12 @@ class Engine:
             near-future events through the timing wheel. ``False`` forces
             every event through the heap (the seed engine's behaviour) —
             kept for determinism cross-checks.
+        horizon: delays of ``1..horizon`` ride the timing wheel; larger
+            delays overflow to the heap. The ring is sized to the next
+            power of two at least twice the horizon (clamped at
+            :data:`MAX_WHEEL_HORIZON`), preserving the bucket-collision
+            invariant for any horizon. Lane routing never changes event
+            ordering, so any horizon produces byte-identical runs.
     """
 
     __slots__ = (
@@ -80,20 +93,37 @@ class Engine:
         "_wheel_occupied",
         "_seq",
         "_fast",
+        "_horizon",
+        "_slots",
+        "_mask",
     )
 
-    def __init__(self, fast_lane: bool = True) -> None:
+    def __init__(
+        self, fast_lane: bool = True, horizon: int = WHEEL_HORIZON
+    ) -> None:
+        if horizon < 1:
+            raise ValueError(f"wheel horizon must be >= 1, got {horizon}")
+        horizon = min(horizon, MAX_WHEEL_HORIZON)
+        slots = 1
+        while slots < 2 * horizon:
+            slots <<= 1
         self.now: int = 0
         self.events_processed: int = 0
         self._heap: list[tuple[int, int, Callback]] = []
         self._fifo: deque[Callback] = deque()
-        self._wheel: list[deque[Callback]] = [
-            deque() for _ in range(_WHEEL_SLOTS)
-        ]
+        self._wheel: list[deque[Callback]] = [deque() for _ in range(slots)]
         self._wheel_count: int = 0
         self._wheel_occupied: int = 0  # bitmask of nonempty wheel slots
         self._seq: int = 0
         self._fast = fast_lane
+        self._horizon = horizon
+        self._slots = slots
+        self._mask = slots - 1
+
+    @property
+    def wheel_horizon(self) -> int:
+        """Largest delay this engine's timing wheel absorbs."""
+        return self._horizon
 
     def at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
@@ -104,8 +134,8 @@ class Engine:
             if delay == 0:
                 self._fifo.append(callback)
                 return
-            if delay <= WHEEL_HORIZON:
-                slot = time & _WHEEL_MASK
+            if delay <= self._horizon:
+                slot = time & self._mask
                 self._wheel[slot].append(callback)
                 self._wheel_count += 1
                 self._wheel_occupied |= 1 << slot
@@ -119,8 +149,8 @@ class Engine:
             if delay == 0:
                 self._fifo.append(callback)
                 return
-            if 0 < delay <= WHEEL_HORIZON:
-                slot = (self.now + delay) & _WHEEL_MASK
+            if 0 < delay <= self._horizon:
+                slot = (self.now + delay) & self._mask
                 self._wheel[slot].append(callback)
                 self._wheel_count += 1
                 self._wheel_occupied |= 1 << slot
@@ -145,9 +175,10 @@ class Engine:
         occupied = self._wheel_occupied
         if not occupied:
             return None
-        shift = (self.now + 1) & _WHEEL_MASK
-        rotated = ((occupied >> shift) | (occupied << (_WHEEL_SLOTS - shift))) & (
-            (1 << _WHEEL_SLOTS) - 1
+        slots = self._slots
+        shift = (self.now + 1) & self._mask
+        rotated = ((occupied >> shift) | (occupied << (slots - shift))) & (
+            (1 << slots) - 1
         )
         return self.now + 1 + ((rotated & -rotated).bit_length() - 1)
 
@@ -186,7 +217,7 @@ class Engine:
                 callback = pop(heap)[2]
                 events += 1
                 callback()
-            slot = self.now & _WHEEL_MASK
+            slot = self.now & self._mask
             bucket = wheel[slot]
             if bucket:
                 while bucket:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.arch.config import ArrayConfig
+from repro.arch.config import ArrayConfig, CommModel
 from repro.arch.links import Link
 from repro.arch.queue import HardwareQueue
 from repro.arch.routing import Router, default_router
@@ -33,9 +33,36 @@ from repro.core.requirements import competing_messages
 from repro.perf.analysis_cache import GLOBAL_ANALYSIS_CACHE, AnalysisEntry
 from repro.sim.agents import CellAgent, ForwarderAgent, MessageFlow, _Agent
 from repro.sim.deadlock import diagnose
-from repro.sim.engine import Engine, StopReason
+from repro.sim.engine import WHEEL_HORIZON, Engine, StopReason
 from repro.sim.queue_manager import AssignmentPolicy, QueueManager, make_policy
 from repro.sim.result import SimulationResult
+
+
+def wheel_horizon_for(program: ArrayProgram, config: ArrayConfig) -> int:
+    """Timing-wheel horizon covering every delay this run can schedule.
+
+    The agents schedule four delay shapes: compute ops (``op.cycles or
+    1``), writes (``op_latency + op.cycles`` plus the memory-to-memory
+    staging overhead), reads (the same plus a possible queue-extension
+    penalty), and forwarder hops (``hop_latency`` plus the penalty).
+    Sizing the wheel to their maximum keeps long compute kernels
+    (``cycles`` > 8) on the O(1) wheel instead of the overflow heap; the
+    engine clamps oversized horizons, where the rare long delay just
+    takes the heap. The program's max op latency comes precomputed from
+    its intern table, so this is O(1) per simulator build.
+    """
+    penalty = config.extension_penalty if config.allow_extension else 0
+    overhead = (
+        2 * config.memory_access_cycles
+        if config.comm_model is CommModel.MEMORY_TO_MEMORY
+        else 0
+    )
+    max_op = program.intern.max_op_cycles
+    longest = max(
+        config.op_latency + max_op + penalty + overhead,
+        config.hop_latency + penalty,
+    )
+    return max(WHEEL_HORIZON, longest)
 
 
 class Simulator:
@@ -99,7 +126,7 @@ class Simulator:
             labeling = self._auto_labeling()
         self.labeling = labeling
 
-        self.engine = Engine()
+        self.engine = Engine(horizon=wheel_horizon_for(program, self.config))
         self.manager = QueueManager(self.policy, clock=lambda: self.engine.now)
         self.flows: dict[str, MessageFlow] = {}
         self.cell_agents: dict[str, CellAgent] = {}

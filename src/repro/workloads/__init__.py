@@ -5,6 +5,7 @@ from repro.workloads.random_programs import (
     ensemble_programs,
     hoist_writes,
     inject_read_cycle,
+    large_spec_family,
     random_program,
     spec_family,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "ensemble_programs",
     "hoist_writes",
     "inject_read_cycle",
+    "large_spec_family",
     "program_from_schedule",
     "random_program",
     "round_robin_schedule",

@@ -191,6 +191,35 @@ def spec_family(
     ]
 
 
+def large_spec_family(
+    sizes: tuple[int, ...] = (1000, 4000, 10000),
+    messages_per_cell: float = 3.0,
+    max_length: int = 4,
+    max_span: int = 3,
+    burst: int = 2,
+    base_seed: int = 7,
+) -> list[WorkloadSpec]:
+    """The 1k-10k-cell analysis workload family, one spec per size.
+
+    These are the programs the interned crossing engine targets: wide
+    linear arrays with a few messages per cell, where per-step work must
+    stay O(incident messages) for the analysis to finish in seconds.
+    Used by ``benchmarks/bench_crossing_large.py`` and reproducible from
+    the spec alone.
+    """
+    return [
+        WorkloadSpec(
+            cells=cells,
+            messages=max(1, int(cells * messages_per_cell)),
+            max_length=max_length,
+            max_span=max_span,
+            burst=burst,
+            seed=base_seed + index,
+        )
+        for index, cells in enumerate(sizes)
+    ]
+
+
 def ensemble_programs(
     count: int,
     cells: int = 6,

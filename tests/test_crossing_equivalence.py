@@ -1,19 +1,36 @@
-"""A/B equivalence: incremental crossing-off vs the reference oracle.
+"""A/B equivalence: interned crossing engine vs the reference oracle.
 
 The production engine in :mod:`repro.core.crossing` is an incremental
-worklist algorithm; ``tests/reference_crossing.py`` preserves the seed's
-op-by-op scanning implementation. These properties pin the two to
-bit-identical output — ``steps``, ``crossings`` (full
-:class:`PairCrossing` equality, including skipped-write tuples),
+worklist algorithm over dense interned ids; ``tests/reference_crossing.py``
+preserves the seed's name-keyed, op-by-op scanning implementation. These
+properties pin the two to bit-identical output — ``steps``, ``crossings``
+(full :class:`PairCrossing` equality, including skipped-write tuples),
 ``max_skipped``, ``uncrossed`` and the classification — across random
 programs, deadlocked mutations, lookahead budgets and both stepping
-modes. The timing-wheel engine gets the same treatment against the
-heap-only scheduler.
+modes, at three scales:
+
+* the *small* strategy (`specs`) explores shapes densely;
+* the *large* strategy (`large_specs`) drives wide cell counts and many
+  messages per cell, the regime the interning targets;
+* the deterministic *seed corpus* (`SEED_CORPUS`) runs fixed
+  hundreds-of-cells programs on every test run, so a scale-dependent
+  divergence fails reproducibly (each corpus entry is a plain
+  :class:`WorkloadSpec` — replay by constructing it).
+
+``TestPinnedShapes`` pins shapes the random families previously never
+produced: cells with empty programs, single-message programs, and
+message names whose lexicographic order diverges from declaration and
+numeric order (the intern table assigns ids in sorted-name order — these
+shapes break if id order ever leaks). The timing-wheel engine gets the
+same treatment against the heap-only scheduler, including the
+adaptive-horizon path for workloads with op latencies beyond the default
+horizon.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -23,6 +40,10 @@ from reference_crossing import reference_cross_off
 
 from repro import ArrayConfig, Simulator
 from repro.core.crossing import cross_off, uniform_lookahead
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.errors import ProgramError
 from repro.sim.engine import WHEEL_HORIZON, Engine
 from repro.workloads import (
     WorkloadSpec,
@@ -41,6 +62,19 @@ specs = st.builds(
     seed=st.integers(min_value=0, max_value=10_000),
 )
 
+# Wide arrays with many messages per cell: many-digit message names
+# ("M10" < "M2" lexicographically) and long incident lists, the shapes
+# that stress the interned indexes rather than the pair logic.
+large_specs = st.builds(
+    WorkloadSpec,
+    cells=st.integers(min_value=2, max_value=40),
+    messages=st.integers(min_value=1, max_value=80),
+    max_length=st.integers(min_value=1, max_value=5),
+    max_span=st.integers(min_value=1, max_value=5),
+    burst=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
 lookaheads = st.sampled_from([None, 0, 1, 2, 4, math.inf])
 
 modes = st.sampled_from(["parallel", "sequential"])
@@ -48,6 +82,52 @@ modes = st.sampled_from(["parallel", "sequential"])
 RELAXED = settings(
     max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
 )
+
+LARGE = settings(
+    max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+#: Fixed large programs checked on every run (no hypothesis shrinking at
+#: this scale — a failure replays from the spec alone). Modes/lookaheads
+#: are chosen per entry to keep the oracle's O(n^2) sequential scans
+#: within a few seconds total.
+SEED_CORPUS = [
+    (
+        WorkloadSpec(
+            cells=120, messages=360, max_length=3, max_span=3, burst=2, seed=2024
+        ),
+        "sequential",
+        2,
+    ),
+    (
+        WorkloadSpec(
+            cells=120, messages=360, max_length=3, max_span=3, burst=2, seed=2024
+        ),
+        "parallel",
+        None,
+    ),
+    (
+        WorkloadSpec(
+            cells=250, messages=750, max_length=3, max_span=4, burst=2, seed=7
+        ),
+        "sequential",
+        None,
+    ),
+    (
+        WorkloadSpec(
+            cells=250, messages=750, max_length=3, max_span=4, burst=2, seed=7
+        ),
+        "parallel",
+        math.inf,
+    ),
+    (
+        WorkloadSpec(
+            cells=400, messages=1200, max_length=3, max_span=3, burst=2, seed=11
+        ),
+        "parallel",
+        2,
+    ),
+]
 
 
 def assert_identical(program, lookahead, mode):
@@ -86,6 +166,33 @@ def test_hoisted_writes_identical(spec, capacity, mode):
 def test_deadlocked_programs_identical(spec, capacity, mode):
     """Deadlocked inputs must leave identical uncrossed remainders."""
     program = inject_read_cycle(random_program(spec), seed=spec.seed)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(large_specs, lookaheads, modes)
+@LARGE
+def test_large_random_programs_identical(spec, capacity, mode):
+    """Wide arrays, many messages per cell: the interning target regime."""
+    program = random_program(spec)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(large_specs, lookaheads, modes)
+@LARGE
+def test_large_hoisted_writes_identical(spec, capacity, mode):
+    """Large programs driven through the lookahead skip machinery."""
+    program = hoist_writes(random_program(spec), swaps=12, seed=spec.seed + 1)
+    assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@pytest.mark.parametrize(
+    "spec,mode,capacity",
+    SEED_CORPUS,
+    ids=[f"{s.cells}c-{m}-cap{c}" for s, m, c in SEED_CORPUS],
+)
+def test_seed_corpus_identical(spec, mode, capacity):
+    """Deterministic hundreds-of-cells programs, replayable from the spec."""
+    program = random_program(spec)
     assert_identical(program, _lookahead(program, capacity), mode)
 
 
@@ -131,6 +238,82 @@ class TestPaperFigures:
 
         for name, program in all_figures().items():
             assert_identical(program, _lookahead(program, capacity), mode)
+
+
+class TestPinnedShapes:
+    """Shapes the random families never produced before this harness.
+
+    Each one is an intern-boundary hazard: ids are assigned per cell and
+    per sorted message name, so programs where those orders diverge from
+    declaration order — or where cells contribute nothing at all — must
+    still match the name-keyed oracle bit for bit.
+    """
+
+    ALL_MODES = [("parallel", None), ("parallel", 2), ("sequential", None),
+                 ("sequential", 2), ("sequential", math.inf)]
+
+    def _check_all(self, program):
+        for mode, capacity in self.ALL_MODES:
+            assert_identical(program, _lookahead(program, capacity), mode)
+
+    def test_empty_cells(self):
+        """Cells with no operations at all (pass-through / unused cells)."""
+        cells = ("C1", "C2", "C3", "C4", "C5")
+        messages = [Message("A", "C2", "C4", 2), Message("B", "C4", "C2", 1)]
+        programs = {
+            "C2": [W("A"), W("A"), R("B")],
+            "C4": [R("A"), R("A"), W("B")],
+            # C1, C3, C5 stay empty.
+        }
+        program = ArrayProgram(cells, messages, programs, name="empty-cells")
+        self._check_all(program)
+        result = cross_off(program)
+        assert result.deadlock_free
+
+    def test_single_message_program(self):
+        """One message, two cells — the smallest worklist possible."""
+        cells = ("C1", "C2")
+        messages = [Message("ONLY", "C1", "C2", 3)]
+        programs = {"C1": [W("ONLY")] * 3, "C2": [R("ONLY")] * 3}
+        program = ArrayProgram(cells, messages, programs, name="single-message")
+        self._check_all(program)
+
+    def test_lexicographic_vs_declaration_order(self):
+        """Names whose sorted order differs from declaration *and* numeric
+        order: "M10" < "M2" < "M9" lexicographically. Declared M9, M2,
+        M10 — if intern ids ever leaked into tie-breaks in declaration
+        order, the sequential "lowest name first" choice would diverge."""
+        cells = ("C1", "C2", "C3")
+        messages = [
+            Message("M9", "C1", "C2", 1),
+            Message("M2", "C2", "C3", 1),
+            Message("M10", "C1", "C2", 1),
+        ]
+        programs = {
+            "C1": [W("M9"), W("M10")],
+            "C2": [R("M10"), R("M9"), W("M2")],
+            "C3": [R("M2")],
+        }
+        program = ArrayProgram(cells, messages, programs, name="lex-order")
+        self._check_all(program)
+        # The first sequential crossing must be the lexicographically
+        # smallest executable message — M10, not M9 or M2.
+        seq = cross_off(program, lookahead=uniform_lookahead(program, 2),
+                        mode="sequential")
+        assert seq.crossings[0].message == "M10"
+
+    def test_duplicate_message_names_rejected(self):
+        """Duplicate message names across cells must be rejected at
+        build time — the intern table's name<->id bijection (and the
+        oracle's name keying) both assume global uniqueness, so the
+        engines never see such a program."""
+        with pytest.raises(ProgramError):
+            ArrayProgram(
+                ("C1", "C2", "C3"),
+                [Message("X", "C1", "C2", 1), Message("X", "C2", "C3", 1)],
+                {},
+                name="dup-names",
+            )
 
 
 class TestTimingWheelDeterminism:
@@ -222,3 +405,54 @@ class TestTimingWheelDeterminism:
         assert log == [0, 1]
         assert engine.run() is StopReason.QUIESCENT
         assert log == [0, 1, 2, 3]
+
+    @staticmethod
+    def _slow_ops_program(seed: int, cycles: int) -> ArrayProgram:
+        """A random program whose every R/W op takes ``cycles`` cycles."""
+        base = random_program(
+            WorkloadSpec(cells=5, messages=10, max_length=3, seed=seed)
+        )
+        slowed = {
+            cell: [
+                replace(op, cycles=cycles)
+                for op in base.cell_programs[cell].ops
+            ]
+            for cell in base.cells
+        }
+        return ArrayProgram(
+            base.cells, base.messages.values(), slowed,
+            name=f"{base.name}-cycles{cycles}",
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_long_latency_ops_identical_traces(self, seed):
+        """cycles > WHEEL_HORIZON workloads: the adaptive horizon must be
+        byte-identical to both the heap-only engine and a wheel pinned at
+        the default horizon (where every op overflows to the heap)."""
+        cycles = WHEEL_HORIZON + 12
+        program = self._slow_ops_program(seed, cycles)
+        config = ArrayConfig(queues_per_link=8, queue_capacity=2)
+        results = []
+        for engine in (None, Engine(fast_lane=False), Engine(horizon=WHEEL_HORIZON)):
+            sim = Simulator(program, config=config)
+            if engine is None:
+                # Default build: the horizon auto-sizes past the op latency.
+                assert sim.engine.wheel_horizon >= cycles + config.op_latency
+            else:
+                sim.engine = engine
+            results.append(sim.run())
+        adaptive, heap_only, fixed8 = results
+        for other in (heap_only, fixed8):
+            assert adaptive.assignment_trace == other.assignment_trace
+            assert adaptive.received == other.received
+            assert adaptive.time == other.time
+            assert adaptive.events == other.events
+
+    def test_adaptive_horizon_rides_wheel_for_long_delays(self):
+        engine = Engine(horizon=32)
+        engine.after(20, lambda: None)
+        assert engine.pending == 1
+        assert not engine._heap  # rode the (resized) wheel
+        default = Engine()
+        default.after(20, lambda: None)
+        assert len(default._heap) == 1  # default horizon: heap overflow

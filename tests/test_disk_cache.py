@@ -124,6 +124,69 @@ class TestRobustness:
         _run(program, registers)
         assert disk.stats()["hits"] == hits_before  # stale format ignored
 
+    def test_truncated_entry_rejected_and_recomputed(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        expected = _run(program, registers)
+        (path,) = tmp_path.glob("*.analysis.pkl")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        clear_analysis_cache()
+        hits_before = disk.stats()["hits"]
+        result = _run(program, registers)  # recomputed, never deserialized
+        assert result.received == expected.received
+        assert result.time == expected.time
+        assert disk.stats()["hits"] == hits_before
+        # The fresh analysis was re-published over the truncated entry,
+        # and a later restart reads it back cleanly.
+        clear_analysis_cache()
+        _run(program, registers)
+        assert disk.stats()["hits"] == hits_before + 1
+
+    def test_bit_flipped_artifacts_fail_checksum(self, tmp_path):
+        disk = configure_disk_cache(tmp_path)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        expected = _run(program, registers)
+        (path,) = tmp_path.glob("*.analysis.pkl")
+        payload = pickle.loads(path.read_bytes())
+        blob = bytearray(payload["artifacts"])
+        # Flip one bit deep inside the artifact payload: the outer
+        # envelope still unpickles, so only the checksum stands between
+        # the flip and deserializing garbage.
+        blob[len(blob) // 2] ^= 0x40
+        payload["artifacts"] = bytes(blob)
+        path.write_bytes(pickle.dumps(payload))
+        clear_analysis_cache()
+        rejected_before = disk.stats()["rejected"]
+        result = _run(program, registers)
+        assert disk.stats()["rejected"] == rejected_before + 1
+        assert result.received == expected.received
+        assert result.assignment_trace == expected.assignment_trace
+
+    def test_checksum_optional_but_verified_when_present(self, tmp_path):
+        from repro.perf import AnalysisKey
+
+        key = AnalysisKey("p", "t", "r", 0, False)
+        unchecked = DiskAnalysisCache(tmp_path, checksum=False)
+        assert unchecked.store(key, {"x": 1})
+        (path,) = tmp_path.glob("*.analysis.pkl")
+        assert pickle.loads(path.read_bytes())["checksum"] is None
+        # Entries written without a digest still load (by either reader).
+        assert unchecked.load(key) == {"x": 1}
+        checked = DiskAnalysisCache(tmp_path)  # checksum=True default
+        assert checked.load(key) == {"x": 1}
+        # And a checksummed entry read by a checksum=False instance is
+        # still verified: the flag gates writing, never verification.
+        assert checked.store(key, {"x": 2})
+        payload = pickle.loads(path.read_bytes())
+        assert payload["checksum"] is not None
+        payload["artifacts"] = payload["artifacts"][:-1] + b"\x00"
+        path.write_bytes(pickle.dumps(payload))
+        assert unchecked.load(key) is None
+        assert unchecked.stats()["rejected"] == 1
+
     def test_no_tmp_files_left_behind(self, tmp_path):
         configure_disk_cache(tmp_path)
         _run(fir_program(4, 8), fir_registers((1.0,) * 4))

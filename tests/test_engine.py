@@ -97,3 +97,78 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestAdaptiveHorizon:
+    """Engine(horizon=...) mechanics and the Simulator sizing helper."""
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Engine(horizon=0)
+
+    def test_ring_is_power_of_two_at_least_twice_horizon(self):
+        for horizon in (1, 3, 8, 9, 17, 100):
+            engine = Engine(horizon=horizon)
+            slots = engine._slots
+            assert slots >= 2 * engine.wheel_horizon
+            assert slots & (slots - 1) == 0
+            assert engine._mask == slots - 1
+
+    def test_oversized_horizon_is_clamped(self):
+        from repro.sim.engine import MAX_WHEEL_HORIZON
+
+        engine = Engine(horizon=10 * MAX_WHEEL_HORIZON)
+        assert engine.wheel_horizon == MAX_WHEEL_HORIZON
+
+    def test_delays_within_custom_horizon_avoid_heap(self):
+        engine = Engine(horizon=64)
+        for delay in (1, 8, 33, 64):
+            engine.after(delay, lambda: None)
+        assert not engine._heap
+        engine.after(65, lambda: None)
+        assert len(engine._heap) == 1
+
+    def test_custom_horizon_ordering_matches_default(self):
+        def run(engine: Engine) -> list[tuple[int, str]]:
+            log: list[tuple[int, str]] = []
+            for tag, delay in (
+                ("a", 5), ("b", 30), ("c", 5), ("d", 12), ("e", 2), ("f", 0),
+            ):
+                engine.after(delay, lambda t=tag: log.append((engine.now, t)))
+            engine.run()
+            return log
+
+        assert run(Engine(horizon=32)) == run(Engine()) == run(
+            Engine(fast_lane=False)
+        )
+
+    def test_wheel_horizon_for_covers_latencies(self):
+        from repro.arch.config import ArrayConfig
+        from repro.core.ops import COMPUTE
+        from repro.core.message import Message
+        from repro.core.ops import R, W
+        from repro.core.program import ArrayProgram
+        from repro.sim.engine import WHEEL_HORIZON
+        from repro.sim.runtime import wheel_horizon_for
+
+        program = ArrayProgram(
+            ("C1", "C2"),
+            [Message("A", "C1", "C2", 1)],
+            {
+                "C1": [COMPUTE("r", lambda: 1.0, (), cycles=20), W("A")],
+                "C2": [R("A")],
+            },
+        )
+        assert wheel_horizon_for(program, ArrayConfig()) == 21  # op_latency + 20
+        # Fast ops fall back to the default horizon.
+        fast = ArrayProgram(
+            ("C1", "C2"),
+            [Message("A", "C1", "C2", 1)],
+            {"C1": [W("A")], "C2": [R("A")]},
+        )
+        assert wheel_horizon_for(fast, ArrayConfig()) == WHEEL_HORIZON
+        # Queue extension adds its spill penalty to the bound.
+        extended = ArrayConfig(
+            queue_capacity=1, allow_extension=True, extension_penalty=30
+        )
+        assert wheel_horizon_for(fast, extended) == 31  # op_latency + penalty

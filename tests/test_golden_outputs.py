@@ -1,0 +1,169 @@
+"""Golden-file regression: canonical analysis output, byte for byte.
+
+The equivalence suite pins the interned crossing engine to the reference
+oracle *relative* to each other; these tests pin the absolute output. A
+canonical JSON rendering of each program's crossing trace (both modes),
+exact labeling fractions, normalized labels and schedule bounds is
+checked into ``tests/golden/`` — any engine change that silently
+perturbs a step, a skipped-write tuple or a label fails on a one-line
+diff instead of deep inside some downstream consumer.
+
+Regenerate after an *intentional* behaviour change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_outputs.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.crossing import CrossingResult, cross_off, uniform_lookahead
+from repro.core.labeling import constraint_labeling
+from repro.core.program import ArrayProgram
+from repro.core.schedule import analyze_schedule
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN") == "1"
+
+
+def _fir():
+    from repro.algorithms.fir import fir_program
+
+    return fir_program(4, 8)
+
+
+def _matvec():
+    from repro.algorithms.matvec import matvec_program
+
+    return matvec_program([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+
+
+def _seqcompare():
+    from repro.algorithms.seqcompare import lcs_program_for
+
+    return lcs_program_for("GATTACA", "GCAT")
+
+
+PROGRAMS = {
+    "fir": _fir,
+    "matvec": _matvec,
+    "seqcompare": _seqcompare,
+}
+
+
+def _pair_doc(pair) -> dict:
+    return {
+        "message": pair.message,
+        "sender": pair.sender,
+        "sender_pos": pair.sender_pos,
+        "receiver": pair.receiver,
+        "receiver_pos": pair.receiver_pos,
+        "skipped_sender": [list(item) for item in pair.skipped_sender],
+        "skipped_receiver": [list(item) for item in pair.skipped_receiver],
+    }
+
+
+def _result_doc(result: CrossingResult) -> dict:
+    return {
+        "deadlock_free": result.deadlock_free,
+        "step_count": result.step_count,
+        "pairs_crossed": result.pairs_crossed,
+        "steps": [[_pair_doc(p) for p in step] for step in result.steps],
+        "max_skipped": result.max_skipped,
+        "uncrossed": {
+            cell: [str(op) for op in ops]
+            for cell, ops in result.uncrossed.items()
+        },
+    }
+
+
+def canonical_analysis(program: ArrayProgram) -> dict:
+    """The full canonical analysis document for one program."""
+    lookahead = uniform_lookahead(program, 2)
+    strict = cross_off(program, mode="parallel")
+    relaxed = cross_off(program, lookahead=lookahead, mode="sequential")
+    plain_labeling = constraint_labeling(program)
+    relaxed_labeling = constraint_labeling(program, lookahead=lookahead)
+    doc = {
+        "program": program.name,
+        "cells": list(program.cells),
+        "messages": [
+            {
+                "name": msg.name,
+                "sender": msg.sender,
+                "receiver": msg.receiver,
+                "length": msg.length,
+            }
+            for msg in (
+                program.messages[name] for name in sorted(program.messages)
+            )
+        ],
+        "strict_parallel": _result_doc(strict),
+        "lookahead2_sequential": _result_doc(relaxed),
+        "labeling": {
+            "exact": {n: str(v) for n, v in plain_labeling.labels.items()},
+            "normalized": plain_labeling.normalized(),
+        },
+        "labeling_lookahead2": {
+            "exact": {n: str(v) for n, v in relaxed_labeling.labels.items()},
+            "normalized": relaxed_labeling.normalized(),
+        },
+    }
+    if strict.deadlock_free:
+        schedule = analyze_schedule(program)
+        doc["schedule"] = {
+            "transfer_rounds": schedule.transfer_rounds,
+            "total_pairs": schedule.total_pairs,
+            "max_parallelism": schedule.max_parallelism,
+            "mean_parallelism": round(schedule.mean_parallelism, 6),
+            "busiest_cell": schedule.busiest_cell,
+            "busiest_cell_ops": schedule.busiest_cell_ops,
+        }
+    return doc
+
+
+def canonical_bytes(program: ArrayProgram) -> bytes:
+    return (
+        json.dumps(canonical_analysis(program), indent=2, sort_keys=True) + "\n"
+    ).encode()
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_golden_analysis_output(name):
+    program = PROGRAMS[name]()
+    produced = canonical_bytes(program)
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_bytes(produced)
+        pytest.skip(f"golden file {path.name} regenerated")
+    assert path.exists(), (
+        f"missing golden file {path}; generate with REPRO_UPDATE_GOLDEN=1"
+    )
+    expected = path.read_bytes()
+    assert produced == expected, (
+        f"canonical analysis output for {name!r} diverged from "
+        f"{path.name}; if the change is intentional, regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+def test_golden_files_are_canonical_json():
+    """Checked-in golden files must themselves be canonically formatted
+    (sorted keys, two-space indent, trailing newline) so regeneration
+    diffs stay minimal."""
+    paths = sorted(GOLDEN_DIR.glob("*.json"))
+    assert paths, f"no golden files in {GOLDEN_DIR}"
+    for path in paths:
+        raw = path.read_bytes()
+        doc = json.loads(raw)
+        assert raw == (
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        ).encode(), f"{path.name} is not canonically formatted"
