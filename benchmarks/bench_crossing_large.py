@@ -9,21 +9,31 @@ interned engine (dense int ids from the program's
 :class:`~repro.core.program.InternTable`, flat list indexes, a
 lazy-deletion dirty heap) runs the same analysis in ~1.5 s.
 
+PR 4 rebuilt *parallel* stepping (the paper's canonical crossing mode,
+and what ``analyze_schedule`` drives) on the bucketed step structure —
+readiness bits, nomination scans over changed cells, a per-step
+newly-executable bucket — replacing the per-step dirty flush and
+``sorted(executable)``; the parallel family below measures that.
+
 Records written to ``BENCH_core.json``:
 
 * ``cross_off_cold_large_{1k,4k,10k}_seq`` — one cold sequential
   lookahead run (what ``constraint_labeling`` drives during
   buffered-config analysis) over the ``large_spec_family`` program of
   that size;
+* ``cross_off_cold_large_{1k,4k,10k}_par`` — the same cold lookahead
+  analysis in maximal-parallel stepping over the same programs;
 * ``analysis_cold_large_10k`` — the full cold buffered-config analysis
   (crossing-off + constraint condensation) at 10k cells.
 
-Each record carries ``speedup_vs_pr2``, measured against the PR 2
-engine re-run on this box over these exact programs (the old engine was
-resurrected from git history for the measurement; constants below).
-When recording the baseline (``REPRO_BENCH_RECORD=1``) the acceptance
-floor of 2x is asserted; smoke runs on foreign hardware only assert the
-qualitative shape.
+Sequential records carry ``speedup_vs_pr2`` (the PR 2 engine re-run on
+the recording box over these exact programs; the old engine was
+resurrected from git history for the measurement). Parallel records
+carry ``speedup_vs_pr3``, measured the same way against the PR 3
+engine's parallel stepping, interleaved with the bucketed engine in a
+single process to cancel box noise. When recording the baseline
+(``REPRO_BENCH_RECORD=1``) the acceptance floor of 2x is asserted;
+smoke runs on foreign hardware only assert the qualitative shape.
 """
 
 import os
@@ -41,6 +51,16 @@ PR2_BASELINE_MS = {
     "cross_off_cold_large_4k_seq": 12632.0,
     "cross_off_cold_large_10k_seq": 94533.0,
     "analysis_cold_large_10k": 94438.0,
+}
+
+#: Wall ms for the PR 3 engine's parallel stepping (dirty-flush +
+#: per-step ``sorted(executable)``) on this workload family, measured on
+#: the baseline-recording box: best-of-4/5, old and new engine
+#: interleaved in one process over identical program objects.
+PR3_PARALLEL_BASELINE_MS = {
+    "cross_off_cold_large_1k_par": 82.9,
+    "cross_off_cold_large_4k_par": 476.0,
+    "cross_off_cold_large_10k_par": 1725.1,
 }
 
 _SPECS = {spec.cells: spec for spec in large_spec_family()}
@@ -62,24 +82,33 @@ def _refreshing_committed_baseline() -> bool:
 
 
 def _record_with_speedup(core_metrics, name, *, events, seconds, **extra):
-    speedup = round(PR2_BASELINE_MS[name] / (seconds * 1e3), 1)
+    if name in PR2_BASELINE_MS:
+        baseline_ms, against, field = (
+            PR2_BASELINE_MS[name], "PR 2", "speedup_vs_pr2"
+        )
+    else:
+        baseline_ms, against, field = (
+            PR3_PARALLEL_BASELINE_MS[name], "PR 3", "speedup_vs_pr3"
+        )
+    speedup = round(baseline_ms / (seconds * 1e3), 1)
     core_metrics(
         name,
         events=events,
         seconds=seconds,
         ms_per_run=round(seconds * 1e3, 1),
-        speedup_vs_pr2=speedup,
+        **{field: speedup},
         **extra,
     )
     if _refreshing_committed_baseline():
-        # The acceptance floor: >= 2x over the pre-intern engine on cold
+        # The acceptance floor: >= 2x over the previous engine on cold
         # buffered-config analysis. Only enforced while refreshing the
-        # committed baseline — the PR 2 constants were measured on that
-        # box, so comparing foreign-hardware timings against them would
-        # measure the hardware, not the engine. (Cross-hardware drift is
-        # the regression guard's job, via the events_per_sec records.)
+        # committed baseline — the baseline constants were measured on
+        # that box, so comparing foreign-hardware timings against them
+        # would measure the hardware, not the engine. (Cross-hardware
+        # drift is the regression guard's job, via events_per_sec.)
         assert speedup >= 2.0, (
-            f"{name}: {speedup}x vs PR 2 is below the 2x acceptance floor"
+            f"{name}: {speedup}x vs {against} is below the 2x "
+            f"acceptance floor"
         )
 
 
@@ -164,9 +193,63 @@ def test_cold_full_analysis_10k(core_metrics):
     )
 
 
+def _cold_parallel(program, lookahead):
+    return cross_off(program, lookahead=lookahead, mode="parallel")
+
+
+def test_cold_crossing_1k_parallel(benchmark, core_metrics):
+    program = _program(1000)
+    lookahead = uniform_lookahead(program, 2)
+    result = benchmark(lambda: _cold_parallel(program, lookahead))
+    assert result.deadlock_free
+    seconds, result = _best_of(3, lambda: _cold_parallel(program, lookahead))
+    _record_with_speedup(
+        core_metrics,
+        "cross_off_cold_large_1k_par",
+        events=result.pairs_crossed,
+        seconds=seconds,
+        pairs=result.pairs_crossed,
+        steps=result.step_count,
+        cells=1000,
+    )
+
+
+def test_cold_crossing_4k_parallel(core_metrics):
+    program = _program(4000)
+    lookahead = uniform_lookahead(program, 2)
+    seconds, result = _best_of(3, lambda: _cold_parallel(program, lookahead))
+    assert result.deadlock_free
+    _record_with_speedup(
+        core_metrics,
+        "cross_off_cold_large_4k_par",
+        events=result.pairs_crossed,
+        seconds=seconds,
+        pairs=result.pairs_crossed,
+        steps=result.step_count,
+        cells=4000,
+    )
+
+
+def test_cold_crossing_10k_parallel(core_metrics):
+    program = _program(10000)
+    lookahead = uniform_lookahead(program, 2)
+    seconds, result = _best_of(2, lambda: _cold_parallel(program, lookahead))
+    assert result.deadlock_free
+    _record_with_speedup(
+        core_metrics,
+        "cross_off_cold_large_10k_par",
+        events=result.pairs_crossed,
+        seconds=seconds,
+        pairs=result.pairs_crossed,
+        steps=result.step_count,
+        cells=10000,
+    )
+
+
 def test_parallel_mode_scales_too():
     """Qualitative guard: maximal-parallel stepping at 10k cells stays
-    interactive (it shares every index with the sequential path)."""
+    interactive. Redundant with the recorded ``*_par`` family when the
+    bench guard runs, but this one fires on every smoke run."""
     program = _program(10000)
     t0 = time.perf_counter()
     result = cross_off(program, lookahead=uniform_lookahead(program, 2))

@@ -64,6 +64,45 @@ name strings. Four ingredients make it fast on 1k-10k-cell programs:
   step — the difference between linear and quadratic total work on
   10k-cell programs.
 
+Bucketed parallel step flush
+----------------------------
+
+Maximal-parallel stepping (cross every pair executable at step start) is
+driven by a *bucketed* executable structure instead of the dirty
+worklist, so a step costs O(pairs crossed + cells dirtied) rather than
+re-deriving and re-sorting candidates from the whole dirty set:
+
+* per message end there is a **readiness bit** (``_ready_w`` for the
+  sender end, ``_ready_r`` for the receiver end): the end's next
+  uncrossed operation is locatable *right now* under R1/R2;
+* a message whose two bits are both set is executable; on that
+  transition its id enters the **newly-executable bucket** exactly once
+  (an ``in_bucket`` flag suppresses duplicates);
+* at step start the bucket *is* the executable set — everything
+  executable before was crossed by the previous step — so sorting it
+  costs O(newly executable · log), never O(all executable), and the
+  drain yields the batch in ascending id == ascending name order, the
+  same order :meth:`CrossingState.executable_pairs` documents;
+* each batch member's entry (positions + skipped-write tuples) was
+  recorded by the latest nomination scan of its endpoint cells; neither
+  cell changed since (changed cells are always rescanned), so the
+  stored entry equals a recomputation against the step-start state;
+* after the batch is crossed, only the **changed cells** are rescanned:
+  one pass over each cell's lookahead window ``[front, first uncrossed
+  read]`` re-nominates every locatable end in that cell (cumulative
+  uncrossed-write counts give the R2 cutoff), refreshing readiness bits
+  and feeding the bucket for the next step.
+
+The invariants that make the bits safe to carry across steps: an end's
+readiness depends only on its own cell's state; crossings only shrink
+skip regions and advance the first-uncrossed-read bound, so a ready end
+stays ready until its own operation is crossed (the apply clears both
+bits of the crossed message, and the post-step rescans of its two cells
+re-nominate whatever is locatable next). The general
+observer/pick loop keeps the dirty worklist; its step-start snapshots
+merge a sorted previous snapshot with a min-heap of newly executable
+ids in O(previous + changed) instead of re-sorting.
+
 The original scan-based implementation is preserved as a reference oracle
 in ``tests/reference_crossing.py``; property tests assert bit-identical
 ``steps``/``crossings``/``max_skipped`` in both modes.
@@ -75,7 +114,7 @@ import math
 from bisect import bisect_left
 from heapq import heappop, heappush
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Protocol
+from typing import Callable, Iterator, Mapping, NamedTuple, Protocol
 
 from repro.core.ops import Op
 from repro.core.program import ArrayProgram
@@ -99,9 +138,13 @@ class LookaheadConfig:
         return self.route_capacity.get(message, self.default_capacity)
 
 
-@dataclass(frozen=True)
-class PairCrossing:
-    """One crossed-off executable pair."""
+class PairCrossing(NamedTuple):
+    """One crossed-off executable pair.
+
+    A named tuple rather than a dataclass: the parallel fast loop
+    materializes one per crossing, and tuple construction is the cheaper
+    of the two by ~3x at 10k-cell batch sizes.
+    """
 
     step: int
     message: str
@@ -206,9 +249,10 @@ class CrossingState:
         "_cell_reads",
         "_cell_reads_crossed",
         "_cell_write_mids",
-        "_msg_remaining_in_cell",
         "_cap",
         "_executable",
+        "_exec_order",
+        "_exec_added",
         "_dirty",
         "_dirty_heap",
         "_incident",
@@ -229,43 +273,23 @@ class CrossingState:
         self._receivers = intern.receivers
         enc = intern.encoded_transfers
         self._enc = enc
-        self._crossed: list[list[bool]] = [[False] * len(seq) for seq in enc]
+        self._crossed: list[bytearray] = [bytearray(len(seq)) for seq in enc]
         self._fronts: list[int] = [0] * ncells
         self._remaining: list[int] = [2 * length for length in intern.lengths]
         self.total_remaining = sum(self._remaining)
         self._last_crossed: list[int] = [-1] * ncells
         self._max_skipped: list[int] = [0] * nmsgs
-        # --- incremental indexes (built once, updated in _apply_cross) --
-        wpos: list[list[int]] = [[] for _ in range(nmsgs)]
-        rpos: list[list[int]] = [[] for _ in range(nmsgs)]
+        # --- incremental indexes (see _ensure_indexes; the bucketed
+        # parallel loop derives everything from `enc` and the crossed
+        # bitmaps, so the position indexes are built on first use by the
+        # worklist paths) ---
         self._wcrossed: list[int] = [0] * nmsgs
         self._rcrossed: list[int] = [0] * nmsgs
-        cell_reads: list[list[int]] = []
-        cell_write_mids: list[list[int]] = []
-        msg_remaining: list[dict[int, int]] = []
-        for seq in enc:
-            reads_here: list[int] = []
-            wmids: list[int] = []
-            remaining_here: dict[int, int] = {}
-            for pos, (is_write, mid) in enumerate(seq):
-                if is_write:
-                    positions = wpos[mid]
-                    if not positions:
-                        wmids.append(mid)
-                    positions.append(pos)
-                else:
-                    rpos[mid].append(pos)
-                    reads_here.append(pos)
-                remaining_here[mid] = remaining_here.get(mid, 0) + 1
-            cell_reads.append(reads_here)
-            cell_write_mids.append(wmids)
-            msg_remaining.append(remaining_here)
-        self._wpos = wpos
-        self._rpos = rpos
-        self._cell_reads = cell_reads
         self._cell_reads_crossed: list[int] = [0] * ncells
-        self._cell_write_mids = cell_write_mids
-        self._msg_remaining_in_cell = msg_remaining
+        self._wpos: list[list[int]] | None = None
+        self._rpos: list[list[int]] | None = None
+        self._cell_reads: list[list[int]] | None = None
+        self._cell_write_mids: list[list[int]] | None = None
         # R2 bounds resolved to a per-id list once; None without lookahead.
         self._cap: list[float] | None = (
             None
@@ -283,13 +307,65 @@ class CrossingState:
         self._executable: dict[int, tuple] = {}
         self._dirty: set[int] = set(range(nmsgs))
         self._dirty_heap: list[int] | None = None
-        # Incident lists are pruned as messages finish, so dirty marking
-        # only ever walks live messages.
-        incident: list[list[int]] = [[] for _ in range(ncells)]
-        for mid in range(nmsgs):
-            incident[self._senders[mid]].append(mid)
-            incident[self._receivers[mid]].append(mid)
-        self._incident = incident
+        # Step-start snapshot state for executable_pairs(): the previous
+        # snapshot (id-sorted, lazily pruned) plus a min-heap of ids that
+        # (re)entered `_executable` since — merging the two is
+        # O(previous + changed), never a re-sort of the whole set.
+        self._exec_order: list[int] = []
+        self._exec_added: list[int] = []
+        # Incident lists (dirty marking for the worklist paths) are built
+        # on first use — the bucketed parallel loop never needs them —
+        # and pruned as messages finish, so dirty marking only ever walks
+        # live messages.
+        self._incident: list[list[int]] | None = None
+
+    def _ensure_indexes(self) -> None:
+        """Build the per-message position indexes on first use.
+
+        The per-(message, kind) sorted position lists, each cell's read
+        positions and its R2 scan list are what :meth:`_locate_end` and
+        the worklist machinery probe; they are derived purely from the
+        immutable encoded transfer sequences, so building them at any
+        point of a run is safe (the monotone crossed counters live
+        separately and are maintained from construction).
+        """
+        if self._wpos is not None:
+            return
+        nmsgs = len(self.intern.message_names)
+        wpos: list[list[int]] = [[] for _ in range(nmsgs)]
+        rpos: list[list[int]] = [[] for _ in range(nmsgs)]
+        cell_reads: list[list[int]] = []
+        cell_write_mids: list[list[int]] = []
+        for seq in self._enc:
+            reads_here: list[int] = []
+            wmids: list[int] = []
+            for pos, (is_write, mid) in enumerate(seq):
+                if is_write:
+                    positions = wpos[mid]
+                    if not positions:
+                        wmids.append(mid)
+                    positions.append(pos)
+                else:
+                    rpos[mid].append(pos)
+                    reads_here.append(pos)
+            cell_reads.append(reads_here)
+            cell_write_mids.append(wmids)
+        self._wpos = wpos
+        self._rpos = rpos
+        self._cell_reads = cell_reads
+        self._cell_write_mids = cell_write_mids
+
+    def _ensure_incident(self) -> list[list[int]]:
+        """Build the per-cell incident-message lists on first use."""
+        incident = self._incident
+        if incident is None:
+            incident = [[] for _ in range(len(self.intern.cell_names))]
+            for mid in range(len(self.intern.message_names)):
+                if self._remaining[mid] > 0:
+                    incident[self._senders[mid]].append(mid)
+                    incident[self._receivers[mid]].append(mid)
+            self._incident = incident
+        return incident
 
     # ------------------------------------------------------------------
     # Queries
@@ -330,14 +406,19 @@ class CrossingState:
         ]
 
     def future_messages(self, cell: str, exclude: str | None = None) -> set[str]:
-        """Messages ``cell`` will still access, optionally excluding one."""
+        """Messages ``cell`` will still access, optionally excluding one.
+
+        Computed on demand from the cell's crossed bitmap — cell programs
+        are short, and dropping the per-op remaining-count bookkeeping
+        this query used to rely on keeps the apply paths lean.
+        """
+        cid = self.intern.cell_ids[cell]
         names = self.intern.message_names
+        crossed = self._crossed[cid]
         out = {
             names[mid]
-            for mid, count in self._msg_remaining_in_cell[
-                self.intern.cell_ids[cell]
-            ].items()
-            if count
+            for pos, (_is_write, mid) in enumerate(self._enc[cid])
+            if not crossed[pos]
         }
         out.discard(exclude or "")
         return out
@@ -401,17 +482,26 @@ class CrossingState:
         return (write[0], read[0], write[1], read[1])
 
     def _flush_dirty(self) -> None:
-        """Re-locate every dirtied message, updating the executable set."""
+        """Re-locate every dirtied message, updating the executable set.
+
+        Ids that (re)enter the executable set are also pushed into
+        ``_exec_added`` — the "newly executable" bucket the next
+        :meth:`executable_pairs` snapshot merges with the previous one.
+        """
         dirty = self._dirty
         if not dirty:
             return
+        self._ensure_indexes()
         executable = self._executable
         compute = self._compute_entry
+        added = self._exec_added
         for mid in dirty:
             entry = compute(mid)
             if entry is None:
                 executable.pop(mid, None)
             else:
+                if mid not in executable:
+                    heappush(added, mid)
                 executable[mid] = entry
         dirty.clear()
 
@@ -420,15 +510,21 @@ class CrossingState:
         names = intern.message_names
         cells = intern.cell_names
         sender_pos, receiver_pos, skipped_sender, skipped_receiver = entry
+        if skipped_sender:
+            skipped_sender = tuple((names[m], c) for m, c in skipped_sender)
+        if skipped_receiver:
+            skipped_receiver = tuple(
+                (names[m], c) for m, c in skipped_receiver
+            )
         return PairCrossing(
-            step=step,
-            message=names[mid],
-            sender=cells[self._senders[mid]],
-            sender_pos=sender_pos,
-            receiver=cells[self._receivers[mid]],
-            receiver_pos=receiver_pos,
-            skipped_sender=tuple((names[m], c) for m, c in skipped_sender),
-            skipped_receiver=tuple((names[m], c) for m, c in skipped_receiver),
+            step,
+            names[mid],
+            cells[self._senders[mid]],
+            sender_pos,
+            cells[self._receivers[mid]],
+            receiver_pos,
+            skipped_sender,
+            skipped_receiver,
         )
 
     def executable_pair(self, message: str) -> PairCrossing | None:
@@ -436,10 +532,13 @@ class CrossingState:
         mid = self.intern.message_ids[message]
         if mid in self._dirty:
             self._dirty.discard(mid)
+            self._ensure_indexes()
             entry = self._compute_entry(mid)
             if entry is None:
                 self._executable.pop(mid, None)
             else:
+                if mid not in self._executable:
+                    heappush(self._exec_added, mid)
                 self._executable[mid] = entry
         cached = self._executable.get(mid)
         if cached is None:
@@ -447,12 +546,33 @@ class CrossingState:
         return self._as_pair(mid, cached)
 
     def executable_pairs(self) -> list[PairCrossing]:
-        """All currently executable pairs, ordered by message name."""
+        """All currently executable pairs, ordered by message name.
+
+        The id order (== name order, by intern construction) comes from
+        merging the previous snapshot with the newly-executable bucket —
+        O(previous + changed) per call — rather than sorting the whole
+        executable set; stale ids and duplicates drop out during the
+        merge, and the merged list becomes the next snapshot.
+        """
         self._flush_dirty()
         executable = self._executable
-        return [
-            self._as_pair(mid, executable[mid]) for mid in sorted(executable)
-        ]
+        order = self._exec_order
+        added = self._exec_added
+        merged: list[int] = []
+        i = 0
+        size = len(order)
+        prev = -1
+        while added or i < size:
+            if added and (i >= size or added[0] <= order[i]):
+                mid = heappop(added)
+            else:
+                mid = order[i]
+                i += 1
+            if mid != prev and mid in executable:
+                merged.append(mid)
+                prev = mid
+        self._exec_order = merged
+        return [self._as_pair(mid, executable[mid]) for mid in merged]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -484,7 +604,6 @@ class CrossingState:
                 self._cell_reads_crossed[cid] += 1
             crossed_list = self._crossed[cid]
             crossed_list[pos] = True
-            self._msg_remaining_in_cell[cid][mid] -= 1
             self._last_crossed[cid] = mid
             # The front moves iff the crossed op *was* the front.
             if pos == fronts[cid]:
@@ -549,6 +668,7 @@ class CrossingState:
     def cross(self, pair: PairCrossing, step: int) -> PairCrossing:
         """Cross off ``pair``'s two operations, returning it stamped with
         the step number."""
+        self._ensure_indexes()
         intern = self.intern
         message_ids = intern.message_ids
         mid = message_ids.get(pair.message)
@@ -571,6 +691,7 @@ class CrossingState:
                 f"operation on {pair.message!r} of its endpoint cells; "
                 f"only pairs returned by executable_pair(s) can be crossed"
             )
+        self._ensure_incident()
         self._apply_cross(
             mid,
             pair.sender_pos,
@@ -594,6 +715,193 @@ class PairObserver(Protocol):
     """Hook invoked just before each pair is crossed off (labeling uses it)."""
 
     def __call__(self, state: CrossingState, pair: PairCrossing) -> None: ...
+
+
+def _run_parallel_fast(
+    state: CrossingState,
+    steps: list[list[PairCrossing]],
+    crossings: list[PairCrossing],
+) -> None:
+    """Bucketed maximal-parallel stepping (the analysis fast path).
+
+    Implements the structure described under "Bucketed parallel step
+    flush" in the module docstring with everything in locals — this
+    function and the scan closure below are the hottest loops of the
+    whole compile-time analysis at 10k cells. Output is bit-identical
+    to driving :meth:`CrossingState.executable_pairs` +
+    :meth:`CrossingState.cross` step by step:
+
+    * the bucket holds exactly the messages that became executable since
+      the previous step (deduplicated by ``in_bucket``); sorting it
+      (O(new log new), never the whole executable set) yields the
+      step batch in ascending id == ascending name order;
+    * each batch member's candidate entry (positions + skipped-write
+      tuples, id-sorted == name-sorted) was recorded by the last
+      nomination scan of its endpoint cells — both unchanged since, so
+      the stored entry equals what a step-start recomputation would
+      locate;
+    * crossing only shrinks skip regions and advances
+      first-uncrossed-read bounds, so a located end stays located until
+      its own operation crosses — readiness bits survive across steps
+      and only the cells a batch touched are rescanned.
+    """
+    intern = state.intern
+    names = intern.message_names
+    cells = intern.cell_names
+    nmsgs = len(names)
+    enc_all = state._enc
+    crossed_all = state._crossed
+    fronts = state._fronts
+    cap = state._cap
+    senders = state._senders
+    receivers = state._receivers
+    remaining = state._remaining
+    max_skipped = state._max_skipped
+    ready_w = bytearray(nmsgs)
+    ready_r = bytearray(nmsgs)
+    in_bucket = bytearray(nmsgs)
+    bucket: list[int] = []
+    bucket_push = bucket.append
+    w_cand_pos = [0] * nmsgs
+    w_cand_skip: list[tuple] = [()] * nmsgs
+    r_cand_pos = [0] * nmsgs
+    r_cand_skip: list[tuple] = [()] * nmsgs
+    changed_flag = bytearray(len(cells))
+    pair_new = PairCrossing
+
+    def scan(cids) -> None:
+        """Re-nominate every locatable pair end in each cell of ``cids``.
+
+        Per cell, one pass over the lookahead window ``[front, first
+        uncrossed read]``: the first uncrossed operation of each (kind,
+        message) key met before the R2 cutoff is that end's candidate.
+        Cumulative uncrossed-write counts give each candidate's skipped
+        tuple and the cutoff — once skipping one more write of some
+        message would exceed its capacity, nothing deeper can be
+        located; the first uncrossed read nominates its receiver end
+        and ends the window (R1). (Batched over cells so the per-step
+        rescan pays one call, not one per changed cell.)
+        """
+        for cid in cids:
+            enc = enc_all[cid]
+            size = len(enc)
+            crossed = crossed_all[cid]
+            # Advance the front lazily over ops the batch crossed — the
+            # apply loop leaves front movement to the rescan.
+            pos = fronts[cid]
+            while pos < size and crossed[pos]:
+                pos += 1
+            fronts[cid] = pos
+            counts: dict[int, int] | None = None
+            while pos < size:
+                if not crossed[pos]:
+                    is_write, mid = enc[pos]
+                    if not is_write:
+                        # The cell's first uncrossed read: necessarily
+                        # this message's next read, hence its
+                        # receiver-end candidate — and the end of the
+                        # window (R1).
+                        ready_r[mid] = 1
+                        r_cand_pos[mid] = pos
+                        if not counts:
+                            r_cand_skip[mid] = ()
+                        elif len(counts) == 1:
+                            r_cand_skip[mid] = tuple(counts.items())
+                        else:
+                            r_cand_skip[mid] = tuple(sorted(counts.items()))
+                        if ready_w[mid] and not in_bucket[mid]:
+                            in_bucket[mid] = 1
+                            bucket_push(mid)
+                        break
+                    if counts is None or mid not in counts:
+                        # This message's next write, locatable in budget.
+                        ready_w[mid] = 1
+                        w_cand_pos[mid] = pos
+                        if not counts:
+                            w_cand_skip[mid] = ()
+                        elif len(counts) == 1:
+                            w_cand_skip[mid] = tuple(counts.items())
+                        else:
+                            w_cand_skip[mid] = tuple(sorted(counts.items()))
+                        if ready_r[mid] and not in_bucket[mid]:
+                            in_bucket[mid] = 1
+                            bucket_push(mid)
+                    if cap is None:
+                        break  # no lookahead: the front op is the window
+                    if counts is None:
+                        counts = {}
+                    skipped = counts.get(mid, 0) + 1
+                    counts[mid] = skipped
+                    if skipped > cap[mid]:
+                        break  # R2: deeper candidates would overfill mid
+                pos += 1
+
+    scan(range(len(cells)))
+    total_remaining = state.total_remaining
+    while bucket:
+        # Step-start snapshot: the bucket *is* the executable set (what
+        # was executable before is crossed; what is executable now was
+        # pushed by the rescans), already deduplicated.
+        bucket.sort()
+        step_no = len(steps) + 1
+        this_step: list[PairCrossing] = []
+        stamp = this_step.append
+        changed: list[int] = []
+        changed_push = changed.append
+        for mid in bucket:
+            in_bucket[mid] = 0
+            sender = senders[mid]
+            receiver = receivers[mid]
+            sender_pos = w_cand_pos[mid]
+            receiver_pos = r_cand_pos[mid]
+            skip_s = w_cand_skip[mid]
+            skip_r = r_cand_skip[mid]
+            # --- apply: crossed bits + readiness only; front movement
+            # and the worklist-path counters are left to the rescans
+            # (this runner owns its state — the result reads nothing
+            # but the crossed bitmaps, remaining counts, max_skipped).
+            ready_w[mid] = 0
+            ready_r[mid] = 0
+            remaining[mid] -= 2
+            total_remaining -= 2
+            crossed_all[sender][sender_pos] = 1
+            crossed_all[receiver][receiver_pos] = 1
+            if not changed_flag[sender]:
+                changed_flag[sender] = 1
+                changed_push(sender)
+            if not changed_flag[receiver]:
+                changed_flag[receiver] = 1
+                changed_push(receiver)
+            # --- materialize (ids -> names only here) -----------------
+            if skip_s:
+                for m, count in skip_s:
+                    if count > max_skipped[m]:
+                        max_skipped[m] = count
+                skip_s = tuple([(names[m], c) for m, c in skip_s])
+            if skip_r:
+                for m, count in skip_r:
+                    if count > max_skipped[m]:
+                        max_skipped[m] = count
+                skip_r = tuple([(names[m], c) for m, c in skip_r])
+            stamp(
+                pair_new(
+                    step_no,
+                    names[mid],
+                    cells[sender],
+                    sender_pos,
+                    cells[receiver],
+                    receiver_pos,
+                    skip_s,
+                    skip_r,
+                )
+            )
+        crossings.extend(this_step)
+        steps.append(this_step)
+        bucket.clear()
+        for cid in changed:
+            changed_flag[cid] = 0
+        scan(changed)
+    state.total_remaining = total_remaining
 
 
 def cross_off(
@@ -647,6 +955,8 @@ def cross_off(
             # dirty set (ids whose set membership is gone are stale).
             # Dirty ids are evaluated in ascending order just far enough
             # to beat the clean minimum; the rest stay deferred.
+            state._ensure_incident()
+            state._ensure_indexes()
             exec_heap: list[int] = []
             dirty_heap = sorted(dirty)  # a sorted list is a valid heap
             state._dirty_heap = dirty_heap
@@ -670,6 +980,8 @@ def cross_off(
                     if entry is None:
                         executable.pop(mid, None)
                     else:
+                        # (No _exec_added push: this state never serves
+                        # executable_pairs — the fast loops own it.)
                         executable[mid] = entry
                         heappush(exec_heap, mid)
                         best = mid
@@ -683,21 +995,7 @@ def cross_off(
                 steps.append([stamped])
                 crossings.append(stamped)
         else:
-            while state.total_remaining > 0:
-                state._flush_dirty()
-                if not executable:
-                    break
-                step_no = len(steps) + 1
-                this_step = []
-                # Entries are fixed at step start: _apply_cross only
-                # dirties messages, it never mutates the executable set.
-                for mid in sorted(executable):
-                    entry = executable[mid]
-                    stamped = as_pair(mid, entry, step_no)
-                    apply_cross(mid, entry[0], entry[1], entry[2], entry[3])
-                    this_step.append(stamped)
-                    crossings.append(stamped)
-                steps.append(this_step)
+            _run_parallel_fast(state, steps, crossings)
     else:
         while not state.done:
             pairs = state.executable_pairs()

@@ -25,6 +25,15 @@ fingerprints (program x topology x router x queue-provisioning bits):
   ever unpickling corrupt bytes. Writing checksums can be disabled per
   cache instance (``DiskAnalysisCache(dir, checksum=False)``); entries
   written without one are still readable.
+* **size-bounded LRU eviction** — with a byte budget
+  (``DiskAnalysisCache(dir, max_bytes=N)`` or
+  ``REPRO_ANALYSIS_DISK_CACHE_MAX_BYTES``), every store that pushes the
+  directory past the budget evicts least-recently-used entries (by
+  mtime; loads touch the file, so a hot entry's recency is its last
+  *use*, not its write) until the directory fits again. The entry just
+  stored is never evicted — spared by identity, immune to coarse
+  filesystem timestamps — so one oversized artifact degrades to a
+  single-entry cache instead of thrashing. Unbounded by default.
 
 Enable it by exporting ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` (the
 directory is created on demand) or programmatically via
@@ -57,7 +66,20 @@ FORMAT_VERSION = 2
 #: Environment variable naming the cache directory ("" = disabled).
 ENV_VAR = "REPRO_ANALYSIS_DISK_CACHE"
 
+#: Environment variable bounding the cache directory size in bytes
+#: (unset, empty or unparsable = unbounded).
+MAX_BYTES_ENV_VAR = "REPRO_ANALYSIS_DISK_CACHE_MAX_BYTES"
+
 _SUFFIX = ".analysis.pkl"
+
+
+def _env_max_bytes() -> int | None:
+    raw = os.environ.get(MAX_BYTES_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def _key_digest(key: AnalysisKey) -> str:
@@ -82,18 +104,34 @@ class DiskAnalysisCache:
             (verified on load before the artifacts are deserialized).
             Loading always verifies a digest when one is present,
             regardless of this flag.
+        max_bytes: byte budget for the whole directory; every store
+            that exceeds it evicts least-recently-used entries (by
+            mtime — loads refresh it) until the directory fits. ``None``
+            (the default) disables eviction.
     """
 
     def __init__(
-        self, directory: str | os.PathLike, checksum: bool = True
+        self,
+        directory: str | os.PathLike,
+        checksum: bool = True,
+        max_bytes: int | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.checksum = checksum
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.rejected = 0  # checksum mismatches (a subset of misses)
+        self.evictions = 0  # entries removed by the size bound
+        # Running directory-size estimate (this process's view): stores
+        # add their payload size, the full scan inside _evict_to_budget
+        # resyncs it. Only when the estimate crosses the budget does a
+        # store pay the O(entries) directory walk — concurrent writers
+        # drift it low, which merely defers their bytes to the next
+        # resync (eviction is best-effort hygiene either way).
+        self._approx_bytes: int | None = None
 
     def _path(self, key: AnalysisKey) -> Path:
         return self.directory / f"{_key_digest(key)}{_SUFFIX}"
@@ -105,8 +143,9 @@ class DiskAnalysisCache:
         checksum-verified *before* the artifact bytes are unpickled;
         every read, verification or deserialization failure is a miss.
         """
+        path = self._path(key)
         try:
-            raw = self._path(key).read_bytes()
+            raw = path.read_bytes()
             payload = pickle.loads(raw)
             if (
                 isinstance(payload, dict)
@@ -123,6 +162,12 @@ class DiskAnalysisCache:
                 artifacts = pickle.loads(blob)
                 if isinstance(artifacts, dict):
                     self.hits += 1
+                    try:
+                        # Refresh recency: eviction is LRU by mtime, and
+                        # a hit counts as a use.
+                        os.utime(path)
+                    except OSError:
+                        pass
                     return artifacts
         except Exception:
             pass
@@ -151,7 +196,14 @@ class DiskAnalysisCache:
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
         try:
-            tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write_bytes(raw)
+            if self.max_bytes is not None:
+                # Overwrites replace these bytes; keep the estimate flat.
+                try:
+                    replaced = path.stat().st_size
+                except OSError:
+                    replaced = 0
             os.replace(tmp, path)
         except Exception:
             try:
@@ -160,7 +212,55 @@ class DiskAnalysisCache:
                 pass
             return False
         self.stores += 1
+        if self.max_bytes is not None:
+            approx = self._approx_bytes
+            if approx is not None:
+                approx += len(raw) - replaced
+                self._approx_bytes = approx
+            if approx is None or approx > self.max_bytes:
+                self._evict_to_budget(keep=path)
         return True
+
+    def _evict_to_budget(self, keep: Path | None = None) -> int:
+        """Drop least-recently-used entries until the directory fits.
+
+        Returns the number of entries removed. ``keep`` (the entry the
+        caller just published) is never a candidate — sparing it by
+        identity rather than by mtime position, because coarse
+        filesystem timestamps or a concurrent writer can make the
+        just-written file sort below an older one. Every stat/unlink
+        race (a concurrent writer or evictor) is tolerated — eviction
+        is best-effort hygiene, never an error.
+        """
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.directory.glob(f"*{_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            if path != keep:
+                entries.append((stat.st_mtime, stat.st_size, path))
+        if total <= self.max_bytes or not entries:
+            self._approx_bytes = total
+            return 0
+        entries.sort()  # oldest mtime first
+        if keep is None:
+            entries.pop()  # no published entry to spare: keep the newest
+        removed = 0
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.evictions += removed
+        self._approx_bytes = total
+        return removed
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
@@ -171,6 +271,7 @@ class DiskAnalysisCache:
                 removed += 1
             except OSError:
                 pass
+        self._approx_bytes = None  # resync on the next bounded store
         return removed
 
     def __len__(self) -> int:
@@ -184,6 +285,7 @@ class DiskAnalysisCache:
             "misses": self.misses,
             "stores": self.stores,
             "rejected": self.rejected,
+            "evictions": self.evictions,
         }
 
 
@@ -194,19 +296,30 @@ _active: DiskAnalysisCache | None = None
 
 def configure_disk_cache(
     directory: str | os.PathLike | None,
+    max_bytes: int | None = None,
 ) -> DiskAnalysisCache | None:
     """Set (or, with ``None``, disable) the process-wide disk tier.
 
-    Overrides :data:`ENV_VAR`. Returns the active cache, if any.
+    Overrides :data:`ENV_VAR`; ``max_bytes`` bounds the directory size
+    (``None`` falls back to :data:`MAX_BYTES_ENV_VAR`, unbounded when
+    that is unset too). Returns the active cache, if any.
     """
     global _configured, _active
     with _lock:
         _configured = True
-        if directory and _active is not None and _active.directory == Path(
+        budget = max_bytes if max_bytes is not None else _env_max_bytes()
+        if (
             directory
+            and _active is not None
+            and _active.directory == Path(directory)
+            and _active.max_bytes == budget
         ):
-            return _active  # same directory: keep instance and counters
-        _active = DiskAnalysisCache(directory) if directory else None
+            return _active  # same configuration: keep instance + counters
+        _active = (
+            DiskAnalysisCache(directory, max_bytes=budget)
+            if directory
+            else None
+        )
         return _active
 
 
@@ -219,7 +332,9 @@ def active_disk_cache() -> DiskAnalysisCache | None:
             directory = os.environ.get(ENV_VAR, "")
             if directory:
                 try:
-                    _active = DiskAnalysisCache(directory)
+                    _active = DiskAnalysisCache(
+                        directory, max_bytes=_env_max_bytes()
+                    )
                 except OSError:
                     _active = None
         return _active

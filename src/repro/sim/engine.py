@@ -96,6 +96,7 @@ class Engine:
         "_horizon",
         "_slots",
         "_mask",
+        "_ring_mask",
     )
 
     def __init__(
@@ -119,6 +120,10 @@ class Engine:
         self._horizon = horizon
         self._slots = slots
         self._mask = slots - 1
+        # Precomputed (1 << slots) - 1: with adaptive horizons the ring
+        # can be hundreds of slots, and rebuilding this bigint on every
+        # _next_wheel_time call is real work on the idle-advance path.
+        self._ring_mask = (1 << slots) - 1
 
     @property
     def wheel_horizon(self) -> int:
@@ -177,9 +182,9 @@ class Engine:
             return None
         slots = self._slots
         shift = (self.now + 1) & self._mask
-        rotated = ((occupied >> shift) | (occupied << (slots - shift))) & (
-            (1 << slots) - 1
-        )
+        rotated = (
+            (occupied >> shift) | (occupied << (slots - shift))
+        ) & self._ring_mask
         return self.now + 1 + ((rotated & -rotated).bit_length() - 1)
 
     def run(

@@ -25,6 +25,18 @@ shapes break if id order ever leaks). The timing-wheel engine gets the
 same treatment against the heap-only scheduler, including the
 adaptive-horizon path for workloads with op latencies beyond the default
 horizon.
+
+Parallel mode gets its own hammer on top of the mode-sampling
+properties: the bucketed step engine (readiness bits + nomination scans
++ per-step newly-executable bucket, see ``crossing.py``'s module
+docstring) replaces the dirty worklist wholesale in that mode, so
+``test_large_parallel*`` pin ``mode="parallel"`` over the wide
+`large_specs` family and every lookahead budget,
+``test_parallel_step_batches_name_ordered`` asserts the step-batch
+ordering invariant directly, and ``TestParallelStepBucketShapes`` pins
+the structure's edges — an initially empty executable set, one step
+that crosses everything, a message entering the bucket mid-run, and
+batches whose name order diverges from declaration order.
 """
 
 from __future__ import annotations
@@ -127,6 +139,38 @@ SEED_CORPUS = [
         "parallel",
         2,
     ),
+    # Parallel-mode spread across the remaining budget shapes — the
+    # bucketed step engine takes different code paths for no-lookahead
+    # (front-only windows), zero/small budgets (R2 cutoffs inside the
+    # window) and unbounded budgets (windows end only at reads).
+    (
+        WorkloadSpec(
+            cells=120, messages=360, max_length=3, max_span=3, burst=2, seed=2024
+        ),
+        "parallel",
+        0,
+    ),
+    (
+        WorkloadSpec(
+            cells=250, messages=750, max_length=3, max_span=4, burst=2, seed=7
+        ),
+        "parallel",
+        1,
+    ),
+    (
+        WorkloadSpec(
+            cells=400, messages=1200, max_length=3, max_span=3, burst=2, seed=11
+        ),
+        "parallel",
+        None,
+    ),
+    (
+        WorkloadSpec(
+            cells=400, messages=1200, max_length=3, max_span=3, burst=2, seed=11
+        ),
+        "parallel",
+        math.inf,
+    ),
 ]
 
 
@@ -183,6 +227,53 @@ def test_large_hoisted_writes_identical(spec, capacity, mode):
     """Large programs driven through the lookahead skip machinery."""
     program = hoist_writes(random_program(spec), swaps=12, seed=spec.seed + 1)
     assert_identical(program, _lookahead(program, capacity), mode)
+
+
+@given(large_specs, lookaheads)
+@LARGE
+def test_large_parallel_identical(spec, capacity):
+    """Parallel mode pinned: the bucketed step engine vs the oracle.
+
+    The mode-sampling properties above split their examples between the
+    two modes; this one spends its whole budget on the engine the PR
+    under test rewrote."""
+    program = random_program(spec)
+    assert_identical(program, _lookahead(program, capacity), "parallel")
+
+
+@given(large_specs, lookaheads)
+@LARGE
+def test_large_parallel_hoisted_identical(spec, capacity):
+    """Parallel mode through the skip machinery: hoisted writes force
+    mid-window candidates, multi-message skipped tuples and R2 cutoffs
+    inside the nomination scans."""
+    program = hoist_writes(random_program(spec), swaps=12, seed=spec.seed + 3)
+    assert_identical(program, _lookahead(program, capacity), "parallel")
+
+
+@given(large_specs, lookaheads)
+@LARGE
+def test_large_parallel_deadlocked_identical(spec, capacity):
+    """Deadlocked programs in parallel mode: the bucket must dry up at
+    exactly the oracle's step, leaving identical uncrossed remainders."""
+    program = inject_read_cycle(random_program(spec), seed=spec.seed)
+    assert_identical(program, _lookahead(program, capacity), "parallel")
+
+
+@given(large_specs, lookaheads)
+@LARGE
+def test_parallel_step_batches_name_ordered(spec, capacity):
+    """Every parallel step batch comes out in ascending message-name
+    order — the documented contract the sorted bucket drain implements
+    (ids are assigned in sorted-name order, so this fails if id order
+    ever diverges from name order, or the drain stops sorting)."""
+    program = random_program(spec)
+    result = cross_off(
+        program, lookahead=_lookahead(program, capacity), mode="parallel"
+    )
+    for step in result.steps:
+        names = [pair.message for pair in step]
+        assert names == sorted(names)
 
 
 @pytest.mark.parametrize(
@@ -314,6 +405,111 @@ class TestPinnedShapes:
                 {},
                 name="dup-names",
             )
+
+
+class TestParallelStepBucketShapes:
+    """Edges of the bucketed parallel step structure, pinned.
+
+    Each shape targets one invariant of the readiness-bit + bucket
+    engine: seeding (nothing executable at all), a bucket that drains
+    the entire program in one step, a message whose readiness arises
+    only from another crossing's rescan (entering the bucket mid-run),
+    and batch ordering when name order diverges from declaration order.
+    All of them are also run through the oracle for bit-identity.
+    """
+
+    BUDGETS = [None, 0, 1, 2, math.inf]
+
+    def _check_all(self, program):
+        for capacity in self.BUDGETS:
+            assert_identical(program, _lookahead(program, capacity), "parallel")
+
+    def test_empty_executable_set_at_start(self):
+        """A mutual read-before-write knot: the seed scans must push
+        nothing, and the run must end at step zero with everything
+        uncrossed — deadlock detected without a single step."""
+        cells = ("C1", "C2")
+        messages = [Message("A", "C1", "C2", 1), Message("B", "C2", "C1", 1)]
+        programs = {
+            "C1": [R("B"), W("A")],
+            "C2": [R("A"), W("B")],
+        }
+        program = ArrayProgram(cells, messages, programs, name="empty-exec")
+        self._check_all(program)
+        result = cross_off(program, mode="parallel")
+        assert not result.deadlock_free
+        assert result.steps == []
+        assert result.pairs_crossed == 0
+        assert sorted(result.uncrossed) == ["C1", "C2"]
+
+    def test_single_step_crosses_everything(self):
+        """Six disjoint pairs, all executable at step 1: the whole
+        program is one bucket drain, in name order."""
+        cells = tuple(f"C{i}" for i in range(1, 13))
+        messages = [
+            Message(f"M{i}", f"C{2 * i - 1}", f"C{2 * i}", 1)
+            for i in range(1, 7)
+        ]
+        programs: dict[str, list] = {}
+        for i in range(1, 7):
+            programs[f"C{2 * i - 1}"] = [W(f"M{i}")]
+            programs[f"C{2 * i}"] = [R(f"M{i}")]
+        program = ArrayProgram(cells, messages, programs, name="one-step")
+        self._check_all(program)
+        result = cross_off(program, mode="parallel")
+        assert result.deadlock_free
+        assert result.step_count == 1
+        names = [pair.message for pair in result.steps[0]]
+        assert names == sorted(f"M{i}" for i in range(1, 7))
+
+    def test_message_becomes_executable_mid_run(self):
+        """B's pair is not locatable at step 1 without lookahead — only
+        A's crossing moves C1's front onto W(B), so B enters the bucket
+        from the post-step rescan. With a budget of 1, B instead joins
+        A's step by skipping A's uncrossed write."""
+        cells = ("C1", "C2", "C3")
+        messages = [Message("A", "C1", "C2", 1), Message("B", "C1", "C3", 1)]
+        programs = {
+            "C1": [W("A"), W("B")],
+            "C2": [R("A")],
+            "C3": [R("B")],
+        }
+        program = ArrayProgram(cells, messages, programs, name="mid-run")
+        self._check_all(program)
+        strict = cross_off(program, mode="parallel")
+        assert strict.deadlock_free
+        assert [len(step) for step in strict.steps] == [1, 1]
+        assert [step[0].message for step in strict.steps] == ["A", "B"]
+        relaxed = cross_off(
+            program, lookahead=uniform_lookahead(program, 1), mode="parallel"
+        )
+        assert [len(step) for step in relaxed.steps] == [2]
+        assert relaxed.steps[0][1].skipped_sender == (("A", 1),)
+        assert relaxed.max_skipped["A"] == 1
+
+    def test_lexicographic_vs_declaration_order_parallel(self):
+        """Three simultaneously executable messages declared M9, M2,
+        M10: the step batch must come out M10 < M2 < M9
+        (lexicographic), not in declaration or numeric order."""
+        cells = tuple(f"C{i}" for i in range(1, 7))
+        messages = [
+            Message("M9", "C1", "C2", 1),
+            Message("M2", "C3", "C4", 1),
+            Message("M10", "C5", "C6", 1),
+        ]
+        programs = {
+            "C1": [W("M9")],
+            "C2": [R("M9")],
+            "C3": [W("M2")],
+            "C4": [R("M2")],
+            "C5": [W("M10")],
+            "C6": [R("M10")],
+        }
+        program = ArrayProgram(cells, messages, programs, name="lex-par")
+        self._check_all(program)
+        result = cross_off(program, mode="parallel")
+        assert result.step_count == 1
+        assert [pair.message for pair in result.steps[0]] == ["M10", "M2", "M9"]
 
 
 class TestTimingWheelDeterminism:

@@ -1,5 +1,7 @@
-"""Disk-tier analysis cache: round trips, corruption, versioning, batch."""
+"""Disk-tier analysis cache: round trips, corruption, versioning,
+size-bounded LRU eviction, batch."""
 
+import os
 import pickle
 
 import pytest
@@ -13,7 +15,12 @@ from repro.perf import (
     clear_analysis_cache,
     configure_disk_cache,
 )
-from repro.perf.disk_cache import ENV_VAR, FORMAT_VERSION, reset_disk_cache_state
+from repro.perf.disk_cache import (
+    ENV_VAR,
+    FORMAT_VERSION,
+    MAX_BYTES_ENV_VAR,
+    reset_disk_cache_state,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -206,6 +213,160 @@ class TestRobustness:
         assert len(disk) == 1
         assert disk.clear() == 1
         assert len(disk) == 0
+
+
+def _entry_path(cache, key):
+    return cache._path(key)
+
+
+def _age(path, seconds):
+    """Push ``path``'s mtime ``seconds`` into the past (deterministic
+    LRU ordering without sleeping)."""
+    stat = path.stat()
+    os.utime(path, (stat.st_atime, stat.st_mtime - seconds))
+
+
+class TestEviction:
+    """Size-bounded LRU-by-mtime eviction."""
+
+    def _keys(self, n):
+        from repro.perf import AnalysisKey
+
+        return [AnalysisKey(f"p{i}", "t", "r", 0, False) for i in range(n)]
+
+    def _entry_bytes(self, tmp_path):
+        """Size of one stored entry for these keys (they are uniform)."""
+        probe = DiskAnalysisCache(tmp_path / "probe")
+        (key,) = self._keys(1)
+        assert probe.store(key, {"x": 0})
+        return _entry_path(probe, key).stat().st_size
+
+    def test_unbounded_by_default(self, tmp_path):
+        disk = DiskAnalysisCache(tmp_path)
+        for i, key in enumerate(self._keys(8)):
+            assert disk.store(key, {"x": i})
+        assert len(disk) == 8
+        assert disk.stats()["evictions"] == 0
+
+    def test_store_evicts_oldest_beyond_budget(self, tmp_path):
+        size = self._entry_bytes(tmp_path)
+        disk = DiskAnalysisCache(tmp_path, max_bytes=2 * size)
+        k0, k1, k2 = self._keys(3)
+        disk.store(k0, {"x": 0})
+        _age(_entry_path(disk, k0), 30)
+        disk.store(k1, {"x": 1})
+        _age(_entry_path(disk, k1), 20)
+        disk.store(k2, {"x": 2})
+        assert len(disk) == 2
+        assert disk.load(k0) is None  # oldest evicted
+        assert disk.load(k1) == {"x": 1}
+        assert disk.load(k2) == {"x": 2}
+        assert disk.stats()["evictions"] == 1
+
+    def test_load_refreshes_recency(self, tmp_path):
+        size = self._entry_bytes(tmp_path)
+        disk = DiskAnalysisCache(tmp_path, max_bytes=2 * size)
+        k0, k1, k2 = self._keys(3)
+        disk.store(k0, {"x": 0})
+        _age(_entry_path(disk, k0), 30)
+        disk.store(k1, {"x": 1})
+        _age(_entry_path(disk, k1), 20)
+        # Touch k0: it becomes the most recently *used* entry, so the
+        # next over-budget store evicts k1 instead.
+        assert disk.load(k0) == {"x": 0}
+        disk.store(k2, {"x": 2})
+        assert disk.load(k0) == {"x": 0}
+        assert disk.load(k1) is None
+        assert disk.load(k2) == {"x": 2}
+
+    def test_newest_entry_never_evicted(self, tmp_path):
+        """A single artifact larger than the whole budget degrades to a
+        one-entry cache rather than evicting what was just written."""
+        disk = DiskAnalysisCache(tmp_path, max_bytes=1)
+        (key,) = self._keys(1)
+        assert disk.store(key, {"x": list(range(1000))})
+        assert disk.load(key) == {"x": list(range(1000))}
+        assert disk.stats()["evictions"] == 0
+
+    def test_just_stored_entry_spared_by_identity_not_mtime(self, tmp_path):
+        """Coarse filesystem timestamps can make the just-written file
+        sort *older* than an existing entry; eviction must spare it by
+        path identity, not by mtime position."""
+        size = self._entry_bytes(tmp_path)
+        disk = DiskAnalysisCache(tmp_path, max_bytes=size)
+        k0, k1 = self._keys(2)
+        disk.store(k0, {"x": 0})
+        # Simulate a coarse/ahead clock: the existing entry claims a
+        # mtime far in the future, i.e. "newer" than anything stored now.
+        path0 = _entry_path(disk, k0)
+        stat = path0.stat()
+        os.utime(path0, (stat.st_atime, stat.st_mtime + 3600))
+        disk.store(k1, {"x": 1})
+        assert disk.load(k1) == {"x": 1}  # just stored: must survive
+        assert disk.load(k0) is None  # the stale-but-"newer" entry went
+        assert disk.stats()["evictions"] == 1
+
+    def test_eviction_keeps_round_trips_working(self, tmp_path):
+        """End-to-end: a tiny budget under real simulation traffic keeps
+        the newest analysis loadable and the directory bounded."""
+        size = self._entry_bytes(tmp_path / "probe2")
+        configure_disk_cache(tmp_path, max_bytes=size)
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        _run(program, registers, capacity=0)
+        for entry in tmp_path.glob("*.analysis.pkl"):
+            _age(entry, 30)
+        _run(program, registers, capacity=2)
+        disk = active_disk_cache()
+        assert len(disk) <= 2  # entry sizes differ; budget ~1 probe entry
+        clear_analysis_cache()
+        second = _run(program, registers, capacity=2)
+        assert second.completed
+
+    def test_under_budget_stores_skip_directory_scan(self, tmp_path):
+        """Once the running size estimate is synced, stores that stay
+        under the budget must not walk the directory at all."""
+        size = self._entry_bytes(tmp_path)
+        disk = DiskAnalysisCache(tmp_path, max_bytes=100 * size)
+        keys = self._keys(5)
+        disk.store(keys[0], {"x": 0})  # first bounded store: resync scan
+        scans = []
+        original = disk._evict_to_budget
+        disk._evict_to_budget = lambda **kw: scans.append(1) or original(**kw)
+        for i, key in enumerate(keys[1:], start=1):
+            assert disk.store(key, {"x": i})
+        assert scans == []  # estimate stayed under budget: no walks
+        assert len(disk) == 5
+
+    def test_max_bytes_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "4096")
+        reset_disk_cache_state()
+        disk = active_disk_cache()
+        assert disk is not None
+        assert disk.max_bytes == 4096
+
+    def test_invalid_env_budget_means_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "a-lot")
+        reset_disk_cache_state()
+        disk = active_disk_cache()
+        assert disk is not None
+        assert disk.max_bytes is None
+
+    def test_configure_budget_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "4096")
+        disk = configure_disk_cache(tmp_path, max_bytes=123456)
+        assert disk.max_bytes == 123456
+        # Reconfiguring the same directory with a different budget must
+        # rebuild rather than silently keep the old bound.
+        disk2 = configure_disk_cache(tmp_path, max_bytes=654321)
+        assert disk2.max_bytes == 654321
+
+    def test_configure_without_budget_reads_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MAX_BYTES_ENV_VAR, "2048")
+        disk = configure_disk_cache(tmp_path)
+        assert disk.max_bytes == 2048
 
 
 class TestActivation:

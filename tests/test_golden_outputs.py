@@ -2,11 +2,13 @@
 
 The equivalence suite pins the interned crossing engine to the reference
 oracle *relative* to each other; these tests pin the absolute output. A
-canonical JSON rendering of each program's crossing trace (both modes),
-exact labeling fractions, normalized labels and schedule bounds is
-checked into ``tests/golden/`` — any engine change that silently
-perturbs a step, a skipped-write tuple or a label fails on a one-line
-diff instead of deep inside some downstream consumer.
+canonical JSON rendering of each program's crossing trace — strict
+parallel, lookahead-2 sequential, and lookahead-2 parallel (the bucketed
+step engine with its skip machinery engaged) — plus exact labeling
+fractions, normalized labels and schedule bounds is checked into
+``tests/golden/`` — any engine change that silently perturbs a step, a
+skipped-write tuple or a label fails on a one-line diff instead of deep
+inside some downstream consumer.
 
 Regenerate after an *intentional* behaviour change with::
 
@@ -89,6 +91,7 @@ def canonical_analysis(program: ArrayProgram) -> dict:
     lookahead = uniform_lookahead(program, 2)
     strict = cross_off(program, mode="parallel")
     relaxed = cross_off(program, lookahead=lookahead, mode="sequential")
+    relaxed_parallel = cross_off(program, lookahead=lookahead, mode="parallel")
     plain_labeling = constraint_labeling(program)
     relaxed_labeling = constraint_labeling(program, lookahead=lookahead)
     doc = {
@@ -107,6 +110,7 @@ def canonical_analysis(program: ArrayProgram) -> dict:
         ],
         "strict_parallel": _result_doc(strict),
         "lookahead2_sequential": _result_doc(relaxed),
+        "lookahead2_parallel": _result_doc(relaxed_parallel),
         "labeling": {
             "exact": {n: str(v) for n, v in plain_labeling.labels.items()},
             "normalized": plain_labeling.normalized(),
