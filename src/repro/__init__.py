@@ -47,17 +47,26 @@ the literal op-by-op procedure. The knobs that matter at scale:
   processes and sessions under the same content fingerprints, with
   atomic writes and corruption-tolerant loads: pool workers and
   restarted sweeps skip re-analysis entirely.
-* **Batched ensembles** — :func:`repro.sim.batch.simulate_many` runs
-  many (program, config, policy) jobs with a deterministic merge order,
-  in-process or via chunked multiprocessing (``workers=N``); see also
-  the ``repro sweep`` CLI subcommand and
-  :func:`repro.workloads.ensemble_programs`.
-* **Streaming reduction** — :func:`repro.sim.batch.simulate_stream`
-  yields one flat :class:`repro.sim.batch.RunSummary` row per job with
-  O(1) retained state (full results never accumulate, nor cross the
-  pool pipe) while feeding built-in reducers — completed counts,
-  makespan histograms, deadlock rate by config. ``repro sweep --stream``
-  exposes it on the command line for sweeps too large to hold.
+* **Pluggable sweep execution** — ensemble sweeps run through the
+  :mod:`repro.sweep` package: a :class:`repro.sweep.SweepPlan` (jobs +
+  grid labels + reducers + backend choice) executed by a
+  :class:`repro.sweep.SweepSession` over the ``serial``, ``pool``
+  (chunked multiprocessing) or ``shm`` backend — the latter writes
+  fixed-width :class:`repro.sweep.RunSummary` rows into a
+  ``multiprocessing.shared_memory`` arena and hydrates full results
+  only on demand, eliminating the per-result pickle round-trip that
+  makes million-run full-result sweeps pipe-bound.
+  :func:`repro.sweep.simulate_many` (deterministic merge order) and
+  :func:`repro.sweep.simulate_stream` (one O(1) summary row per job,
+  lazily) remain the stable entry points; ``repro sweep`` exposes the
+  whole subsystem on the command line (``--backend``, ``--stream``).
+* **Streaming reducers with a merge contract** — completed counts,
+  makespan histograms, deadlock rate by config, per-config makespan
+  stats and t-digest makespan quantiles
+  (:class:`repro.sweep.QuantileReducer`; ``repro sweep --quantiles
+  p50,p95,p99``) fold rows in job order with O(1) state, and every
+  reducer ``merge()``s with a same-typed partner so sharded sweeps
+  combine their aggregates exactly.
 """
 
 from repro.arch import (
@@ -118,6 +127,7 @@ from repro.sim import (
     simulate,
     simulate_many,
 )
+from repro.sweep import SweepPlan, SweepSession
 
 __version__ = "1.0.0"
 
@@ -143,6 +153,8 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "StaticPolicy",
+    "SweepPlan",
+    "SweepSession",
     "Torus2D",
     "W",
     "all_figures",

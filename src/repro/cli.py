@@ -25,19 +25,21 @@ from repro.core.schedule import summarize_schedule
 from repro.errors import ConfigError, ReproError
 from repro.lang.parser import parse_program
 from repro.lang.printer import side_by_side
-from repro.sim.batch import (
-    BatchError,
+from repro.sim.runtime import simulate
+from repro.sweep import (
     CompletedCount,
     DeadlockRateByConfig,
     MakespanHistogram,
+    PerConfigMakespan,
+    QuantileReducer,
+    SweepPlan,
+    SweepSession,
     iter_sweep_jobs,
     iter_sweep_labels,
-    simulate_many,
-    simulate_stream,
+    parse_quantiles,
     sweep_jobs,
     sweep_labels,
 )
-from repro.sim.runtime import simulate
 from repro.viz.crossing_view import render_annotated, render_steps
 from repro.viz.timeline import render_assignments, render_outcome
 
@@ -113,6 +115,18 @@ def _int_list(raw: str, flag: str) -> list[int]:
     return values
 
 
+def _quantile_reducers(args) -> tuple:
+    """The extra reducers ``--quantiles`` turns on, or ``()``."""
+    if not args.quantiles:
+        return ()
+    fractions = parse_quantiles(args.quantiles)
+    return (QuantileReducer(fractions), PerConfigMakespan())
+
+
+def _sweep_backend(args) -> str | None:
+    return None if args.backend == "auto" else args.backend
+
+
 def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
     """Streaming sweep: O(1) retained results, reducer summaries at the end.
 
@@ -120,7 +134,11 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
     reducers the moment it arrives — a 10k-run sweep holds one summary
     row at a time no matter how long it runs.
     """
-    reducers = (CompletedCount(), MakespanHistogram(), DeadlockRateByConfig())
+    reducers = (
+        CompletedCount(),
+        MakespanHistogram(),
+        DeadlockRateByConfig(),
+    ) + _quantile_reducers(args)
     outcomes = reducers[0]
     jobs = iter_sweep_jobs(
         program,
@@ -132,7 +150,14 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
     labels = iter_sweep_labels(
         policies=policies, queues=queues, capacities=capacities, repeat=args.repeat
     )
-    rows = simulate_stream(jobs, reducers=reducers, workers=args.workers)
+    plan = SweepPlan(
+        jobs=jobs,
+        reducers=reducers,
+        backend=_sweep_backend(args),
+        workers=args.workers,
+        chunk_size=32,
+    )
+    rows = SweepSession(plan).stream()
     for label, row in zip(labels, rows):
         if row.error_kind is not None:
             print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
@@ -171,30 +196,46 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         capacities=capacities,
         repeat=args.repeat,
     )
-    results = simulate_many(jobs, workers=args.workers, on_error="collect")
+    extra_reducers = _quantile_reducers(args)
+    plan = SweepPlan(
+        jobs=jobs,
+        labels=labels,
+        reducers=extra_reducers,
+        backend=_sweep_backend(args),
+        workers=args.workers,
+        on_error="collect",
+    )
+    # Summary rows carry everything the table needs, so even the eager
+    # sweep never materializes full results.
     rows = []
-    for label, result in zip(labels, results):
-        if isinstance(result, BatchError):
+    for label, row in zip(labels, SweepSession(plan).stream()):
+        if row.error_kind is not None:
             rows.append((label, "infeasible", None, None))
-            print(f"{label:<28} infeasible {result.kind}: {result.error}")
+            print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
             continue
-        outcome = (
-            "completed"
-            if result.completed
-            else ("deadlock" if result.deadlocked else "timeout")
-        )
-        rows.append((label, outcome, result.time, result.events))
+        rows.append((label, row.outcome, row.time, row.events))
         print(
-            f"{label:<28} {outcome:<10} t={result.time:<8} "
-            f"events={result.events}"
+            f"{label:<28} {row.outcome:<10} t={row.time:<8} "
+            f"events={row.events}"
         )
     completed = sum(1 for _l, outcome, _t, _e in rows if outcome == "completed")
     print(f"{completed}/{len(rows)} runs completed")
+    for reducer in extra_reducers:
+        print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
     if args.json:
-        payload = [
+        runs = [
             {"label": label, "outcome": outcome, "time": t, "events": e}
             for label, outcome, t, e in rows
         ]
+        if extra_reducers:
+            # --quantiles upgrades the payload to an object so the
+            # reducer aggregates ride along with the per-run rows.
+            payload = {"runs": runs}
+            payload.update(
+                {reducer.name: reducer.summary() for reducer in extra_reducers}
+            )
+        else:
+            payload = runs
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0 if completed == len(rows) else 1
@@ -262,11 +303,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = in-process with shared analysis cache)",
     )
     sweep.add_argument(
+        "--backend", choices=("auto", "serial", "pool", "shm"), default="auto",
+        help="execution backend: serial (in-process), pool (chunked "
+             "multiprocessing), shm (summary rows via a shared-memory "
+             "arena, full results hydrated on demand); auto picks serial "
+             "for --workers 1, pool otherwise",
+    )
+    sweep.add_argument(
         "--stream", action="store_true",
         help="stream per-run summary rows with O(1) memory (for sweeps too "
              "large to hold) and print reducer aggregates — outcome counts, "
              "makespan histogram, deadlock rate by config; with --json, "
              "writes the aggregates instead of per-run rows",
+    )
+    sweep.add_argument(
+        "--quantiles", metavar="P50,P95,...", default=None,
+        help="also report makespan quantiles (t-digest) and per-config "
+             "makespan stats, e.g. --quantiles p50,p95,p99; adds "
+             "'quantiles' and 'per-config-makespan' fields to --json "
+             "output",
     )
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)

@@ -27,6 +27,7 @@ from repro.perf.analysis_cache import (
 from repro.perf.disk_cache import (
     DiskAnalysisCache,
     active_disk_cache,
+    active_disk_cache_config,
     configure_disk_cache,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "DiskAnalysisCache",
     "GLOBAL_ANALYSIS_CACHE",
     "active_disk_cache",
+    "active_disk_cache_config",
     "analysis_cache_stats",
     "clear_analysis_cache",
     "configure_disk_cache",

@@ -38,9 +38,12 @@ fingerprints (program x topology x router x queue-provisioning bits):
 Enable it by exporting ``REPRO_ANALYSIS_DISK_CACHE=/path/to/dir`` (the
 directory is created on demand) or programmatically via
 :func:`configure_disk_cache`. :class:`~repro.sim.runtime.Simulator`
-persists entries after static analysis completes and
-:func:`~repro.sim.batch.simulate_many` / ``simulate_stream`` forward the
-configured path into worker processes.
+persists entries after static analysis completes, and the sweep
+execution backends (:mod:`repro.sweep.backends`) replay the active
+configuration inside every worker process through their
+``WorkerContext`` hook (see :func:`active_disk_cache_config`), so
+``simulate_many`` / ``simulate_stream`` share the tier across the whole
+pool whether it was configured by env var, by argument or by API call.
 
 Entries are Python pickles: only point the cache at directories you
 trust, exactly as with any pickle-based artifact store.
@@ -338,6 +341,22 @@ def active_disk_cache() -> DiskAnalysisCache | None:
                 except OSError:
                     _active = None
         return _active
+
+
+def active_disk_cache_config() -> tuple[str, int | None] | None:
+    """The active tier's ``(directory, max_bytes)``, or ``None``.
+
+    The worker-configuration hook of the sweep backends
+    (:class:`repro.sweep.backends.WorkerContext`) captures this in the
+    parent and replays it inside every pool worker, so a disk tier set
+    up programmatically via :func:`configure_disk_cache` — invisible to
+    child processes, unlike :data:`ENV_VAR` — is still shared by the
+    whole pool.
+    """
+    cache = active_disk_cache()
+    if cache is None:
+        return None
+    return (str(cache.directory), cache.max_bytes)
 
 
 def reset_disk_cache_state() -> None:

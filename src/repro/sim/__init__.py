@@ -1,10 +1,17 @@
-"""Discrete-event simulation of programmable systolic arrays."""
+"""Discrete-event simulation of programmable systolic arrays.
+
+Ensemble execution (batched and streaming sweeps) lives in the
+:mod:`repro.sweep` package; the names below are re-exported through the
+:mod:`repro.sim.batch` compatibility shim.
+"""
 
 from repro.sim.batch import (
     BatchError,
     CompletedCount,
     DeadlockRateByConfig,
     MakespanHistogram,
+    PerConfigMakespan,
+    QuantileReducer,
     RunSummary,
     SimJob,
     StreamReducer,
@@ -36,6 +43,8 @@ __all__ = [
     "CompletedCount",
     "DeadlockRateByConfig",
     "MakespanHistogram",
+    "PerConfigMakespan",
+    "QuantileReducer",
     "RunSummary",
     "SimJob",
     "StreamReducer",

@@ -1,671 +1,61 @@
-"""Batched ensemble simulation: many programs/configs, one call.
+"""Batched ensemble simulation — compatibility shim over :mod:`repro.sweep`.
 
-Theorem-1 ensembles, policy ablations and queue-provisioning sweeps all
-boil down to "simulate these N (program, config, policy) combinations
-and collect the results". :func:`simulate_many` does that with:
+Everything that used to live in this module (it grew to ~670 lines of
+interleaved job normalization, pool plumbing, reducers and grid
+iteration) now lives in the :mod:`repro.sweep` package, restructured
+around a pluggable execution-backend architecture:
 
-* **deterministic merge order** — results come back in job order no
-  matter how many workers ran them or which finished first;
-* **chunked multiprocessing** — jobs are split into contiguous chunks
-  and farmed to a process pool (``workers > 1``); each worker warms its
-  own analysis cache, so chunking by program keeps the cache hot, and
-  a configured disk tier (:mod:`repro.perf.disk_cache`) is forwarded so
-  workers also share analyses *across* processes and restarts;
-* **graceful degradation** — programs whose compute closures cannot be
-  pickled (e.g. inline lambdas) fall back to in-process execution, where
-  the shared analysis cache still applies.
+* jobs and normalization — :mod:`repro.sweep.jobs`;
+* the provisioning grid — :mod:`repro.sweep.grid`;
+* summary rows — :mod:`repro.sweep.summary`;
+* streaming reducers (now with a ``merge`` contract, t-digest quantiles
+  and per-config makespans) — :mod:`repro.sweep.reducers`;
+* execution backends (``serial`` / ``pool`` / ``shm`` shared-memory
+  arena) — :mod:`repro.sweep.backends`;
+* plans, sessions and the :func:`simulate_many` /
+  :func:`simulate_stream` entry points — :mod:`repro.sweep.plan`.
 
-The in-process path (``workers=1``, the default) is not a consolation
-prize: repeated jobs over the same program hit the content-keyed
-analysis cache (:mod:`repro.perf`), which is where ensemble time went
-historically.
-
-For sweeps too large to hold in memory, :func:`simulate_stream` yields
-one small :class:`RunSummary` row per job — full
-:class:`SimulationResult` objects never accumulate, and never cross the
-pool pipe — while feeding any number of streaming reducers
-(:class:`CompletedCount`, :class:`MakespanHistogram`,
-:class:`DeadlockRateByConfig`) that aggregate with O(1) state.
+This module re-exports the long-standing public names so existing
+imports (``from repro.sim.batch import simulate_many``) keep working
+unchanged; new code should import from :mod:`repro.sweep` directly.
 """
 
 from __future__ import annotations
 
-import pickle
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
-
-from repro.arch.config import ArrayConfig
-from repro.core.program import ArrayProgram
-from repro.errors import ConfigError, ReproError
-from repro.sim.result import SimulationResult
-from repro.sim.runtime import Simulator
-
-
-@dataclass(frozen=True)
-class BatchError:
-    """A job that raised instead of producing a result.
-
-    Returned in place of a :class:`SimulationResult` when
-    :func:`simulate_many` runs with ``on_error="collect"`` — sweeps over
-    queue provisioning legitimately contain infeasible corners (e.g. a
-    static assignment with too few queues) and one such corner must not
-    abort the batch.
-    """
-
-    kind: str
-    error: str
-
-    @property
-    def completed(self) -> bool:
-        return False
-
-
-@dataclass(frozen=True)
-class SimJob:
-    """One simulation to run: program plus run parameters."""
-
-    program: ArrayProgram
-    config: ArrayConfig | None = None
-    policy: str = "ordered"
-    registers: dict[str, dict[str, float | None]] | None = None
-    strict: bool = True
-    max_events: int | None = 5_000_000
-    max_time: int | None = None
-
-    def run(self) -> SimulationResult:
-        """Execute this job in the current process."""
-        sim = Simulator(
-            self.program,
-            config=self.config,
-            policy=self.policy,
-            registers=self.registers,
-            strict=self.strict,
-        )
-        return sim.run(max_events=self.max_events, max_time=self.max_time)
-
-
-def _normalize_jobs(
-    programs: Sequence[ArrayProgram] | Sequence[SimJob],
-    configs: ArrayConfig | Sequence[ArrayConfig | None] | None,
-    policy: str,
-    registers: dict[str, dict[str, float | None]] | None,
-) -> list[SimJob]:
-    jobs: list[SimJob] = []
-    if not programs:
-        return jobs
-    if isinstance(programs[0], SimJob):
-        if configs is not None:
-            raise ConfigError("pass configs inside SimJob objects, not both")
-        for job in programs:
-            if not isinstance(job, SimJob):
-                raise ConfigError("mix of SimJob and ArrayProgram inputs")
-            jobs.append(job)
-        return jobs
-    if configs is None or isinstance(configs, ArrayConfig):
-        config_list: list[ArrayConfig | None] = [configs] * len(programs)
-    else:
-        config_list = list(configs)
-        if len(config_list) != len(programs):
-            raise ConfigError(
-                f"{len(programs)} programs but {len(config_list)} configs"
-            )
-    for program, config in zip(programs, config_list):
-        jobs.append(
-            SimJob(program, config=config, policy=policy, registers=registers)
-        )
-    return jobs
-
-
-def _run_job(job: SimJob, collect_errors: bool) -> SimulationResult | BatchError:
-    if not collect_errors:
-        return job.run()
-    try:
-        return job.run()
-    except ReproError as exc:
-        return BatchError(kind=type(exc).__name__, error=str(exc))
-
-
-def _configure_worker_disk_cache(disk_cache: str | None) -> None:
-    """Point a pool worker at the parent's analysis disk tier."""
-    if disk_cache is not None:
-        from repro.perf.disk_cache import configure_disk_cache
-
-        configure_disk_cache(disk_cache)
-
-
-def _run_chunk(
-    chunk: list[tuple[int, SimJob]],
-    collect_errors: bool = False,
-    disk_cache: str | None = None,
-) -> list[tuple[int, SimulationResult | BatchError]]:
-    """Worker entry point: run a chunk, tagging results with job indices."""
-    _configure_worker_disk_cache(disk_cache)
-    return [(index, _run_job(job, collect_errors)) for index, job in chunk]
-
-
-def _probe_picklable(jobs: Sequence[SimJob]) -> bool:
-    """Whether this batch can cross a pool pipe.
-
-    Only compute closures inside programs can be unpicklable, so probing
-    one job per *distinct program object* covers the batch without
-    serializing every job twice.
-    """
-    seen: set[int] = set()
-    probes: list[SimJob] = []
-    for job in jobs:
-        if id(job.program) not in seen:
-            seen.add(id(job.program))
-            probes.append(job)
-    try:
-        pickle.dumps(probes)
-    except Exception:
-        return False
-    return True
-
-
-def _chunked(
-    indexed: list[tuple[int, SimJob]], chunk_size: int
-) -> list[list[tuple[int, SimJob]]]:
-    return [
-        indexed[start : start + chunk_size]
-        for start in range(0, len(indexed), chunk_size)
-    ]
-
-
-def simulate_many(
-    programs: Sequence[ArrayProgram] | Sequence[SimJob],
-    configs: ArrayConfig | Sequence[ArrayConfig | None] | None = None,
-    *,
-    policy: str = "ordered",
-    registers: dict[str, dict[str, float | None]] | None = None,
-    workers: int = 1,
-    chunk_size: int | None = None,
-    on_error: str = "raise",
-    disk_cache: str | None = None,
-) -> list[SimulationResult | BatchError]:
-    """Simulate every (program, config) job; results in job order.
-
-    Args:
-        programs: the programs to run — or prebuilt :class:`SimJob`
-            objects for full per-job control.
-        configs: ``None`` (defaults per job), one :class:`ArrayConfig`
-            broadcast to every program, or one per program.
-        policy: assignment policy for every job (ignored for ``SimJob``
-            inputs).
-        registers: initial registers for every job (ignored for
-            ``SimJob`` inputs).
-        workers: process count. ``1`` runs in-process (and still reuses
-            the analysis cache across jobs); ``N > 1`` farms chunks to a
-            ``multiprocessing`` pool.
-        chunk_size: jobs per worker task; defaults to an even split that
-            gives each worker ~4 chunks for load balance.
-        on_error: ``"raise"`` propagates the first job error;
-            ``"collect"`` replaces a failed job's result with a
-            :class:`BatchError` so the rest of the batch still runs
-            (infeasible sweep corners are data, not fatal).
-        disk_cache: directory of the persistent analysis tier
-            (:mod:`repro.perf.disk_cache`); configured in this process
-            *and* every pool worker, so analyses computed anywhere are
-            reused everywhere — including across restarts.
-
-    Returns:
-        One :class:`SimulationResult` (or :class:`BatchError` under
-        ``on_error="collect"``) per job, in input order — the merge is
-        deterministic regardless of worker scheduling.
-    """
-    if on_error not in ("raise", "collect"):
-        raise ConfigError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
-    collect_errors = on_error == "collect"
-    _configure_worker_disk_cache(disk_cache)
-    jobs = _normalize_jobs(programs, configs, policy, registers)
-    if not jobs:
-        return []
-    if workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
-    indexed = list(enumerate(jobs))
-    if workers == 1 or len(jobs) == 1 or not _probe_picklable(jobs):
-        # Unpicklable compute closures divert the batch to the
-        # in-process path, where the shared analysis cache still applies.
-        return [_run_job(job, collect_errors) for _index, job in indexed]
-    if chunk_size is None:
-        chunk_size = max(1, -(-len(jobs) // (workers * 4)))
-    chunks = _chunked(indexed, chunk_size)
-    import functools
-    import multiprocessing
-
-    run_chunk = functools.partial(
-        _run_chunk, collect_errors=collect_errors, disk_cache=disk_cache
-    )
-    results: dict[int, SimulationResult | BatchError] = {}
-    with multiprocessing.Pool(processes=workers) as pool:
-        for chunk_result in pool.imap_unordered(run_chunk, chunks):
-            for index, result in chunk_result:
-                results[index] = result
-    return [results[i] for i in range(len(jobs))]
-
-
-# ---------------------------------------------------------------------------
-# Streaming reduction API
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class RunSummary:
-    """One job's outcome, reduced to a flat constant-size row.
-
-    This is what crosses the pool pipe and what reducers see — never the
-    full :class:`SimulationResult` with its traces and register files.
-    """
-
-    index: int
-    completed: bool
-    deadlocked: bool
-    timed_out: bool
-    time: int
-    events: int
-    words: int
-    policy: str
-    queues: int
-    capacity: int
-    error_kind: str | None = None
-    error: str | None = None
-
-    @property
-    def outcome(self) -> str:
-        """``completed`` / ``deadlock`` / ``timeout`` / ``infeasible``."""
-        if self.error_kind is not None:
-            return "infeasible"
-        if self.completed:
-            return "completed"
-        if self.deadlocked:
-            return "deadlock"
-        return "timeout"
-
-
-def summarize_result(
-    index: int, job: SimJob, result: SimulationResult | BatchError
-) -> RunSummary:
-    """Flatten one job's result into a :class:`RunSummary` row."""
-    config = job.config or ArrayConfig()
-    if isinstance(result, BatchError):
-        return RunSummary(
-            index=index,
-            completed=False,
-            deadlocked=False,
-            timed_out=False,
-            time=0,
-            events=0,
-            words=0,
-            policy=job.policy,
-            queues=config.queues_per_link,
-            capacity=config.queue_capacity,
-            error_kind=result.kind,
-            error=result.error,
-        )
-    return RunSummary(
-        index=index,
-        completed=result.completed,
-        deadlocked=result.deadlocked,
-        timed_out=result.timed_out,
-        time=result.time,
-        events=result.events,
-        words=result.words_transferred,
-        policy=job.policy,
-        queues=config.queues_per_link,
-        capacity=config.queue_capacity,
-    )
-
-
-class StreamReducer:
-    """Base class for O(1)-state streaming aggregators.
-
-    Subclasses override :meth:`update` (called once per
-    :class:`RunSummary`, in job order) and :meth:`summary` (a JSON-able
-    dict of the aggregate). ``name`` labels the reducer in CLI output.
-    """
-
-    name = "reducer"
-
-    def update(self, row: RunSummary) -> None:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-    def summary(self) -> dict:  # pragma: no cover - abstract
-        raise NotImplementedError
-
-
-class CompletedCount(StreamReducer):
-    """Counts per outcome: completed / deadlock / timeout / infeasible."""
-
-    name = "outcomes"
-
-    def __init__(self) -> None:
-        self.total = 0
-        self.completed = 0
-        self.deadlocked = 0
-        self.timed_out = 0
-        self.infeasible = 0
-
-    def update(self, row: RunSummary) -> None:
-        self.total += 1
-        if row.error_kind is not None:
-            self.infeasible += 1
-        elif row.completed:
-            self.completed += 1
-        elif row.deadlocked:
-            self.deadlocked += 1
-        else:
-            self.timed_out += 1
-
-    def summary(self) -> dict:
-        return {
-            "total": self.total,
-            "completed": self.completed,
-            "deadlock": self.deadlocked,
-            "timeout": self.timed_out,
-            "infeasible": self.infeasible,
-        }
-
-
-class MakespanHistogram(StreamReducer):
-    """Histogram of completed-run makespans in fixed-width buckets."""
-
-    name = "makespan"
-
-    def __init__(self, bucket_width: int = 16) -> None:
-        if bucket_width < 1:
-            raise ConfigError(f"bucket_width must be >= 1, got {bucket_width}")
-        self.bucket_width = bucket_width
-        self.buckets: dict[int, int] = {}
-        self.count = 0
-        self.total_time = 0
-        self.min_time: int | None = None
-        self.max_time: int | None = None
-
-    def update(self, row: RunSummary) -> None:
-        if not row.completed:
-            return
-        self.count += 1
-        self.total_time += row.time
-        bucket = (row.time // self.bucket_width) * self.bucket_width
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
-        if self.min_time is None or row.time < self.min_time:
-            self.min_time = row.time
-        if self.max_time is None or row.time > self.max_time:
-            self.max_time = row.time
-
-    def summary(self) -> dict:
-        return {
-            "bucket_width": self.bucket_width,
-            "count": self.count,
-            "min": self.min_time,
-            "max": self.max_time,
-            "mean": (self.total_time / self.count) if self.count else None,
-            "histogram": dict(sorted(self.buckets.items())),
-        }
-
-
-class DeadlockRateByConfig(StreamReducer):
-    """Deadlock rate grouped by (policy, queues, capacity).
-
-    Infeasible corners never simulated are excluded from the
-    denominator — the rate answers "of the runs that executed under
-    this config, how many deadlocked".
-    """
-
-    name = "deadlock-rate"
-
-    def __init__(self) -> None:
-        self.groups: dict[tuple[str, int, int], list[int]] = {}
-
-    def update(self, row: RunSummary) -> None:
-        if row.error_kind is not None:
-            return
-        key = (row.policy, row.queues, row.capacity)
-        cell = self.groups.setdefault(key, [0, 0])
-        cell[1] += 1
-        if row.deadlocked:
-            cell[0] += 1
-
-    def summary(self) -> dict:
-        return {
-            f"{policy} q={queues} cap={capacity}": {
-                "deadlocks": deadlocks,
-                "runs": runs,
-                "rate": deadlocks / runs,
-            }
-            for (policy, queues, capacity), (deadlocks, runs) in sorted(
-                self.groups.items()
-            )
-        }
-
-
-def _run_chunk_stream(
-    chunk: list[tuple[int, SimJob]],
-    collect_errors: bool,
-    disk_cache: str | None = None,
-) -> list[RunSummary]:
-    """Worker entry point for streaming: summaries only, never results."""
-    _configure_worker_disk_cache(disk_cache)
-    return [
-        summarize_result(index, job, _run_job(job, collect_errors))
-        for index, job in chunk
-    ]
-
-
-def _iter_chunks(
-    jobs: Iterable[SimJob], chunk_size: int
-) -> Iterator[list[tuple[int, SimJob]]]:
-    chunk: list[tuple[int, SimJob]] = []
-    for index, job in enumerate(jobs):
-        chunk.append((index, job))
-        if len(chunk) >= chunk_size:
-            yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
-
-
-def simulate_stream(
-    jobs: Iterable[SimJob],
-    *,
-    reducers: Sequence[StreamReducer] = (),
-    workers: int = 1,
-    chunk_size: int = 32,
-    on_error: str = "collect",
-    disk_cache: str | None = None,
-) -> Iterator[RunSummary]:
-    """Stream per-job summary rows with O(1) retained state.
-
-    Unlike :func:`simulate_many`, ``jobs`` may be a lazy generator and
-    results are never accumulated: each job is reduced to a
-    :class:`RunSummary` (in the worker, for ``workers > 1``, so full
-    results also never cross the pool pipe), fed through every reducer,
-    and yielded in job order. Peak memory is bounded by
-    ``workers * chunk_size`` in-flight jobs, independent of sweep size.
-
-    Args:
-        jobs: the jobs to run, lazily consumed.
-        reducers: :class:`StreamReducer` instances updated with every
-            row before it is yielded; read their ``summary()`` after the
-            stream is exhausted.
-        workers: process count; ``1`` streams in-process. With a pool,
-            chunks whose programs carry unpicklable compute closures run
-            in-process transparently, preserving order.
-        chunk_size: jobs per worker task.
-        on_error: ``"collect"`` (default) turns failed jobs into
-            ``infeasible`` rows; ``"raise"`` propagates the first error.
-        disk_cache: analysis disk tier forwarded to every worker (see
-            :func:`simulate_many`).
-
-    Yields:
-        One :class:`RunSummary` per job, in job order.
-    """
-    if on_error not in ("raise", "collect"):
-        raise ConfigError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
-    if workers < 1:
-        raise ConfigError(f"workers must be >= 1, got {workers}")
-    if chunk_size < 1:
-        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
-    collect_errors = on_error == "collect"
-    _configure_worker_disk_cache(disk_cache)
-
-    def emit(rows: list[RunSummary]) -> Iterator[RunSummary]:
-        for row in rows:
-            for reducer in reducers:
-                reducer.update(row)
-            yield row
-
-    if workers == 1:
-        for chunk in _iter_chunks(jobs, chunk_size):
-            yield from emit(_run_chunk_stream(chunk, collect_errors))
-        return
-
-    import multiprocessing
-    import weakref
-    from collections import deque
-
-    # Weak identity cache of already-probed programs. Weak references
-    # (checked for identity) make CPython id() reuse harmless: if the
-    # original program was freed, its entry no longer matches and the
-    # new occupant of that address is probed like any other.
-    probed_ok: dict[int, weakref.ref] = {}
-
-    def chunk_picklable(chunk: list[tuple[int, SimJob]]) -> bool:
-        probes = []
-        for _index, job in chunk:
-            known = probed_ok.get(id(job.program))
-            if known is None or known() is not job.program:
-                probes.append(job)
-        if probes:
-            try:
-                pickle.dumps(probes)
-            except Exception:
-                return False
-            if len(probed_ok) >= 1024:
-                # Keep the cache O(live programs): drop entries whose
-                # program has been freed (an endless stream of distinct
-                # programs would otherwise grow it without bound).
-                for key in [k for k, ref in probed_ok.items() if ref() is None]:
-                    del probed_ok[key]
-            for job in probes:
-                try:
-                    probed_ok[id(job.program)] = weakref.ref(job.program)
-                except TypeError:  # pragma: no cover - unweakrefable program
-                    pass
-        return True
-
-    # Windowed apply_async keeps ordering exact and memory bounded:
-    # at most `max_pending` chunks are in flight, and a chunk that
-    # cannot cross the pipe is simply computed here and slotted into the
-    # same window position.
-    max_pending = workers * 2
-    with multiprocessing.Pool(processes=workers) as pool:
-        window: deque = deque()
-
-        def drain_one() -> Iterator[RunSummary]:
-            pending = window.popleft()
-            rows = pending.get() if hasattr(pending, "get") else pending
-            yield from emit(rows)
-
-        for chunk in _iter_chunks(jobs, chunk_size):
-            if chunk_picklable(chunk):
-                window.append(
-                    pool.apply_async(
-                        _run_chunk_stream,
-                        (chunk, collect_errors),
-                        {"disk_cache": disk_cache},
-                    )
-                )
-            else:
-                window.append(_run_chunk_stream(chunk, collect_errors))
-            while len(window) >= max_pending:
-                yield from drain_one()
-        while window:
-            yield from drain_one()
-
-
-def _sweep_grid(
-    policies: Sequence[str],
-    queues: Sequence[int],
-    capacities: Sequence[int],
-    repeat: int,
-):
-    """The one canonical (policy, queues, capacity, label) iteration.
-
-    Both :func:`sweep_jobs` and :func:`sweep_labels` derive from this
-    grid, so their positional alignment cannot drift.
-    """
-    for pol in policies:
-        for nq in queues:
-            for cap in capacities:
-                for rep in range(repeat):
-                    suffix = f" #{rep + 1}" if repeat > 1 else ""
-                    yield pol, nq, cap, f"{pol} q={nq} cap={cap}{suffix}"
-
-
-def iter_sweep_jobs(
-    program: ArrayProgram,
-    policies: Sequence[str] = ("ordered",),
-    queues: Sequence[int] = (1,),
-    capacities: Sequence[int] = (0,),
-    registers: dict[str, dict[str, float | None]] | None = None,
-    repeat: int = 1,
-) -> Iterator[SimJob]:
-    """Lazily generate the (policy x queues x capacity) x repeat sweep.
-
-    The generator form feeds :func:`simulate_stream` without ever
-    holding the whole sweep in memory.
-    """
-    for pol, nq, cap, _label in _sweep_grid(policies, queues, capacities, repeat):
-        yield SimJob(
-            program,
-            config=ArrayConfig(queues_per_link=nq, queue_capacity=cap),
-            policy=pol,
-            registers=registers,
-        )
-
-
-def iter_sweep_labels(
-    policies: Sequence[str] = ("ordered",),
-    queues: Sequence[int] = (1,),
-    capacities: Sequence[int] = (0,),
-    repeat: int = 1,
-) -> Iterator[str]:
-    """Lazy labels aligned with :func:`iter_sweep_jobs` order."""
-    for _pol, _nq, _cap, label in _sweep_grid(policies, queues, capacities, repeat):
-        yield label
-
-
-def sweep_jobs(
-    program: ArrayProgram,
-    policies: Sequence[str] = ("ordered",),
-    queues: Sequence[int] = (1,),
-    capacities: Sequence[int] = (0,),
-    registers: dict[str, dict[str, float | None]] | None = None,
-    repeat: int = 1,
-) -> list[SimJob]:
-    """The cartesian sweep (policy x queues x capacity) x repeat as jobs."""
-    return list(
-        iter_sweep_jobs(
-            program,
-            policies=policies,
-            queues=queues,
-            capacities=capacities,
-            registers=registers,
-            repeat=repeat,
-        )
-    )
-
-
-def sweep_labels(
-    policies: Sequence[str] = ("ordered",),
-    queues: Sequence[int] = (1,),
-    capacities: Sequence[int] = (0,),
-    repeat: int = 1,
-) -> list[str]:
-    """Human-readable labels aligned with :func:`sweep_jobs` order."""
-    return list(
-        iter_sweep_labels(
-            policies=policies, queues=queues, capacities=capacities, repeat=repeat
-        )
-    )
+from repro.sweep import (
+    BatchError,
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    PerConfigMakespan,
+    QuantileReducer,
+    RunSummary,
+    SimJob,
+    StreamReducer,
+    iter_sweep_jobs,
+    iter_sweep_labels,
+    simulate_many,
+    simulate_stream,
+    summarize_result,
+    sweep_jobs,
+    sweep_labels,
+)
+
+__all__ = [
+    "BatchError",
+    "CompletedCount",
+    "DeadlockRateByConfig",
+    "MakespanHistogram",
+    "PerConfigMakespan",
+    "QuantileReducer",
+    "RunSummary",
+    "SimJob",
+    "StreamReducer",
+    "iter_sweep_jobs",
+    "iter_sweep_labels",
+    "simulate_many",
+    "simulate_stream",
+    "summarize_result",
+    "sweep_jobs",
+    "sweep_labels",
+]

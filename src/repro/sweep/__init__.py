@@ -1,0 +1,161 @@
+"""Pluggable sweep execution: ensemble simulation at provisioning scale.
+
+The paper's provisioning question — how many queues and how much
+buffering does a link need before a program class deadlocks (Sections
+2.3 and 8) — is answered here by *sweeps*: thousands to millions of
+(program, config, policy) simulations whose outcomes aggregate into
+deadlock rates, makespan distributions and tail quantiles. This package
+is the execution subsystem for those sweeps, split along three axes:
+
+* **what to run** — :class:`~repro.sweep.jobs.SimJob` (one simulation),
+  :func:`~repro.sweep.grid.sweep_jobs` /
+  :func:`~repro.sweep.grid.iter_sweep_jobs` (the canonical
+  policy x queues x capacity grid with aligned labels);
+* **how to run it** — an execution *backend*
+  (:mod:`repro.sweep.backends`), chosen per
+  :class:`~repro.sweep.plan.SweepPlan` and driven by a
+  :class:`~repro.sweep.plan.SweepSession`;
+* **what to keep** — flat :class:`~repro.sweep.summary.RunSummary` rows
+  (one per job, constant size), streaming reducers
+  (:mod:`repro.sweep.reducers`) with an exact ``merge`` contract, and
+  on-demand full results via :class:`~repro.sweep.plan.ResultHandle`.
+
+The backend contract
+--------------------
+
+A backend (see :class:`repro.sweep.backends.ExecutionBackend`) maps an
+iterable of jobs to an *ordered* stream of ``(index, row, result)``
+records:
+
+* records arrive in job order, whatever the worker scheduling;
+* ``row`` — the job's :class:`~repro.sweep.summary.RunSummary` — must
+  be **byte-identical across backends** for the same job list; the
+  transport (pipe, shared memory) may differ, the row may not;
+* ``result`` is the full simulation result when the backend
+  materializes results eagerly, else ``None`` and the session hydrates
+  on demand (deterministic in-parent re-execution);
+* worker processes apply the session's
+  :class:`~repro.sweep.backends.WorkerContext` (today: the persistent
+  analysis disk tier) before running jobs.
+
+Built-in backends:
+
+======== ==============================================================
+serial   In-process, in order. The reference implementation: every
+         other backend's rows are differential-tested against it.
+pool     Chunked ``multiprocessing.Pool`` with a bounded, ordered
+         ``apply_async`` window. Full results (when requested) are
+         pickled back through the pool pipe — exact, but pipe-bound for
+         large full-result sweeps.
+shm      Workers encode rows into a ``multiprocessing.shared_memory``
+         arena; only string-overflow rows (pathological error
+         messages) ride the pipe. Full results are never shipped:
+         handles re-execute on demand. The backend for sweeps where
+         shipping every full result is the bottleneck.
+======== ==============================================================
+
+The arena layout
+----------------
+
+The ``shm`` backend's arena is ``n_jobs`` fixed-width slots of
+:data:`~repro.sweep.arena.ROW_SIZE` (256) bytes, one per job, written by
+whichever worker ran that job (slots are disjoint — no locks) and
+decoded directly by the parent::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------
+         0     1  flags (WRITTEN | COMPLETED | DEADLOCKED |
+                  TIMED_OUT | HAS_KIND | HAS_ERROR)
+         1     8  time       (int64)        9     8  events (int64)
+        17     8  words      (int64)       25     4  queues (int32)
+        29     4  capacity   (int32)
+        33  1+23  policy     (len byte + utf-8, max 23 bytes)
+        57  1+31  error_kind (len byte + utf-8, max 31 bytes)
+        89  2+165 error      (len u16 + utf-8, max 165 bytes)
+
+Strings that exceed their field fall back to the pipe (never truncated);
+an unwritten slot raises on decode instead of reading as a row of
+zeros. See :mod:`repro.sweep.arena`.
+
+Reducers and quantiles
+----------------------
+
+Reducers (:class:`~repro.sweep.reducers.StreamReducer`) fold rows into
+O(1)-state aggregates in the parent, in job order — outcome counts,
+makespan histograms, deadlock rate by config, per-config makespan
+statistics, and t-digest makespan quantiles
+(:class:`~repro.sweep.reducers.QuantileReducer`, the ``repro sweep
+--quantiles p50,p95,p99`` answer to "what tail latency does this
+provisioning buy"). Every reducer supports ``merge(other)`` so shards
+of a sweep reduced independently — other processes, other machines —
+combine exactly (within digest rank error for quantiles).
+"""
+
+from repro.sweep.arena import ROW_SIZE, SummaryArena
+from repro.sweep.backends import (
+    ExecutionBackend,
+    JobRecord,
+    WorkerContext,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.sweep.grid import (
+    iter_sweep_jobs,
+    iter_sweep_labels,
+    sweep_jobs,
+    sweep_labels,
+)
+from repro.sweep.jobs import BatchError, SimJob
+from repro.sweep.plan import (
+    ResultHandle,
+    SweepOutcome,
+    SweepPlan,
+    SweepSession,
+    simulate_many,
+    simulate_stream,
+)
+from repro.sweep.reducers import (
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    PerConfigMakespan,
+    QuantileReducer,
+    StreamReducer,
+    merge_reducers,
+    parse_quantiles,
+)
+from repro.sweep.summary import RunSummary, summarize_result
+
+__all__ = [
+    "BatchError",
+    "CompletedCount",
+    "DeadlockRateByConfig",
+    "ExecutionBackend",
+    "JobRecord",
+    "MakespanHistogram",
+    "PerConfigMakespan",
+    "QuantileReducer",
+    "ROW_SIZE",
+    "ResultHandle",
+    "RunSummary",
+    "SimJob",
+    "StreamReducer",
+    "SummaryArena",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepSession",
+    "WorkerContext",
+    "available_backends",
+    "get_backend",
+    "iter_sweep_jobs",
+    "iter_sweep_labels",
+    "merge_reducers",
+    "parse_quantiles",
+    "register_backend",
+    "simulate_many",
+    "simulate_stream",
+    "summarize_result",
+    "sweep_jobs",
+    "sweep_labels",
+]

@@ -1,0 +1,215 @@
+"""Fixed-width RunSummary rows in a shared-memory arena.
+
+The ``shm`` execution backend allocates one
+:class:`multiprocessing.shared_memory.SharedMemory` segment sized
+``n_jobs * ROW_SIZE`` bytes. Workers encode each finished job's
+:class:`~repro.sweep.summary.RunSummary` directly into the slot indexed
+by the job's position — slots are disjoint per job, so no locking is
+needed — and the parent decodes rows straight out of the mapping,
+eliminating the per-result pickle round-trip through the pool pipe.
+
+Row layout (little-endian, :data:`ROW_SIZE` = 256 bytes per slot)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------
+         0     1  flags (WRITTEN | COMPLETED | DEADLOCKED |
+                  TIMED_OUT | HAS_KIND | HAS_ERROR)
+         1     8  time       (int64)
+         9     8  events     (int64)
+        17     8  words      (int64)
+        25     4  queues     (int32)
+        29     4  capacity   (int32)
+        33     1  policy length      34..56   policy (utf-8)
+        57     1  error_kind length  58..88   error_kind (utf-8)
+        89     2  error length       91..255  error (utf-8)
+
+The job index is implicit in the slot position. Strings longer than
+their fixed field (a pathological error message, an exotic policy name)
+make :func:`encode_row` return ``False`` — the worker then falls back to
+shipping that one row through the pool pipe, so arena rows are always
+*byte-identical* to what the serial backend produces, never truncated.
+A missing ``WRITTEN`` flag on decode raises: a slot that was never
+filled is a bug (a crashed worker), not a row of zeros.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+from repro.errors import ReproError
+from repro.sweep.summary import RunSummary
+
+#: Per-string byte budgets (utf-8 encoded).
+POLICY_CAP = 23
+KIND_CAP = 31
+ERROR_CAP = 165
+
+_ROW = struct.Struct(
+    f"<Bqqqii B{POLICY_CAP}s B{KIND_CAP}s H{ERROR_CAP}s"
+)
+#: Bytes per arena slot.
+ROW_SIZE = _ROW.size
+
+_WRITTEN = 1
+_COMPLETED = 2
+_DEADLOCKED = 4
+_TIMED_OUT = 8
+_HAS_KIND = 16
+_HAS_ERROR = 32
+
+#: int64 / int32 bounds a row's counters must fit (they always do in
+#: practice: times and event counts are simulation-bounded).
+_I64 = 1 << 63
+_I32 = 1 << 31
+
+
+def encode_row(buf, slot: int, row: RunSummary) -> bool:
+    """Encode ``row`` into ``buf`` at ``slot``; False if it cannot fit."""
+    policy = row.policy.encode()
+    kind = (row.error_kind or "").encode()
+    error = (row.error or "").encode()
+    if len(policy) > POLICY_CAP or len(kind) > KIND_CAP or len(error) > ERROR_CAP:
+        return False
+    if not (
+        -_I64 <= row.time < _I64
+        and -_I64 <= row.events < _I64
+        and -_I64 <= row.words < _I64
+        and -_I32 <= row.queues < _I32
+        and -_I32 <= row.capacity < _I32
+    ):
+        return False
+    flags = _WRITTEN
+    if row.completed:
+        flags |= _COMPLETED
+    if row.deadlocked:
+        flags |= _DEADLOCKED
+    if row.timed_out:
+        flags |= _TIMED_OUT
+    if row.error_kind is not None:
+        flags |= _HAS_KIND
+    if row.error is not None:
+        flags |= _HAS_ERROR
+    _ROW.pack_into(
+        buf,
+        slot * ROW_SIZE,
+        flags,
+        row.time,
+        row.events,
+        row.words,
+        row.queues,
+        row.capacity,
+        len(policy),
+        policy,
+        len(kind),
+        kind,
+        len(error),
+        error,
+    )
+    return True
+
+
+def decode_row(buf, slot: int, index: int) -> RunSummary:
+    """Decode the row at ``slot`` back into a :class:`RunSummary`."""
+    (
+        flags,
+        time,
+        events,
+        words,
+        queues,
+        capacity,
+        policy_len,
+        policy,
+        kind_len,
+        kind,
+        error_len,
+        error,
+    ) = _ROW.unpack_from(buf, slot * ROW_SIZE)
+    if not flags & _WRITTEN:
+        raise ReproError(
+            f"shm arena slot {slot} was never written (worker died?)"
+        )
+    return RunSummary(
+        index=index,
+        completed=bool(flags & _COMPLETED),
+        deadlocked=bool(flags & _DEADLOCKED),
+        timed_out=bool(flags & _TIMED_OUT),
+        time=time,
+        events=events,
+        words=words,
+        policy=policy[:policy_len].decode(),
+        queues=queues,
+        capacity=capacity,
+        error_kind=kind[:kind_len].decode() if flags & _HAS_KIND else None,
+        error=error[:error_len].decode() if flags & _HAS_ERROR else None,
+    )
+
+
+class SummaryArena:
+    """One shared-memory segment of ``n_rows`` fixed-width summary slots."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, n_rows: int, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.n_rows = n_rows
+        self._owner = owner
+
+    @classmethod
+    def create(cls, n_rows: int) -> "SummaryArena":
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, n_rows) * ROW_SIZE
+        )
+        return cls(shm, n_rows, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n_rows: int) -> "SummaryArena":
+        return cls(
+            shared_memory.SharedMemory(name=name), n_rows, owner=False
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.n_rows:
+            raise ReproError(
+                f"arena slot {slot} out of range [0, {self.n_rows})"
+            )
+
+    def write_row(self, slot: int, row: RunSummary) -> bool:
+        """Encode ``row`` at ``slot``; False when its strings overflow."""
+        self._check(slot)
+        return encode_row(self._shm.buf, slot, row)
+
+    def read_row(self, slot: int, index: int | None = None) -> RunSummary:
+        """Decode the row at ``slot`` (``index`` defaults to the slot)."""
+        self._check(slot)
+        return decode_row(self._shm.buf, slot, slot if index is None else index)
+
+    def close(self) -> None:
+        """Unmap the segment in this process.
+
+        Worker-side attachments register the segment name with the
+        resource tracker exactly like the owner did; the tracker's
+        cache is a per-name set shared (via fork) by the whole pool, so
+        those duplicate registrations coalesce and the owner's
+        :meth:`unlink` clears the single entry. Do NOT unregister here:
+        that would delete the owner's registration out from under it
+        and forfeit crash cleanup.
+        """
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only, after every worker closed)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SummaryArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

@@ -1,0 +1,144 @@
+"""Execution backends: how a sweep's jobs actually run.
+
+The backend contract
+--------------------
+
+A backend turns an iterable of :class:`~repro.sweep.jobs.SimJob` into an
+ordered stream of :class:`JobRecord` triples ``(index, row, result)``:
+
+* records MUST be yielded in job order (index 0, 1, 2, ...);
+* ``row`` is the job's :class:`~repro.sweep.summary.RunSummary` and MUST
+  be byte-identical across backends for the same job list — backends
+  may move rows through any transport (pipe, shared memory) but never
+  alter them;
+* ``result`` is the full :class:`~repro.sim.result.SimulationResult`
+  (or :class:`~repro.sweep.jobs.BatchError`) when ``want_results`` is
+  set *and* the backend materializes results eagerly, else ``None`` —
+  the session then hydrates on demand through a
+  :class:`~repro.sweep.plan.ResultHandle`;
+* with ``collect_errors`` unset, the first failing job's exception MUST
+  propagate to the consumer (no silent loss);
+* worker processes MUST apply the :class:`WorkerContext` before running
+  jobs, so per-process state (today: the analysis disk-cache tier)
+  matches the parent.
+
+Backends register under a short name (``serial``, ``pool``, ``shm``)
+via :func:`register_backend`; :func:`get_backend` resolves names for
+:class:`~repro.sweep.plan.SweepSession`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+
+from repro.errors import ConfigError
+from repro.sweep.jobs import BatchError, SimJob
+from repro.sweep.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.result import SimulationResult
+
+
+class JobRecord(NamedTuple):
+    """One finished job: its index, summary row and optional payload."""
+
+    index: int
+    row: RunSummary
+    result: "SimulationResult | BatchError | None"
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Per-process configuration a backend replays inside its workers.
+
+    This is the worker-configuration hook that used to be a hard-coded
+    ``disk_cache`` parameter threaded through ``simulate_many``: the
+    session captures it once, every backend applies it in each worker
+    (and in the parent), and future per-process knobs extend this
+    dataclass instead of every backend's signature.
+    """
+
+    disk_cache: str | None = None
+    disk_cache_max_bytes: int | None = None
+
+    @classmethod
+    def capture(cls, disk_cache: str | None = None) -> "WorkerContext":
+        """Snapshot the parent's per-process configuration.
+
+        An explicit ``disk_cache`` wins; otherwise a programmatically
+        configured disk tier (:func:`repro.perf.disk_cache.
+        configure_disk_cache`) is forwarded so pool workers share it.
+        Env-var-only configuration needs no forwarding — workers inherit
+        the environment and resolve it themselves.
+        """
+        if disk_cache is not None:
+            return cls(disk_cache=disk_cache)
+        from repro.perf.disk_cache import active_disk_cache_config
+
+        active = active_disk_cache_config()
+        if active is None:
+            return cls()
+        directory, max_bytes = active
+        return cls(disk_cache=directory, disk_cache_max_bytes=max_bytes)
+
+    def apply(self) -> None:
+        """Apply this configuration in the current process."""
+        if self.disk_cache is not None:
+            from repro.perf.disk_cache import configure_disk_cache
+
+            configure_disk_cache(
+                self.disk_cache, max_bytes=self.disk_cache_max_bytes
+            )
+
+
+class ExecutionBackend:
+    """Base class every execution backend implements."""
+
+    name = "backend"
+
+    def execute(
+        self,
+        jobs: Iterable[SimJob],
+        *,
+        want_results: bool,
+        collect_errors: bool,
+        workers: int,
+        chunk_size: int,
+        ctx: WorkerContext,
+    ) -> Iterator[JobRecord]:  # pragma: no cover - abstract
+        """Run every job; yield :class:`JobRecord` in job order."""
+        raise NotImplementedError
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator: register ``cls`` under its ``name``."""
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _load_builtins()
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``."""
+    _load_builtins()
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ConfigError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+    return cls()
+
+
+def _load_builtins() -> None:
+    # Importing the modules runs their @register_backend decorators.
+    from repro.sweep.backends import pool, serial, shm  # noqa: F401

@@ -1,0 +1,43 @@
+"""In-process execution: the reference backend.
+
+Not a consolation prize: repeated jobs over the same program hit the
+content-keyed analysis cache (:mod:`repro.perf`), which is where
+ensemble time went historically. Every other backend's rows must match
+this one byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.sweep.backends import (
+    ExecutionBackend,
+    JobRecord,
+    WorkerContext,
+    register_backend,
+)
+from repro.sweep.jobs import SimJob, run_job
+from repro.sweep.summary import summarize_result
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    """Run every job in the current process, in order."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        jobs: Iterable[SimJob],
+        *,
+        want_results: bool,
+        collect_errors: bool,
+        workers: int,
+        chunk_size: int,
+        ctx: WorkerContext,
+    ) -> Iterator[JobRecord]:
+        ctx.apply()
+        for index, job in enumerate(jobs):
+            result = run_job(job, collect_errors)
+            row = summarize_result(index, job, result)
+            yield JobRecord(index, row, result if want_results else None)

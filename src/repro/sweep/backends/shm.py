@@ -1,0 +1,140 @@
+"""Shared-memory execution: summary rows never cross the pool pipe.
+
+The pipe-bound regime this backend exists for: a full-result sweep over
+many jobs, where the pool backend pickles every
+:class:`~repro.sim.result.SimulationResult` (traces, register files,
+queue stats — tens of kilobytes each) through the pool pipe and the
+parent deserializes all of them again. Here the parent instead allocates
+a :class:`~repro.sweep.arena.SummaryArena` of fixed-width rows, workers
+encode each finished job's :class:`~repro.sweep.summary.RunSummary`
+directly into the job's slot (disjoint slots, no locking), and the only
+thing a chunk returns through the pipe is its list of *overflow* rows —
+rows whose strings exceed the arena's fixed fields, empty in practice.
+
+Full results are never materialized by this backend: the session wraps
+each row in a :class:`~repro.sweep.plan.ResultHandle` that re-executes
+the (deterministic) job in the parent on first access, against a warm
+analysis cache. A million-run sweep therefore costs one 256-byte slot
+per run plus the handful of full hydrations actually inspected.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.sweep.arena import SummaryArena
+from repro.sweep.backends import (
+    ExecutionBackend,
+    JobRecord,
+    WorkerContext,
+    register_backend,
+)
+from repro.sweep.backends.pool import _PicklabilityCache
+from repro.sweep.jobs import SimJob, iter_chunks, run_job
+from repro.sweep.summary import RunSummary, summarize_result
+
+
+def _fill_arena(
+    arena: SummaryArena,
+    chunk: list[tuple[int, SimJob]],
+    collect_errors: bool,
+) -> list[tuple[int, RunSummary]]:
+    """Run a chunk, writing rows into ``arena``; return the overflow."""
+    overflow: list[tuple[int, RunSummary]] = []
+    for index, job in chunk:
+        row = summarize_result(index, job, run_job(job, collect_errors))
+        if not arena.write_row(index, row):
+            overflow.append((index, row))
+    return overflow
+
+
+def _run_chunk_shm(
+    chunk: list[tuple[int, SimJob]],
+    arena_name: str,
+    n_rows: int,
+    collect_errors: bool,
+    ctx: WorkerContext,
+) -> list[tuple[int, RunSummary]]:
+    """Worker entry point: rows go to the arena, overflow to the pipe."""
+    ctx.apply()
+    arena = SummaryArena.attach(arena_name, n_rows)
+    try:
+        return _fill_arena(arena, chunk, collect_errors)
+    finally:
+        arena.close()
+
+
+@register_backend
+class ShmBackend(ExecutionBackend):
+    """Workers write rows into a shared arena; the pipe carries overflow."""
+
+    name = "shm"
+
+    def execute(
+        self,
+        jobs: Iterable[SimJob],
+        *,
+        want_results: bool,
+        collect_errors: bool,
+        workers: int,
+        chunk_size: int,
+        ctx: WorkerContext,
+    ) -> Iterator[JobRecord]:
+        # The arena is sized up front, so the job list must materialize;
+        # peak memory is the jobs themselves plus ROW_SIZE bytes per job
+        # (full results never accumulate regardless of sweep size).
+        job_list = list(jobs)
+        n = len(job_list)
+        if n == 0:
+            return
+        probe = _PicklabilityCache()
+        arena = SummaryArena.create(n)
+        try:
+            run_chunk = functools.partial(
+                _run_chunk_shm,
+                arena_name=arena.name,
+                n_rows=n,
+                collect_errors=collect_errors,
+                ctx=ctx,
+            )
+            def run_chunk_local(
+                chunk: list[tuple[int, SimJob]]
+            ) -> list[tuple[int, RunSummary]]:
+                # In-process fallback for unpicklable chunks: write
+                # through the owning arena handle directly (attaching a
+                # second handle would confuse the resource tracker).
+                return _fill_arena(arena, chunk, collect_errors)
+
+            max_pending = workers * 2
+            with multiprocessing.Pool(processes=workers) as pool:
+                window: deque = deque()
+
+                def drain_one() -> Iterator[JobRecord]:
+                    chunk, pending = window.popleft()
+                    overflow = (
+                        pending.get() if hasattr(pending, "get") else pending
+                    )
+                    spilled = dict(overflow)
+                    for index, _job in chunk:
+                        row = spilled.get(index)
+                        if row is None:
+                            row = arena.read_row(index)
+                        yield JobRecord(index, row, None)
+
+                for chunk in iter_chunks(job_list, chunk_size):
+                    if probe.chunk_picklable(chunk):
+                        window.append(
+                            (chunk, pool.apply_async(run_chunk, (chunk,)))
+                        )
+                    else:
+                        window.append((chunk, run_chunk_local(chunk)))
+                    while len(window) >= max_pending:
+                        yield from drain_one()
+                while window:
+                    yield from drain_one()
+        finally:
+            arena.close()
+            arena.unlink()

@@ -1,0 +1,136 @@
+"""Sweep jobs: the unit of work every execution backend runs.
+
+A :class:`SimJob` is one simulation to execute — program, config,
+policy, registers, limits. :func:`normalize_jobs` turns the
+``simulate_many`` input shapes (programs + broadcast config, per-program
+configs, or prebuilt jobs) into a flat job list; :func:`run_job` executes
+one job, optionally trapping :class:`~repro.errors.ReproError` into a
+:class:`BatchError` so infeasible sweep corners stay data instead of
+aborting the batch. Chunking lives here too because every multiprocess
+backend needs it (per-chunk picklability probing is the pool backend's
+own concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.arch.config import ArrayConfig
+from repro.errors import ConfigError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
+    from repro.core.program import ArrayProgram
+    from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """A job that raised instead of producing a result.
+
+    Returned in place of a :class:`~repro.sim.result.SimulationResult`
+    when a sweep runs with ``on_error="collect"`` — sweeps over queue
+    provisioning legitimately contain infeasible corners (e.g. a static
+    assignment with too few queues) and one such corner must not abort
+    the batch.
+    """
+
+    kind: str
+    error: str
+
+    @property
+    def completed(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to run: program plus run parameters."""
+
+    program: "ArrayProgram"
+    config: ArrayConfig | None = None
+    policy: str = "ordered"
+    registers: dict[str, dict[str, float | None]] | None = None
+    strict: bool = True
+    max_events: int | None = 5_000_000
+    max_time: int | None = None
+
+    def run(self) -> "SimulationResult":
+        """Execute this job in the current process."""
+        # Imported lazily: repro.sim imports this package at module
+        # scope (through the repro.sim.batch compatibility shim), so a
+        # top-level import here would be circular.
+        from repro.sim.runtime import Simulator
+
+        sim = Simulator(
+            self.program,
+            config=self.config,
+            policy=self.policy,
+            registers=self.registers,
+            strict=self.strict,
+        )
+        return sim.run(max_events=self.max_events, max_time=self.max_time)
+
+
+def normalize_jobs(
+    programs: "Sequence[ArrayProgram] | Sequence[SimJob]",
+    configs: ArrayConfig | Sequence[ArrayConfig | None] | None,
+    policy: str,
+    registers: dict[str, dict[str, float | None]] | None,
+) -> list[SimJob]:
+    """Flatten the ``simulate_many`` input shapes into a job list."""
+    jobs: list[SimJob] = []
+    if not programs:
+        return jobs
+    if isinstance(programs[0], SimJob):
+        if configs is not None:
+            raise ConfigError("pass configs inside SimJob objects, not both")
+        for job in programs:
+            if not isinstance(job, SimJob):
+                raise ConfigError("mix of SimJob and ArrayProgram inputs")
+            jobs.append(job)
+        return jobs
+    if configs is None or isinstance(configs, ArrayConfig):
+        config_list: list[ArrayConfig | None] = [configs] * len(programs)
+    else:
+        config_list = list(configs)
+        if len(config_list) != len(programs):
+            raise ConfigError(
+                f"{len(programs)} programs but {len(config_list)} configs"
+            )
+    for program, config in zip(programs, config_list):
+        jobs.append(
+            SimJob(program, config=config, policy=policy, registers=registers)
+        )
+    return jobs
+
+
+def run_job(
+    job: SimJob, collect_errors: bool
+) -> "SimulationResult | BatchError":
+    """Execute ``job``; with ``collect_errors`` trap failures as data."""
+    if not collect_errors:
+        return job.run()
+    try:
+        return job.run()
+    except ReproError as exc:
+        return BatchError(kind=type(exc).__name__, error=str(exc))
+
+
+def default_chunk_size(n_jobs: int, workers: int) -> int:
+    """An even split that gives each worker ~4 chunks for load balance."""
+    return max(1, -(-n_jobs // (workers * 4)))
+
+
+def iter_chunks(
+    jobs: Iterable[SimJob], chunk_size: int, start: int = 0
+) -> Iterator[list[tuple[int, SimJob]]]:
+    """Lazily split ``jobs`` into ``chunk_size``-sized indexed chunks."""
+    chunk: list[tuple[int, SimJob]] = []
+    for index, job in enumerate(jobs, start):
+        chunk.append((index, job))
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -1,0 +1,370 @@
+"""Sweep plans and sessions: declare what to run, pick how to run it.
+
+A :class:`SweepPlan` is a declarative bundle — jobs, optional grid
+labels, streaming reducers, backend choice and execution knobs. A
+:class:`SweepSession` validates it, resolves the execution backend and
+runs it in one of two shapes:
+
+* :meth:`SweepSession.stream` — lazily yield one
+  :class:`~repro.sweep.summary.RunSummary` per job, in job order,
+  feeding every reducer along the way. Full results never accumulate.
+* :meth:`SweepSession.run` — eagerly execute everything and return a
+  :class:`SweepOutcome` whose :class:`ResultHandle` objects expose the
+  full per-job results: materialized in place for the serial and pool
+  backends, hydrated on demand (a deterministic in-parent re-execution
+  against the warm analysis cache) for the ``shm`` backend.
+
+Reducers are always folded in the parent, in job order, so their
+summaries are byte-identical no matter which backend ran the jobs; the
+reducers' ``merge`` contract additionally lets *separate* sessions — a
+sweep sharded over machines or sessions — combine their aggregates.
+
+:func:`simulate_many` and :func:`simulate_stream` are the long-standing
+public entry points, now thin shims over a plan + session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.errors import ConfigError
+from repro.sweep.backends import (
+    ExecutionBackend,
+    WorkerContext,
+    get_backend,
+)
+from repro.sweep.jobs import (
+    BatchError,
+    SimJob,
+    default_chunk_size,
+    normalize_jobs,
+    run_job,
+)
+from repro.sweep.reducers import StreamReducer
+from repro.sweep.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.program import ArrayProgram
+    from repro.arch.config import ArrayConfig
+    from repro.sim.result import SimulationResult
+
+_VALID_ON_ERROR = ("raise", "collect")
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Everything a sweep needs: jobs, labels, reducers, backend, knobs.
+
+    ``jobs`` may be any iterable (a lazy generator feeds
+    :meth:`SweepSession.stream` without materializing; the ``shm``
+    backend and :meth:`SweepSession.run` materialize it). ``backend``
+    ``None`` resolves to ``serial`` for ``workers == 1`` and ``pool``
+    otherwise.
+    """
+
+    jobs: Iterable[SimJob]
+    labels: Sequence[str] | None = None
+    reducers: Sequence[StreamReducer] = ()
+    backend: str | None = None
+    workers: int = 1
+    chunk_size: int | None = None
+    on_error: str = "collect"
+    disk_cache: str | None = None
+
+
+_UNSET = object()
+
+
+class ResultHandle:
+    """One job's full result, materialized or hydratable on demand.
+
+    ``summary`` is always present (the flat
+    :class:`~repro.sweep.summary.RunSummary` row). :meth:`result`
+    returns the full :class:`~repro.sim.result.SimulationResult` (or
+    :class:`~repro.sweep.jobs.BatchError`): backends that shipped the
+    full result hand it over directly; the ``shm`` backend instead
+    re-executes the job in-parent on first access — simulations are
+    deterministic and the analysis cache is warm, so hydration is exact
+    and cheap relative to ever having pickled the result through a pipe.
+    """
+
+    __slots__ = ("summary", "label", "_job", "_collect_errors", "_result")
+
+    def __init__(
+        self,
+        summary: RunSummary,
+        job: SimJob,
+        collect_errors: bool,
+        result: "SimulationResult | BatchError | None | object" = _UNSET,
+        label: str | None = None,
+    ) -> None:
+        self.summary = summary
+        self.label = label
+        self._job = job
+        self._collect_errors = collect_errors
+        self._result = result
+
+    @property
+    def hydrated(self) -> bool:
+        """Whether :meth:`result` already holds a materialized result."""
+        return self._result is not _UNSET
+
+    def result(self) -> "SimulationResult | BatchError":
+        """The full result, re-executing the job on first access."""
+        if self._result is _UNSET:
+            self._result = run_job(self._job, self._collect_errors)
+        return self._result
+
+
+@dataclass
+class SweepOutcome:
+    """An eagerly executed sweep: rows, result handles, fed reducers."""
+
+    rows: list[RunSummary]
+    handles: list[ResultHandle]
+    reducers: tuple[StreamReducer, ...]
+    labels: list[str] | None = None
+
+    def results(self) -> "list[SimulationResult | BatchError]":
+        """Every job's full result, hydrating where necessary."""
+        return [handle.result() for handle in self.handles]
+
+    def reducer_summaries(self) -> dict[str, dict]:
+        """``{reducer.name: reducer.summary()}`` for every reducer."""
+        return {reducer.name: reducer.summary() for reducer in self.reducers}
+
+
+class SweepSession:
+    """Validates a :class:`SweepPlan` and executes it."""
+
+    def __init__(self, plan: SweepPlan) -> None:
+        if plan.on_error not in _VALID_ON_ERROR:
+            raise ConfigError(
+                f"on_error must be 'raise' or 'collect', got {plan.on_error!r}"
+            )
+        if plan.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {plan.workers}")
+        if plan.chunk_size is not None and plan.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1, got {plan.chunk_size}"
+            )
+        self.plan = plan
+        self.backend: ExecutionBackend = get_backend(
+            plan.backend
+            if plan.backend is not None
+            else ("serial" if plan.workers == 1 else "pool")
+        )
+        self.ctx = WorkerContext.capture(plan.disk_cache)
+        # The parent applies the context too: in-process execution and
+        # result hydration must see the same disk tier as the workers.
+        self.ctx.apply()
+
+    def _collect_errors(self) -> bool:
+        return self.plan.on_error == "collect"
+
+    def _chunk_size(self, jobs: Iterable[SimJob]) -> int:
+        if self.plan.chunk_size is not None:
+            return self.plan.chunk_size
+        try:
+            n = len(jobs)  # type: ignore[arg-type]
+        except TypeError:
+            return 32  # lazy stream: a fixed chunk keeps memory bounded
+        return default_chunk_size(n, self.plan.workers)
+
+    def _execute(self, jobs: Iterable[SimJob], want_results: bool):
+        return self.backend.execute(
+            jobs,
+            want_results=want_results,
+            collect_errors=self._collect_errors(),
+            workers=self.plan.workers,
+            chunk_size=self._chunk_size(jobs),
+            ctx=self.ctx,
+        )
+
+    def stream(self) -> Iterator[RunSummary]:
+        """Yield one row per job, in job order, feeding every reducer."""
+        reducers = tuple(self.plan.reducers)
+        for record in self._execute(self.plan.jobs, want_results=False):
+            for reducer in reducers:
+                reducer.update(record.row)
+            yield record.row
+
+    def iter_handles(self) -> Iterator[ResultHandle]:
+        """Lazily yield one :class:`ResultHandle` per job, in job order.
+
+        The memory-bounded way to consume a *full-result* sweep:
+        handles arrive as the backend finishes jobs (at most one drain
+        window of chunks in flight), each carrying its summary row and
+        — for backends that ship results eagerly — the materialized
+        full result. Drop a handle after processing it and full results
+        never accumulate, whatever the sweep size. Reducers are fed as
+        each row passes.
+        """
+        jobs = (
+            list(self.plan.jobs)
+            if not isinstance(self.plan.jobs, Sequence)
+            else self.plan.jobs
+        )
+        labels = self.plan.labels
+        reducers = tuple(self.plan.reducers)
+        collect = self._collect_errors()
+        for record in self._execute(jobs, want_results=True):
+            for reducer in reducers:
+                reducer.update(record.row)
+            yield ResultHandle(
+                record.row,
+                jobs[record.index],
+                collect,
+                result=record.result if record.result is not None else _UNSET,
+                label=labels[record.index] if labels is not None else None,
+            )
+
+    def run(self) -> SweepOutcome:
+        """Execute everything; return rows plus full-result handles."""
+        handles = list(self.iter_handles())
+        return SweepOutcome(
+            rows=[handle.summary for handle in handles],
+            handles=handles,
+            reducers=tuple(self.plan.reducers),
+            labels=(
+                list(self.plan.labels)
+                if self.plan.labels is not None
+                else None
+            ),
+        )
+
+
+def simulate_many(
+    programs: "Sequence[ArrayProgram] | Sequence[SimJob]",
+    configs: "ArrayConfig | Sequence[ArrayConfig | None] | None" = None,
+    *,
+    policy: str = "ordered",
+    registers: dict[str, dict[str, float | None]] | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    on_error: str = "raise",
+    disk_cache: str | None = None,
+    backend: str | None = None,
+) -> "list[SimulationResult | BatchError]":
+    """Simulate every (program, config) job; results in job order.
+
+    Args:
+        programs: the programs to run — or prebuilt :class:`SimJob`
+            objects for full per-job control.
+        configs: ``None`` (defaults per job), one :class:`ArrayConfig`
+            broadcast to every program, or one per program.
+        policy: assignment policy for every job (ignored for ``SimJob``
+            inputs).
+        registers: initial registers for every job (ignored for
+            ``SimJob`` inputs).
+        workers: process count. ``1`` runs in-process (and still reuses
+            the analysis cache across jobs); ``N > 1`` farms chunks to
+            the ``pool`` backend (or the one named by ``backend``).
+        chunk_size: jobs per worker task (must be >= 1); defaults to an
+            even split that gives each worker ~4 chunks for load
+            balance.
+        on_error: ``"raise"`` propagates the first job error;
+            ``"collect"`` replaces a failed job's result with a
+            :class:`BatchError` so the rest of the batch still runs
+            (infeasible sweep corners are data, not fatal).
+        disk_cache: directory of the persistent analysis tier
+            (:mod:`repro.perf.disk_cache`); configured in this process
+            *and* every pool worker, so analyses computed anywhere are
+            reused everywhere — including across restarts.
+        backend: execution backend name; ``None`` picks ``serial`` for
+            one worker or one job, else ``pool``. ``"shm"`` is rejected
+            here: it never ships full results, so materializing *all*
+            of them (which is this function's contract) would re-run
+            every job in-parent — use
+            :meth:`SweepSession.iter_handles` / :func:`simulate_stream`
+            to get the arena's benefits.
+
+    Returns:
+        One :class:`SimulationResult` (or :class:`BatchError` under
+        ``on_error="collect"``) per job, in input order — the merge is
+        deterministic regardless of worker scheduling.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    if on_error not in _VALID_ON_ERROR:
+        raise ConfigError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}"
+        )
+    if backend == "shm":
+        raise ConfigError(
+            "simulate_many materializes every full result, which the shm "
+            "backend would satisfy by re-running each job in-parent; use "
+            "SweepSession.iter_handles() or simulate_stream(backend='shm') "
+            "instead"
+        )
+    jobs = normalize_jobs(programs, configs, policy, registers)
+    if not jobs:
+        return []
+    if backend is None and (workers == 1 or len(jobs) == 1):
+        workers = 1  # a single job never needs a pool
+    plan = SweepPlan(
+        jobs=jobs,
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+        on_error=on_error,
+        disk_cache=disk_cache,
+    )
+    return SweepSession(plan).run().results()
+
+
+def simulate_stream(
+    jobs: Iterable[SimJob],
+    *,
+    reducers: Sequence[StreamReducer] = (),
+    workers: int = 1,
+    chunk_size: int = 32,
+    on_error: str = "collect",
+    disk_cache: str | None = None,
+    backend: str | None = None,
+) -> Iterator[RunSummary]:
+    """Stream per-job summary rows with O(1) retained state.
+
+    Unlike :func:`simulate_many`, ``jobs`` may be a lazy generator and
+    results are never accumulated: each job is reduced to a
+    :class:`RunSummary` (in the worker, for ``workers > 1``, so full
+    results also never cross the pool pipe), fed through every reducer,
+    and yielded in job order. Peak memory is bounded by
+    ``workers * chunk_size`` in-flight jobs, independent of sweep size
+    (plus one 256-byte arena slot per job under the ``shm`` backend,
+    which must materialize the job list to size its arena).
+
+    Args:
+        jobs: the jobs to run, lazily consumed.
+        reducers: :class:`StreamReducer` instances updated with every
+            row before it is yielded; read their ``summary()`` after the
+            stream is exhausted.
+        workers: process count; ``1`` streams in-process. With a pool,
+            chunks whose programs carry unpicklable compute closures run
+            in-process transparently, preserving order.
+        chunk_size: jobs per worker task.
+        on_error: ``"collect"`` (default) turns failed jobs into
+            ``infeasible`` rows; ``"raise"`` propagates the first error.
+        disk_cache: analysis disk tier forwarded to every worker (see
+            :func:`simulate_many`).
+        backend: execution backend name; ``None`` picks ``serial`` for
+            one worker, else ``pool``.
+
+    Yields:
+        One :class:`RunSummary` per job, in job order.
+    """
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    plan = SweepPlan(
+        jobs=jobs,
+        reducers=tuple(reducers),
+        backend=backend,
+        workers=workers,
+        chunk_size=chunk_size,
+        on_error=on_error,
+        disk_cache=disk_cache,
+    )
+    return SweepSession(plan).stream()

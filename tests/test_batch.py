@@ -56,6 +56,39 @@ class TestSimulateMany:
         with pytest.raises(ConfigError):
             simulate_many(ensemble, CONFIG, workers=0)
 
+    def test_invalid_chunk_size(self, ensemble):
+        # chunk_size=0 used to crash deep inside the chunking helper
+        # (range() with a zero step); it must be validated like workers.
+        with pytest.raises(ConfigError, match="chunk_size"):
+            simulate_many(ensemble, CONFIG, workers=2, chunk_size=0)
+        with pytest.raises(ConfigError, match="chunk_size"):
+            simulate_many(ensemble, CONFIG, workers=2, chunk_size=-3)
+
+    def test_explicit_chunk_size_matches_serial(self, ensemble):
+        serial = simulate_many(ensemble, CONFIG, workers=1)
+        chunked = simulate_many(ensemble, CONFIG, workers=2, chunk_size=1)
+        for a, b in zip(serial, chunked):
+            assert a.completed == b.completed
+            assert a.time == b.time
+            assert a.received == b.received
+
+    def test_shm_backend_rejected(self, ensemble):
+        # simulate_many materializes every full result; the shm backend
+        # never ships them, so honoring it would re-run each job
+        # in-parent — worse than serial. Refuse instead of degrading.
+        with pytest.raises(ConfigError, match="shm"):
+            simulate_many(ensemble, CONFIG, workers=2, backend="shm")
+
+    def test_pool_backend_matches_serial(self, ensemble):
+        serial = simulate_many(ensemble, CONFIG, workers=1)
+        via_pool = simulate_many(ensemble, CONFIG, workers=2, backend="pool")
+        for a, b in zip(serial, via_pool):
+            assert a.completed == b.completed
+            assert a.time == b.time
+            assert a.events == b.events
+            assert a.received == b.received
+            assert a.assignment_trace == b.assignment_trace
+
     def test_workers_match_serial(self, ensemble):
         serial = simulate_many(ensemble, CONFIG, workers=1)
         parallel = simulate_many(ensemble, CONFIG, workers=2)

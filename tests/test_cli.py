@@ -126,6 +126,62 @@ class TestSweep:
         assert "--queues expects integers" in err
 
 
+class TestSweepQuantiles:
+    def test_stream_quantiles_printed_and_in_json(self, fig7_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "q.json"
+        code = main([
+            "sweep", fig7_file, "--queues", "1,2", "--repeat", "5",
+            "--stream", "--quantiles", "p50,p95,p99", "--json", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[quantiles]" in out
+        assert "[per-config-makespan]" in out
+        payload = json.loads(out_path.read_text())
+        assert {"quantiles", "per-config-makespan"} <= set(payload)
+        quants = payload["quantiles"]["quantiles"]
+        assert set(quants) == {"p50", "p95", "p99"}
+        assert all(value is not None for value in quants.values())
+
+    def test_eager_quantiles_wrap_json_payload(self, fig7_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "q.json"
+        code = main([
+            "sweep", fig7_file, "--queues", "1,2",
+            "--quantiles", "p50", "--json", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[quantiles]" in out
+        payload = json.loads(out_path.read_text())
+        assert set(payload) == {"runs", "quantiles", "per-config-makespan"}
+        assert len(payload["runs"]) == 2
+        assert {"label", "outcome", "time", "events"} <= set(payload["runs"][0])
+
+    def test_json_shape_unchanged_without_quantiles(self, fig7_file, tmp_path):
+        import json
+
+        out_path = tmp_path / "plain.json"
+        main(["sweep", fig7_file, "--queues", "1,2", "--json", str(out_path)])
+        payload = json.loads(out_path.read_text())
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_invalid_quantile_token_clean_error(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--quantiles", "pfoo"]) == 2
+        assert "quantiles expect" in capsys.readouterr().err
+
+    def test_backend_flag_accepted(self, fig7_file, capsys):
+        code = main([
+            "sweep", fig7_file, "--queues", "1,2",
+            "--backend", "shm", "--workers", "2",
+        ])
+        assert code == 0
+        assert "2/2 runs completed" in capsys.readouterr().out
+
+
 class TestSweepStream:
     def test_stream_rows_and_reducer_summaries(self, fig7_file, capsys):
         code = main([

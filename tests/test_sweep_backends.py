@@ -1,0 +1,366 @@
+"""Backend-differential harness: serial, pool and shm must agree.
+
+The backend contract (see :mod:`repro.sweep.backends`) promises that
+every execution backend produces *byte-identical* RunSummary rows and
+reducer summaries for the same job list — the transport (in-process,
+pool pipe, shared-memory arena) may differ, the data may not. This
+harness pins that contract on a seed sweep corpus spanning every
+outcome class (completed, deadlock, timeout, infeasible), plus the shm
+backend's structural edges: arena codec round-trips, string overflow
+spill to the pipe, unwritten-slot detection and on-demand hydration.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ArrayConfig
+from repro.algorithms.figures import fig7_program, fig8_program
+from repro.errors import ConfigError, ReproError
+from repro.sweep import (
+    ROW_SIZE,
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    PerConfigMakespan,
+    QuantileReducer,
+    ResultHandle,
+    RunSummary,
+    SimJob,
+    SummaryArena,
+    SweepPlan,
+    SweepSession,
+    available_backends,
+    get_backend,
+    sweep_jobs,
+)
+from repro.sweep.arena import ERROR_CAP, KIND_CAP, POLICY_CAP, decode_row, encode_row
+from repro.workloads import ensemble_programs
+
+BACKENDS = ("serial", "pool", "shm")
+
+
+def seed_corpus_jobs() -> list[SimJob]:
+    """The seed sweep corpus: every outcome class, several programs.
+
+    fig7 x {ordered, fcfs} x {1, 2} queues covers completed and
+    deadlocked runs (fcfs q=1 deadlocks on Fig. 7); fig8 x {ordered,
+    static} x {1, 2} covers infeasible corners (strict ordered/static
+    with one queue need two); the random ensemble adds buffered-queue
+    variety; the truncated jobs cover timeouts.
+    """
+    ensemble = ensemble_programs(3, cells=5, messages=8, max_length=3, base_seed=3)
+    jobs: list[SimJob] = []
+    jobs += sweep_jobs(
+        fig7_program(), policies=("ordered", "fcfs"), queues=(1, 2)
+    )
+    jobs += sweep_jobs(
+        fig8_program(), policies=("ordered", "static"), queues=(1, 2)
+    )
+    jobs += sweep_jobs(
+        ensemble[0], queues=(1, 8), capacities=(0, 2), repeat=2
+    )
+    jobs += [SimJob(p, config=ArrayConfig(queues_per_link=8)) for p in ensemble]
+    jobs += [
+        SimJob(ensemble[1], config=ArrayConfig(queues_per_link=8), max_events=3)
+    ]
+    return jobs
+
+
+def fresh_reducers():
+    return (
+        CompletedCount(),
+        MakespanHistogram(bucket_width=8),
+        DeadlockRateByConfig(),
+        PerConfigMakespan(),
+        QuantileReducer((0.5, 0.95, 0.99)),
+    )
+
+
+def run_backend(backend: str, jobs):
+    reducers = fresh_reducers()
+    plan = SweepPlan(
+        jobs=jobs,
+        reducers=reducers,
+        backend=backend,
+        workers=2,
+        chunk_size=3,
+    )
+    outcome = SweepSession(plan).run()
+    summaries = {r.name: r.summary() for r in reducers}
+    return outcome, summaries
+
+
+class TestBackendDifferential:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return seed_corpus_jobs()
+
+    @pytest.fixture(scope="class")
+    def per_backend(self, corpus):
+        return {b: run_backend(b, corpus) for b in BACKENDS}
+
+    def test_corpus_covers_every_outcome(self, per_backend):
+        rows = per_backend["serial"][0].rows
+        assert {row.outcome for row in rows} == {
+            "completed",
+            "deadlock",
+            "timeout",
+            "infeasible",
+        }
+
+    def test_rows_identical_across_backends(self, per_backend):
+        serial_rows = per_backend["serial"][0].rows
+        for backend in ("pool", "shm"):
+            assert per_backend[backend][0].rows == serial_rows
+
+    def test_rows_byte_identical_as_json(self, per_backend):
+        def dump(outcome):
+            return json.dumps(
+                [row.__dict__ for row in outcome.rows], sort_keys=True
+            ).encode()
+
+        serial = dump(per_backend["serial"][0])
+        for backend in ("pool", "shm"):
+            assert dump(per_backend[backend][0]) == serial
+
+    def test_reducer_summaries_byte_identical(self, per_backend):
+        serial = json.dumps(per_backend["serial"][1], sort_keys=True).encode()
+        for backend in ("pool", "shm"):
+            current = json.dumps(
+                per_backend[backend][1], sort_keys=True
+            ).encode()
+            assert current == serial
+
+    def test_rows_are_in_job_order(self, per_backend, corpus):
+        for backend in BACKENDS:
+            rows = per_backend[backend][0].rows
+            assert [row.index for row in rows] == list(range(len(corpus)))
+
+    def test_shm_hydration_matches_serial_results(self, per_backend):
+        serial_results = per_backend["serial"][0].results()
+        shm_outcome = per_backend["shm"][0]
+        assert not any(h.hydrated for h in shm_outcome.handles)
+        shm_results = shm_outcome.results()
+        assert all(h.hydrated for h in shm_outcome.handles)
+        for got, want in zip(shm_results, serial_results):
+            assert type(got) is type(want)
+            if isinstance(want, Exception) or not hasattr(want, "received"):
+                assert got == want  # BatchError
+                continue
+            assert got.completed == want.completed
+            assert got.time == want.time
+            assert got.events == want.events
+            assert got.received == want.received
+            assert got.assignment_trace == want.assignment_trace
+
+    def test_stream_matches_run_rows(self, corpus):
+        for backend in BACKENDS:
+            plan = SweepPlan(
+                jobs=corpus, backend=backend, workers=2, chunk_size=3
+            )
+            streamed = list(SweepSession(plan).stream())
+            assert streamed == run_backend(backend, corpus)[0].rows
+
+
+class TestSessionValidation:
+    def test_unknown_backend_rejected(self, fig7):
+        plan = SweepPlan(jobs=[SimJob(fig7)], backend="quantum")
+        with pytest.raises(ConfigError, match="unknown execution backend"):
+            SweepSession(plan)
+
+    def test_invalid_workers_and_chunk_size(self, fig7):
+        with pytest.raises(ConfigError):
+            SweepSession(SweepPlan(jobs=[SimJob(fig7)], workers=0))
+        with pytest.raises(ConfigError):
+            SweepSession(SweepPlan(jobs=[SimJob(fig7)], chunk_size=0))
+        with pytest.raises(ConfigError):
+            SweepSession(SweepPlan(jobs=[SimJob(fig7)], on_error="bogus"))
+
+    def test_backend_registry_lists_builtins(self):
+        assert set(BACKENDS) <= set(available_backends())
+        assert get_backend("serial").name == "serial"
+
+    def test_auto_backend_resolution(self, fig7):
+        assert SweepSession(SweepPlan(jobs=[])).backend.name == "serial"
+        assert (
+            SweepSession(SweepPlan(jobs=[], workers=3)).backend.name == "pool"
+        )
+
+    def test_empty_jobs(self):
+        for backend in BACKENDS:
+            plan = SweepPlan(jobs=[], backend=backend, workers=2)
+            outcome = SweepSession(plan).run()
+            assert outcome.rows == [] and outcome.handles == []
+
+    def test_on_error_raise_propagates_from_every_backend(self, fig8):
+        jobs = sweep_jobs(fig8, policies=("static",), queues=(1,))
+        for backend in BACKENDS:
+            plan = SweepPlan(
+                jobs=jobs, backend=backend, workers=2, on_error="raise"
+            )
+            with pytest.raises(ConfigError):
+                list(SweepSession(plan).stream())
+
+
+def _row(**kw):
+    base = dict(
+        index=0, completed=True, deadlocked=False, timed_out=False,
+        time=10, events=5, words=3, policy="ordered", queues=1, capacity=0,
+    )
+    base.update(kw)
+    return RunSummary(**base)
+
+
+class TestArenaCodec:
+    def test_roundtrip_plain_row(self):
+        buf = bytearray(ROW_SIZE * 2)
+        row = _row(index=7, time=123, events=456, words=789)
+        assert encode_row(buf, 1, row)
+        assert decode_row(buf, 1, 7) == row
+
+    def test_roundtrip_error_row(self):
+        buf = bytearray(ROW_SIZE)
+        row = _row(
+            completed=False,
+            error_kind="ConfigError",
+            error="static policy needs 2 queues on link L, got 1",
+        )
+        assert encode_row(buf, 0, row)
+        assert decode_row(buf, 0, 0) == row
+
+    def test_empty_error_string_distinct_from_none(self):
+        buf = bytearray(ROW_SIZE)
+        row = _row(completed=False, error_kind="X", error="")
+        assert encode_row(buf, 0, row)
+        decoded = decode_row(buf, 0, 0)
+        assert decoded.error == "" and decoded.error_kind == "X"
+        row2 = _row(completed=False, error_kind=None, error=None)
+        assert encode_row(buf, 0, row2)
+        decoded2 = decode_row(buf, 0, 0)
+        assert decoded2.error is None and decoded2.error_kind is None
+
+    def test_overflow_returns_false(self):
+        buf = bytearray(ROW_SIZE)
+        assert not encode_row(buf, 0, _row(policy="p" * (POLICY_CAP + 1)))
+        assert not encode_row(
+            buf, 0, _row(error_kind="k" * (KIND_CAP + 1), completed=False)
+        )
+        assert not encode_row(
+            buf, 0, _row(error="e" * (ERROR_CAP + 1), completed=False)
+        )
+        # Multibyte utf-8 overflows by *bytes*, not characters.
+        assert not encode_row(buf, 0, _row(policy="é" * (POLICY_CAP // 2 + 1)))
+
+    def test_unwritten_slot_raises(self):
+        arena = SummaryArena.create(2)
+        try:
+            assert arena.write_row(0, _row())
+            arena.read_row(0)
+            with pytest.raises(ReproError, match="never written"):
+                arena.read_row(1)
+            with pytest.raises(ReproError, match="out of range"):
+                arena.read_row(2)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        time=st.integers(min_value=0, max_value=2**62),
+        events=st.integers(min_value=0, max_value=2**62),
+        words=st.integers(min_value=0, max_value=2**62),
+        queues=st.integers(min_value=0, max_value=2**31 - 1),
+        capacity=st.integers(min_value=0, max_value=2**31 - 1),
+        completed=st.booleans(),
+        deadlocked=st.booleans(),
+        timed_out=st.booleans(),
+        policy=st.text(max_size=POLICY_CAP),
+        error=st.none() | st.text(max_size=40),
+    )
+    def test_roundtrip_property(
+        self, time, events, words, queues, capacity,
+        completed, deadlocked, timed_out, policy, error,
+    ):
+        row = RunSummary(
+            index=3,
+            completed=completed,
+            deadlocked=deadlocked,
+            timed_out=timed_out,
+            time=time,
+            events=events,
+            words=words,
+            policy=policy,
+            queues=queues,
+            capacity=capacity,
+            error_kind=None if error is None else "Err",
+            error=error,
+        )
+        buf = bytearray(ROW_SIZE)
+        if encode_row(buf, 0, row):
+            assert decode_row(buf, 0, 3) == row
+        else:  # only a byte-budget overflow may refuse
+            assert (
+                len(policy.encode()) > POLICY_CAP
+                or (error is not None and len(error.encode()) > ERROR_CAP)
+            )
+
+
+class TestShmOverflowSpill:
+    def test_long_error_rows_spill_to_pipe_and_stay_exact(self, monkeypatch):
+        """Rows the arena cannot hold must arrive via the pipe, unaltered."""
+        import repro.sweep.backends.shm as shm_mod
+
+        long_error = "x" * (ERROR_CAP + 50)
+        real_summarize = shm_mod.summarize_result
+
+        def lying_summarize(index, job, result):
+            row = real_summarize(index, job, result)
+            if index % 2 == 0:
+                return RunSummary(
+                    **{**row.__dict__, "error_kind": "Fake", "error": long_error}
+                )
+            return row
+
+        monkeypatch.setattr(shm_mod, "summarize_result", lying_summarize)
+        jobs = [SimJob(fig7_program()) for _ in range(4)]
+        plan = SweepPlan(jobs=jobs, backend="shm", workers=1, chunk_size=2)
+        rows = list(SweepSession(plan).stream())
+        assert [row.index for row in rows] == [0, 1, 2, 3]
+        assert rows[0].error == long_error and rows[2].error == long_error
+        assert rows[1].error is None and rows[3].error is None
+
+    def test_unpicklable_chunk_falls_back_in_process(self):
+        from repro import COMPUTE, ArrayProgram, Message, R, W
+
+        lam = ArrayProgram(
+            ["C1", "C2"],
+            [Message("A", "C1", "C2", 1)],
+            {
+                "C1": [W("A", constant=2.0)],
+                "C2": [R("A", into="x"), COMPUTE("y", lambda v: v + 1, ["x"])],
+            },
+        )
+        jobs = [SimJob(fig7_program()), SimJob(lam)]
+        plan = SweepPlan(jobs=jobs, backend="shm", workers=2, chunk_size=1)
+        outcome = SweepSession(plan).run()
+        assert [row.index for row in outcome.rows] == [0, 1]
+        assert all(row.completed for row in outcome.rows)
+        assert outcome.handles[1].result().registers["C2"]["y"] == 3.0
+
+
+class TestResultHandle:
+    def test_materialized_handle_never_reruns(self, fig7):
+        job = SimJob(fig7)
+        sentinel = object()
+        handle = ResultHandle(_row(), job, False, result=sentinel)
+        assert handle.hydrated
+        assert handle.result() is sentinel
+
+    def test_lazy_handle_runs_once_and_caches(self, fig7):
+        handle = ResultHandle(_row(), SimJob(fig7), False)
+        first = handle.result()
+        assert first.completed
+        assert handle.result() is first
