@@ -9,6 +9,13 @@ The textual format is that of :mod:`repro.lang.parser`. Examples::
     python -m repro run    program.sysp --policy fcfs --trace
     python -m repro show   program.sysp            # paper-style listing
     python -m repro sweep  program.sysp --policies ordered,fcfs --queues 1,2
+
+Long sweeps can run fault-tolerantly (``--job-timeout``,
+``--max-retries``: crashed workers are replaced and their jobs retried,
+hung jobs killed and recorded as timeouts) and resumably
+(``--checkpoint PATH`` snapshots progress atomically; ``--resume``
+skips finished jobs after a crash or Ctrl-C and reports aggregates
+byte-identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -127,6 +134,45 @@ def _sweep_backend(args) -> str | None:
     return None if args.backend == "auto" else args.backend
 
 
+def _fault_tolerance_kwargs(args) -> dict:
+    """The :class:`SweepPlan` knobs carried by the fault-tolerance flags."""
+    return dict(
+        job_timeout_s=args.job_timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+
+def _interrupted(rows, args) -> int:
+    """Ctrl-C during a sweep: tear down cleanly, report, exit 130.
+
+    Closing the stream generator unwinds every layer's ``finally``:
+    the supervised executor terminates its workers, the shm backend
+    unlinks its arena, and a checkpointed sweep writes one final
+    snapshot — so an interrupted run is immediately resumable.
+    """
+    rows.close()
+    note = "interrupted — workers terminated"
+    if args.checkpoint:
+        note += (
+            f"; progress saved to {args.checkpoint} (rerun with --resume)"
+        )
+    print(note, file=sys.stderr)
+    return 130
+
+
+def _print_row(label: str, row) -> None:
+    if row.error_kind is not None:
+        print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
+    else:
+        print(
+            f"{label:<28} {row.outcome:<10} t={row.time:<8} "
+            f"events={row.events}"
+        )
+
+
 def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
     """Streaming sweep: O(1) retained results, reducer summaries at the end.
 
@@ -156,16 +202,22 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
         backend=_sweep_backend(args),
         workers=args.workers,
         chunk_size=32,
+        **_fault_tolerance_kwargs(args),
     )
     rows = SweepSession(plan).stream()
-    for label, row in zip(labels, rows):
-        if row.error_kind is not None:
-            print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
+    try:
+        if args.checkpoint:
+            # A resumed stream skips finished jobs, so labels must be
+            # looked up by row index, not zipped positionally. (The
+            # checkpointed session materializes the job list anyway.)
+            label_list = list(labels)
+            for row in rows:
+                _print_row(label_list[row.index], row)
         else:
-            print(
-                f"{label:<28} {row.outcome:<10} t={row.time:<8} "
-                f"events={row.events}"
-            )
+            for label, row in zip(labels, rows):
+                _print_row(label, row)
+    except KeyboardInterrupt:
+        return _interrupted(rows, args)
     print(f"{outcomes.completed}/{outcomes.total} runs completed")
     for reducer in reducers:
         print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
@@ -197,29 +249,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         repeat=args.repeat,
     )
     extra_reducers = _quantile_reducers(args)
+    # Under --checkpoint the visible rows of a resumed run cover only
+    # the remaining jobs; a CompletedCount reducer (whose state rides
+    # the checkpoint) keeps the completion tally — and the exit code —
+    # covering the whole grid.
+    outcomes = CompletedCount() if args.checkpoint else None
     plan = SweepPlan(
         jobs=jobs,
         labels=labels,
-        reducers=extra_reducers,
+        reducers=((outcomes,) if outcomes else ()) + extra_reducers,
         backend=_sweep_backend(args),
         workers=args.workers,
         on_error="collect",
+        **_fault_tolerance_kwargs(args),
     )
     # Summary rows carry everything the table needs, so even the eager
     # sweep never materializes full results.
     rows = []
-    for label, row in zip(labels, SweepSession(plan).stream()):
-        if row.error_kind is not None:
-            rows.append((label, "infeasible", None, None))
-            print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
-            continue
-        rows.append((label, row.outcome, row.time, row.events))
-        print(
-            f"{label:<28} {row.outcome:<10} t={row.time:<8} "
-            f"events={row.events}"
+    stream = SweepSession(plan).stream()
+    try:
+        for row in stream:
+            label = labels[row.index]
+            if row.error_kind is not None:
+                rows.append((label, "infeasible", None, None))
+            else:
+                rows.append((label, row.outcome, row.time, row.events))
+            _print_row(label, row)
+    except KeyboardInterrupt:
+        return _interrupted(stream, args)
+    if outcomes is not None:
+        completed, total = outcomes.completed, outcomes.total
+    else:
+        completed = sum(
+            1 for _l, outcome, _t, _e in rows if outcome == "completed"
         )
-    completed = sum(1 for _l, outcome, _t, _e in rows if outcome == "completed")
-    print(f"{completed}/{len(rows)} runs completed")
+        total = len(rows)
+    print(f"{completed}/{total} runs completed")
     for reducer in extra_reducers:
         print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
     if args.json:
@@ -238,7 +303,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             payload = runs
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
-    return 0 if completed == len(rows) else 1
+    return 0 if completed == total else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -322,6 +387,39 @@ def build_parser() -> argparse.ArgumentParser:
              "makespan stats, e.g. --quantiles p50,p95,p99; adds "
              "'quantiles' and 'per-config-makespan' fields to --json "
              "output",
+    )
+    sweep.add_argument(
+        "--job-timeout", dest="job_timeout", type=float, default=None,
+        metavar="SEC",
+        help="per-job wall-clock limit: a job running longer has its "
+             "worker killed and is retried, then recorded as a timeout "
+             "row; engages fault-tolerant supervision (crashed workers "
+             "replaced, their jobs requeued) on pool/shm backends",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="extra attempts a job gets after crashing or hanging its "
+             "worker before being quarantined as a WorkerCrash row "
+             "(defaults to 2 once supervision engages); also engages "
+             "fault-tolerant supervision",
+    )
+    sweep.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot progress (reducer state + finished-job bitmap) "
+             "atomically to PATH every --checkpoint-every rows and on "
+             "exit, including Ctrl-C — an interrupted sweep is "
+             "immediately resumable",
+    )
+    sweep.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="rows between periodic checkpoint snapshots (default 64)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already recorded in --checkpoint PATH; reported "
+             "aggregates are byte-identical to an uninterrupted run "
+             "(a corrupt or missing checkpoint restarts cleanly; one "
+             "from a different sweep refuses to resume)",
     )
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)

@@ -50,5 +50,36 @@ class SimulationError(ReproError):
     expected outcome; run-time deadlock is reported in results, not raised)."""
 
 
+class ArenaSlotUnwritten(ReproError):
+    """A shared-memory arena slot was read before any worker wrote it.
+
+    Distinguishes "the worker that owned this slot died (or its write was
+    torn) before publishing the row" from every other arena failure, so
+    the supervised execution path can catch exactly this and requeue the
+    affected job instead of aborting the sweep.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A sweep job crashed its worker process past the retry budget.
+
+    Raised only under ``on_error="raise"``; with ``on_error="collect"``
+    the poison job is quarantined as a
+    :class:`~repro.sweep.jobs.BatchError` row of kind ``"WorkerCrash"``
+    and the sweep continues.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint cannot be used for the requested resume.
+
+    Raised when a checkpoint's grid fingerprint or job count does not
+    match the sweep being resumed — resuming the wrong sweep would
+    silently merge unrelated aggregates. A *corrupt* checkpoint
+    (truncated, bit-flipped) is never an error: it reads as absent and
+    the sweep restarts cleanly.
+    """
+
+
 class ParseError(ReproError):
     """The textual program format could not be parsed."""

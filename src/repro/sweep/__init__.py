@@ -89,6 +89,39 @@ statistics, and t-digest makespan quantiles
 provisioning buy"). Every reducer supports ``merge(other)`` so shards
 of a sweep reduced independently — other processes, other machines —
 combine exactly (within digest rank error for quantiles).
+
+Fault tolerance and checkpointing
+---------------------------------
+
+A sweep that runs for hours meets real failures: workers die (OOM
+kills), corners hang, the whole process gets SIGKILLed. Setting any of
+``job_timeout_s`` / ``max_retries`` / ``fault_plan`` on a
+:class:`~repro.sweep.plan.SweepPlan` (CLI: ``--job-timeout``,
+``--max-retries``) routes the ``pool`` and ``shm`` backends through the
+supervised executor (:mod:`repro.sweep.backends.supervise`), which owns
+worker lifecycles directly — one duplex pipe per worker, so a dead
+worker is an EOF, not a deadlock:
+
+* a **crashed worker** (abrupt exit, broken pipe, unwritten arena slot)
+  has its in-flight job requeued on a surviving worker with bounded
+  retries and exponential backoff; a job that keeps killing workers is
+  quarantined as a :class:`~repro.sweep.jobs.BatchError` row of kind
+  :data:`~repro.sweep.jobs.WORKER_CRASH_KIND` (under
+  ``on_error="collect"``) instead of aborting the sweep;
+* a **hung job** is killed at ``job_timeout_s`` and retried; a
+  persistent hang becomes a ``timeout``-outcome row — a hung corner is
+  data, same as a deadlock;
+* faults are *injectable* deterministically
+  (:class:`~repro.sweep.fault.FaultPlan`) so the recovery machinery is
+  differential-tested byte-identical against fault-free runs.
+
+``checkpoint`` (CLI: ``--checkpoint PATH``, with ``--checkpoint-every``
+and ``--resume``) adds crash recovery for the *parent*: periodic atomic
+snapshots of reducer state plus a completed-job bitmap, keyed by the
+sweep's grid fingerprint (:mod:`repro.sweep.checkpoint`). A resumed
+sweep skips finished jobs and reports reducer summaries byte-identical
+to a never-interrupted run; a corrupt checkpoint reads as absent (clean
+restart), a checkpoint from a *different* sweep refuses to resume.
 """
 
 from repro.sweep.arena import ROW_SIZE, SummaryArena
@@ -100,13 +133,15 @@ from repro.sweep.backends import (
     get_backend,
     register_backend,
 )
+from repro.sweep.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.sweep.fault import FaultPlan, Tolerance
 from repro.sweep.grid import (
     iter_sweep_jobs,
     iter_sweep_labels,
     sweep_jobs,
     sweep_labels,
 )
-from repro.sweep.jobs import BatchError, SimJob
+from repro.sweep.jobs import WORKER_CRASH_KIND, BatchError, SimJob, job_fingerprint
 from repro.sweep.plan import (
     ResultHandle,
     SweepOutcome,
@@ -132,6 +167,7 @@ __all__ = [
     "CompletedCount",
     "DeadlockRateByConfig",
     "ExecutionBackend",
+    "FaultPlan",
     "JobRecord",
     "MakespanHistogram",
     "PerConfigMakespan",
@@ -142,20 +178,25 @@ __all__ = [
     "SimJob",
     "StreamReducer",
     "SummaryArena",
+    "SweepCheckpoint",
     "SweepOutcome",
     "SweepPlan",
     "SweepSession",
+    "Tolerance",
+    "WORKER_CRASH_KIND",
     "WorkerContext",
     "available_backends",
     "get_backend",
     "iter_sweep_jobs",
     "iter_sweep_labels",
+    "job_fingerprint",
     "merge_reducers",
     "parse_quantiles",
     "register_backend",
     "simulate_many",
     "simulate_stream",
     "summarize_result",
+    "sweep_fingerprint",
     "sweep_jobs",
     "sweep_labels",
 ]

@@ -28,8 +28,10 @@ their fixed field (a pathological error message, an exotic policy name)
 make :func:`encode_row` return ``False`` — the worker then falls back to
 shipping that one row through the pool pipe, so arena rows are always
 *byte-identical* to what the serial backend produces, never truncated.
-A missing ``WRITTEN`` flag on decode raises: a slot that was never
-filled is a bug (a crashed worker), not a row of zeros.
+A missing ``WRITTEN`` flag on decode raises
+:class:`~repro.errors.ArenaSlotUnwritten`: a slot that was never filled
+means a crashed worker or a torn write, not a row of zeros — the
+supervised execution path catches that error and requeues the job.
 """
 
 from __future__ import annotations
@@ -37,7 +39,7 @@ from __future__ import annotations
 import struct
 from multiprocessing import shared_memory
 
-from repro.errors import ReproError
+from repro.errors import ArenaSlotUnwritten, ReproError
 from repro.sweep.summary import RunSummary
 
 #: Per-string byte budgets (utf-8 encoded).
@@ -126,7 +128,7 @@ def decode_row(buf, slot: int, index: int) -> RunSummary:
         error,
     ) = _ROW.unpack_from(buf, slot * ROW_SIZE)
     if not flags & _WRITTEN:
-        raise ReproError(
+        raise ArenaSlotUnwritten(
             f"shm arena slot {slot} was never written (worker died?)"
         )
     return RunSummary(
@@ -184,9 +186,26 @@ class SummaryArena:
         return encode_row(self._shm.buf, slot, row)
 
     def read_row(self, slot: int, index: int | None = None) -> RunSummary:
-        """Decode the row at ``slot`` (``index`` defaults to the slot)."""
+        """Decode the row at ``slot`` (``index`` defaults to the slot).
+
+        Raises :class:`~repro.errors.ArenaSlotUnwritten` when the slot
+        was never written — the signature of a worker that died (or a
+        torn write) before publishing its row; the supervised execution
+        path catches exactly that and requeues the job.
+        """
         self._check(slot)
         return decode_row(self._shm.buf, slot, slot if index is None else index)
+
+    def clear_slot(self, slot: int) -> None:
+        """Zero a slot back to the unwritten state.
+
+        Used when a job is requeued after its row proved unreadable (and
+        by fault injection to model a torn write): the retry's fresh
+        ``write_row`` then publishes atomically over a clean slot.
+        """
+        self._check(slot)
+        start = slot * ROW_SIZE
+        self._shm.buf[start:start + ROW_SIZE] = bytes(ROW_SIZE)
 
     def close(self) -> None:
         """Unmap the segment in this process.

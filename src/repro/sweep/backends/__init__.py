@@ -19,8 +19,13 @@ ordered stream of :class:`JobRecord` triples ``(index, row, result)``:
 * with ``collect_errors`` unset, the first failing job's exception MUST
   propagate to the consumer (no silent loss);
 * worker processes MUST apply the :class:`WorkerContext` before running
-  jobs, so per-process state (today: the analysis disk-cache tier)
-  matches the parent.
+  jobs, so per-process state (the analysis disk-cache tier, the fault
+  plan of the deterministic injection harness) matches the parent;
+* a non-``None`` ``tolerance`` argument asks for fault-tolerant
+  execution — multiprocess backends route through the supervised
+  executor (:mod:`repro.sweep.backends.supervise`: crash recovery,
+  per-job wall-clock timeouts, bounded retries with backoff, poison-job
+  quarantine) and must still satisfy every clause above.
 
 Backends register under a short name (``serial``, ``pool``, ``shm``)
 via :func:`register_backend`; :func:`get_backend` resolves names for
@@ -33,6 +38,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
 
 from repro.errors import ConfigError
+from repro.sweep import fault as fault_mod
+from repro.sweep.fault import FaultPlan, Tolerance
 from repro.sweep.jobs import BatchError, SimJob
 from repro.sweep.summary import RunSummary
 
@@ -61,35 +68,53 @@ class WorkerContext:
 
     disk_cache: str | None = None
     disk_cache_max_bytes: int | None = None
+    fault_plan: FaultPlan | None = None
 
     @classmethod
-    def capture(cls, disk_cache: str | None = None) -> "WorkerContext":
+    def capture(
+        cls,
+        disk_cache: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> "WorkerContext":
         """Snapshot the parent's per-process configuration.
 
         An explicit ``disk_cache`` wins; otherwise a programmatically
         configured disk tier (:func:`repro.perf.disk_cache.
         configure_disk_cache`) is forwarded so pool workers share it.
         Env-var-only configuration needs no forwarding — workers inherit
-        the environment and resolve it themselves.
+        the environment and resolve it themselves. ``fault_plan`` rides
+        along verbatim: it is the injection channel for the
+        deterministic fault harness (:mod:`repro.sweep.fault`).
         """
         if disk_cache is not None:
-            return cls(disk_cache=disk_cache)
+            return cls(disk_cache=disk_cache, fault_plan=fault_plan)
         from repro.perf.disk_cache import active_disk_cache_config
 
         active = active_disk_cache_config()
         if active is None:
-            return cls()
+            return cls(fault_plan=fault_plan)
         directory, max_bytes = active
-        return cls(disk_cache=directory, disk_cache_max_bytes=max_bytes)
+        return cls(
+            disk_cache=directory,
+            disk_cache_max_bytes=max_bytes,
+            fault_plan=fault_plan,
+        )
 
     def apply(self) -> None:
-        """Apply this configuration in the current process."""
+        """Apply this configuration in the current process.
+
+        Installing the fault plan is inert outside supervised workers:
+        only the supervised worker loop calls the plan's ``maybe_*``
+        hooks, so the parent (which applies its own context too) can
+        never fire an injected crash or hang.
+        """
         if self.disk_cache is not None:
             from repro.perf.disk_cache import configure_disk_cache
 
             configure_disk_cache(
                 self.disk_cache, max_bytes=self.disk_cache_max_bytes
             )
+        fault_mod.install(self.fault_plan)
 
 
 class ExecutionBackend:
@@ -106,8 +131,16 @@ class ExecutionBackend:
         workers: int,
         chunk_size: int,
         ctx: WorkerContext,
+        tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:  # pragma: no cover - abstract
-        """Run every job; yield :class:`JobRecord` in job order."""
+        """Run every job; yield :class:`JobRecord` in job order.
+
+        A non-``None`` ``tolerance`` asks for fault-tolerant execution:
+        multiprocess backends route through the supervised executor
+        (:mod:`repro.sweep.backends.supervise`) — crash recovery,
+        per-job timeouts, bounded retries — while the serial backend,
+        which has no worker processes to lose, ignores it.
+        """
         raise NotImplementedError
 
 

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator
 from repro.sweep.backends import (
     ExecutionBackend,
     JobRecord,
+    Tolerance,
     WorkerContext,
     register_backend,
 )
@@ -73,7 +74,13 @@ class _PicklabilityCache:
         if probes:
             try:
                 pickle.dumps(probes)
-            except Exception:
+            except (pickle.PicklingError, TypeError, AttributeError):
+                # The ways CPython actually refuses a pickle: explicit
+                # PicklingError, TypeError ("cannot pickle '...' object")
+                # and AttributeError for unreachable locals (lambdas,
+                # closures). Anything else is a real bug in the program
+                # object and must surface, not silently demote the chunk
+                # to in-process execution.
                 return False
             if len(probed_ok) >= 1024:
                 # Keep the cache O(live programs): drop entries whose
@@ -104,8 +111,25 @@ class PoolBackend(ExecutionBackend):
         workers: int,
         chunk_size: int,
         ctx: WorkerContext,
+        tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:
         probe = _PicklabilityCache()
+        if tolerance is not None:
+            # Fault-tolerant path: the supervised executor owns worker
+            # lifecycles (crash recovery, per-job timeouts, retries).
+            from repro.sweep.backends.supervise import run_supervised
+
+            yield from run_supervised(
+                list(jobs),
+                want_results=want_results,
+                collect_errors=collect_errors,
+                workers=workers,
+                chunk_size=chunk_size,
+                ctx=ctx,
+                tolerance=tolerance,
+                probe=probe,
+            )
+            return
         run_chunk = functools.partial(
             _run_chunk,
             want_results=want_results,

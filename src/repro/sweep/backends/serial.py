@@ -13,6 +13,7 @@ from typing import Iterable, Iterator
 from repro.sweep.backends import (
     ExecutionBackend,
     JobRecord,
+    Tolerance,
     WorkerContext,
     register_backend,
 )
@@ -22,7 +23,12 @@ from repro.sweep.summary import summarize_result
 
 @register_backend
 class SerialBackend(ExecutionBackend):
-    """Run every job in the current process, in order."""
+    """Run every job in the current process, in order.
+
+    ``tolerance`` is accepted and ignored: there are no worker processes
+    to lose, kill or retry, so the serial backend is the fault-free
+    reference that supervised runs are differential-tested against.
+    """
 
     name = "serial"
 
@@ -35,6 +41,7 @@ class SerialBackend(ExecutionBackend):
         workers: int,
         chunk_size: int,
         ctx: WorkerContext,
+        tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:
         ctx.apply()
         for index, job in enumerate(jobs):

@@ -29,6 +29,7 @@ from repro.sweep.arena import SummaryArena
 from repro.sweep.backends import (
     ExecutionBackend,
     JobRecord,
+    Tolerance,
     WorkerContext,
     register_backend,
 )
@@ -82,6 +83,7 @@ class ShmBackend(ExecutionBackend):
         workers: int,
         chunk_size: int,
         ctx: WorkerContext,
+        tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:
         # The arena is sized up front, so the job list must materialize;
         # peak memory is the jobs themselves plus ROW_SIZE bytes per job
@@ -91,6 +93,30 @@ class ShmBackend(ExecutionBackend):
         if n == 0:
             return
         probe = _PicklabilityCache()
+        if tolerance is not None:
+            # Fault-tolerant path: supervised workers still write rows
+            # into the shared arena; the supervisor decodes each slot on
+            # acknowledgement and requeues any job whose slot reads back
+            # unwritten (a dead worker or a torn write).
+            from repro.sweep.backends.supervise import run_supervised
+
+            arena = SummaryArena.create(n)
+            try:
+                yield from run_supervised(
+                    job_list,
+                    want_results=want_results,
+                    collect_errors=collect_errors,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    ctx=ctx,
+                    tolerance=tolerance,
+                    arena=arena,
+                    probe=probe,
+                )
+            finally:
+                arena.close()
+                arena.unlink()
+            return
         arena = SummaryArena.create(n)
         try:
             run_chunk = functools.partial(

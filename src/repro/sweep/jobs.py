@@ -24,6 +24,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
     from repro.sim.result import SimulationResult
 
 
+#: ``BatchError.kind`` of a job quarantined after crashing its worker
+#: process past the supervised executor's retry budget.
+WORKER_CRASH_KIND = "WorkerCrash"
+
+
 @dataclass(frozen=True)
 class BatchError:
     """A job that raised instead of producing a result.
@@ -32,7 +37,9 @@ class BatchError:
     when a sweep runs with ``on_error="collect"`` — sweeps over queue
     provisioning legitimately contain infeasible corners (e.g. a static
     assignment with too few queues) and one such corner must not abort
-    the batch.
+    the batch. The supervised executor also quarantines poison jobs
+    (those that crash their worker past the retry budget) as rows of
+    kind :data:`WORKER_CRASH_KIND` instead of aborting the sweep.
     """
 
     kind: str
@@ -115,6 +122,39 @@ def run_job(
         return job.run()
     except ReproError as exc:
         return BatchError(kind=type(exc).__name__, error=str(exc))
+
+
+def job_fingerprint(job: SimJob) -> str:
+    """A content fingerprint of one job: program + every run parameter.
+
+    Two jobs with equal fingerprints produce byte-identical rows
+    (simulations are deterministic), which is what lets a sweep
+    checkpoint (:mod:`repro.sweep.checkpoint`) assert it is resuming
+    *this* grid and not a lookalike.
+    """
+    from repro.perf.analysis_cache import program_fingerprint
+
+    config = job.config or ArrayConfig()
+    if job.registers is None:
+        registers = ""
+    else:
+        registers = repr(
+            sorted(
+                (cell, sorted(values.items()))
+                for cell, values in job.registers.items()
+            )
+        )
+    return "|".join(
+        (
+            program_fingerprint(job.program),
+            job.policy,
+            repr(config),
+            registers,
+            repr(job.strict),
+            repr(job.max_events),
+            repr(job.max_time),
+        )
+    )
 
 
 def default_chunk_size(n_jobs: int, workers: int) -> int:

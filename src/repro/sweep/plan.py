@@ -25,12 +25,15 @@ public entry points, now thin shims over a plan + session.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import ConfigError
 from repro.sweep.backends import (
     ExecutionBackend,
+    FaultPlan,
+    Tolerance,
     WorkerContext,
     get_backend,
 )
@@ -61,6 +64,18 @@ class SweepPlan:
     backend and :meth:`SweepSession.run` materialize it). ``backend``
     ``None`` resolves to ``serial`` for ``workers == 1`` and ``pool``
     otherwise.
+
+    Fault tolerance is opt-in: setting any of ``job_timeout_s``,
+    ``max_retries`` or ``fault_plan`` routes the multiprocess backends
+    through the supervised executor
+    (:mod:`repro.sweep.backends.supervise`) — crash recovery, bounded
+    retries, per-job wall-clock timeouts. ``checkpoint`` names a file
+    for periodic atomic progress snapshots
+    (:mod:`repro.sweep.checkpoint`); with ``resume`` a sweep restarted
+    against an existing checkpoint skips finished jobs and its reducers
+    report byte-identically to an uninterrupted run. Checkpointing is a
+    streaming feature: :meth:`SweepSession.run` /
+    :meth:`SweepSession.iter_handles` reject it.
     """
 
     jobs: Iterable[SimJob]
@@ -71,6 +86,13 @@ class SweepPlan:
     chunk_size: int | None = None
     on_error: str = "collect"
     disk_cache: str | None = None
+    job_timeout_s: float | None = None
+    max_retries: int | None = None
+    retry_backoff_s: float = 0.05
+    fault_plan: FaultPlan | None = None
+    checkpoint: str | None = None
+    checkpoint_every: int = 64
+    resume: bool = False
 
 
 _UNSET = object()
@@ -149,16 +171,47 @@ class SweepSession:
             raise ConfigError(
                 f"chunk_size must be >= 1, got {plan.chunk_size}"
             )
+        if plan.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {plan.checkpoint_every}"
+            )
+        if plan.resume and plan.checkpoint is None:
+            raise ConfigError("resume=True requires a checkpoint path")
         self.plan = plan
         self.backend: ExecutionBackend = get_backend(
             plan.backend
             if plan.backend is not None
             else ("serial" if plan.workers == 1 else "pool")
         )
-        self.ctx = WorkerContext.capture(plan.disk_cache)
+        # Constructing the Tolerance up front validates the knobs
+        # (negative retries, non-positive timeouts) at session creation.
+        self.tolerance = self._make_tolerance()
+        self.ctx = WorkerContext.capture(plan.disk_cache, plan.fault_plan)
         # The parent applies the context too: in-process execution and
         # result hydration must see the same disk tier as the workers.
+        # (Fault plans are inert outside the supervised worker loop, so
+        # applying one here can never crash or hang the parent.)
         self.ctx.apply()
+
+    def _make_tolerance(self) -> Tolerance | None:
+        """Supervisor policy, or None to keep the legacy fast paths.
+
+        Supervision engages when any fault-tolerance knob is set —
+        including a bare ``fault_plan``, whose injected faults only fire
+        inside the supervised worker loop.
+        """
+        plan = self.plan
+        if (
+            plan.job_timeout_s is None
+            and plan.max_retries is None
+            and plan.fault_plan is None
+        ):
+            return None
+        return Tolerance(
+            max_retries=plan.max_retries if plan.max_retries is not None else 2,
+            job_timeout_s=plan.job_timeout_s,
+            retry_backoff_s=plan.retry_backoff_s,
+        )
 
     def _collect_errors(self) -> bool:
         return self.plan.on_error == "collect"
@@ -180,15 +233,68 @@ class SweepSession:
             workers=self.plan.workers,
             chunk_size=self._chunk_size(jobs),
             ctx=self.ctx,
+            tolerance=self.tolerance,
         )
 
     def stream(self) -> Iterator[RunSummary]:
-        """Yield one row per job, in job order, feeding every reducer."""
+        """Yield one row per job, in job order, feeding every reducer.
+
+        With ``plan.checkpoint`` set, progress is periodically
+        snapshotted and (under ``plan.resume``) already-finished jobs
+        are skipped — only the remaining rows are yielded, but the
+        reducers end up byte-identical to an uninterrupted run.
+        """
+        if self.plan.checkpoint is not None:
+            return self._stream_checkpointed()
+        return self._stream_plain()
+
+    def _stream_plain(self) -> Iterator[RunSummary]:
         reducers = tuple(self.plan.reducers)
         for record in self._execute(self.plan.jobs, want_results=False):
             for reducer in reducers:
                 reducer.update(record.row)
             yield record.row
+
+    def _stream_checkpointed(self) -> Iterator[RunSummary]:
+        """The checkpointed stream: resume, run the remainder, snapshot.
+
+        Backends enumerate whatever job list they are handed from index
+        0, so the remaining jobs run as a *compacted* list and each
+        row's index is mapped back to its original grid position before
+        reducers see it. Because the plain stream also folds rows in
+        job order, the done bitmap is always a prefix of the grid and
+        the resumed fold order equals the uninterrupted one — which is
+        what makes the final summaries byte-identical.
+        """
+        from repro.sweep.checkpoint import SweepCheckpoint, sweep_fingerprint
+
+        jobs = list(self.plan.jobs)
+        reducers = tuple(self.plan.reducers)
+        ckpt = SweepCheckpoint(
+            self.plan.checkpoint,
+            sweep_fingerprint(jobs, reducers),
+            len(jobs),
+            every=self.plan.checkpoint_every,
+        )
+        if self.plan.resume:
+            ckpt.resume(reducers)
+        remaining = ckpt.remaining()
+        try:
+            if remaining:
+                compact = [jobs[i] for i in remaining]
+                for record in self._execute(compact, want_results=False):
+                    original = remaining[record.index]
+                    row = dataclasses.replace(record.row, index=original)
+                    for reducer in reducers:
+                        reducer.update(row)
+                    ckpt.mark_done(original)
+                    yield row
+                    ckpt.maybe_save(reducers)
+        finally:
+            # Runs on normal exhaustion, on error, and when the consumer
+            # closes the generator (Ctrl-C in the CLI): whatever
+            # happened, the file on disk reflects every row yielded.
+            ckpt.save(reducers)
 
     def iter_handles(self) -> Iterator[ResultHandle]:
         """Lazily yield one :class:`ResultHandle` per job, in job order.
@@ -201,6 +307,12 @@ class SweepSession:
         never accumulate, whatever the sweep size. Reducers are fed as
         each row passes.
         """
+        if self.plan.checkpoint is not None:
+            raise ConfigError(
+                "checkpointing is a streaming feature: resumed runs skip "
+                "finished jobs, so an eager full-result sweep would be "
+                "missing handles; use SweepSession.stream()"
+            )
         jobs = (
             list(self.plan.jobs)
             if not isinstance(self.plan.jobs, Sequence)
@@ -325,6 +437,12 @@ def simulate_stream(
     on_error: str = "collect",
     disk_cache: str | None = None,
     backend: str | None = None,
+    job_timeout_s: float | None = None,
+    max_retries: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 64,
+    resume: bool = False,
 ) -> Iterator[RunSummary]:
     """Stream per-job summary rows with O(1) retained state.
 
@@ -352,6 +470,20 @@ def simulate_stream(
             :func:`simulate_many`).
         backend: execution backend name; ``None`` picks ``serial`` for
             one worker, else ``pool``.
+        job_timeout_s: per-job wall clock enforced by the supervised
+            executor; a hung job's worker is killed and the corner
+            recorded as a timeout-class row.
+        max_retries: extra attempts a job gets after crashing or
+            hanging its worker before being quarantined. Setting either
+            of these (or ``fault_plan``) engages fault-tolerant
+            supervision on the multiprocess backends.
+        fault_plan: deterministic injected faults
+            (:class:`~repro.sweep.fault.FaultPlan`) for testing the
+            recovery machinery.
+        checkpoint: path for periodic atomic progress snapshots.
+        checkpoint_every: rows between periodic snapshots.
+        resume: skip jobs already recorded in ``checkpoint``; reducer
+            summaries stay byte-identical to an uninterrupted run.
 
     Yields:
         One :class:`RunSummary` per job, in job order.
@@ -366,5 +498,11 @@ def simulate_stream(
         chunk_size=chunk_size,
         on_error=on_error,
         disk_cache=disk_cache,
+        job_timeout_s=job_timeout_s,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     return SweepSession(plan).stream()

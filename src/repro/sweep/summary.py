@@ -86,3 +86,27 @@ def summarize_result(
         queues=config.queues_per_link,
         capacity=config.queue_capacity,
     )
+
+
+def timeout_row(index: int, job: SimJob, reason: str) -> RunSummary:
+    """A timeout-class row for a job killed by the wall-clock supervisor.
+
+    A hung simulation corner is data, same as a deadlock: the row's
+    ``outcome`` is ``"timeout"`` (``timed_out`` set, no ``error_kind``,
+    so it lands in the same bucket as a ``max_time`` expiry) and the
+    kill reason rides along in ``error`` for forensics.
+    """
+    config = job.config or ArrayConfig()
+    return RunSummary(
+        index=index,
+        completed=False,
+        deadlocked=False,
+        timed_out=True,
+        time=0,
+        events=0,
+        words=0,
+        policy=job.policy,
+        queues=config.queues_per_link,
+        capacity=config.queue_capacity,
+        error=reason,
+    )

@@ -237,3 +237,97 @@ class TestSweepStream:
         assert code == 1
         assert "infeasible" in out
         assert '"infeasible": 1' in out
+
+
+class TestSweepFaultToleranceFlags:
+    def test_job_timeout_and_max_retries_accepted(self, fig7_file, capsys):
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs",
+            "--queues", "1,2", "--workers", "2",
+            "--job-timeout", "30", "--max-retries", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # fcfs q=1 still deadlocks; supervision changes nothing
+        assert "3/4 runs completed" in out
+
+    def test_checkpoint_resume_round_trip(self, fig7_file, tmp_path, capsys):
+        ck = str(tmp_path / "sweep.ckpt")
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs",
+            "--queues", "1,2", "--checkpoint", ck,
+        ])
+        first = capsys.readouterr().out
+        assert code == 1
+        assert "3/4 runs completed" in first
+        # Resume against the finished checkpoint: no rows re-run, but the
+        # tally (and exit code) still covers the whole grid via the
+        # checkpointed CompletedCount reducer.
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs",
+            "--queues", "1,2", "--checkpoint", ck, "--resume",
+        ])
+        resumed = capsys.readouterr().out
+        assert code == 1
+        assert "3/4 runs completed" in resumed
+        assert "deadlock" not in resumed  # every row was skipped
+
+    def test_stream_checkpoint_labels_follow_row_index(
+        self, fig7_file, tmp_path, capsys
+    ):
+        ck = str(tmp_path / "stream.ckpt")
+        code = main([
+            "sweep", fig7_file, "--policies", "ordered,fcfs",
+            "--queues", "1,2", "--stream", "--checkpoint", ck,
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fcfs q=1 cap=0" in out
+        assert "3/4 runs completed" in out
+
+    def test_resume_without_checkpoint_clean_error(self, fig7_file, capsys):
+        assert main(["sweep", fig7_file, "--resume"]) == 2
+        assert "requires a checkpoint" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(
+        self, fig7_file, tmp_path, capsys, monkeypatch
+    ):
+        from repro import cli as cli_mod
+
+        closed = []
+
+        class FakeSession:
+            def __init__(self, plan):
+                self.plan = plan
+
+            def stream(self):
+                def generator():
+                    try:
+                        yield
+                    finally:
+                        closed.append(True)
+
+                gen = generator()
+                next(gen)  # suspend at the yield so close() runs the finally
+
+                class Raising:
+                    def __iter__(self):
+                        return self
+
+                    def __next__(self):
+                        raise KeyboardInterrupt
+
+                    def close(self):
+                        gen.close()
+
+                return Raising()
+
+        monkeypatch.setattr(cli_mod, "SweepSession", FakeSession)
+        ck = str(tmp_path / "int.ckpt")
+        code = cli_mod.main([
+            "sweep", fig7_file, "--stream", "--checkpoint", ck,
+        ])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert closed == [True]  # the stream was torn down
+        assert "interrupted" in captured.err
+        assert "--resume" in captured.err

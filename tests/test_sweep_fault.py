@@ -1,0 +1,331 @@
+"""Fault-injection harness: the supervised executor under crash/hang/corrupt.
+
+Deterministically injects the three characteristic sweep failures —
+worker crash (abrupt ``os._exit``), hung job, torn arena write — via
+:class:`repro.sweep.fault.FaultPlan` and pins the recovery contract:
+a recovered sweep's rows and reducer summaries are byte-identical to a
+fault-free serial run, poison jobs are quarantined as data instead of
+aborting the sweep, and persistent hangs become timeout rows.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.algorithms.figures import fig7_program
+from repro.errors import (
+    ArenaSlotUnwritten,
+    ConfigError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.sweep import (
+    WORKER_CRASH_KIND,
+    CompletedCount,
+    DeadlockRateByConfig,
+    FaultPlan,
+    MakespanHistogram,
+    QuantileReducer,
+    SimJob,
+    SweepPlan,
+    SweepSession,
+    Tolerance,
+    sweep_jobs,
+)
+from repro.sweep.fault import CRASH_EXIT_CODE
+
+SUPERVISED = ("pool", "shm")
+
+
+def corpus_jobs() -> list[SimJob]:
+    """A small grid covering completed, deadlocked and timeout rows."""
+    jobs = sweep_jobs(
+        fig7_program(), policies=("ordered", "fcfs"), queues=(1, 2), repeat=2
+    )
+    jobs.append(SimJob(fig7_program(), max_events=3))  # timeout corner
+    return jobs
+
+
+def fresh_reducers():
+    return (
+        CompletedCount(),
+        MakespanHistogram(bucket_width=8),
+        DeadlockRateByConfig(),
+        QuantileReducer((0.5, 0.95)),
+    )
+
+
+def summaries_json(reducers) -> str:
+    return json.dumps(
+        {r.name: r.summary() for r in reducers}, sort_keys=True, default=str
+    )
+
+
+def run_plan(jobs, backend, **kwargs):
+    reducers = fresh_reducers()
+    plan = SweepPlan(
+        jobs=jobs,
+        reducers=reducers,
+        backend=backend,
+        workers=2,
+        chunk_size=3,
+        **kwargs,
+    )
+    rows = list(SweepSession(plan).stream())
+    return rows, summaries_json(reducers)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    jobs = corpus_jobs()
+    rows, summaries = run_plan(jobs, "serial")
+    return jobs, rows, summaries
+
+
+class TestSupervisedDifferential:
+    """Supervision without faults must change nothing observable."""
+
+    @pytest.mark.parametrize("backend", SUPERVISED)
+    def test_no_faults_matches_serial(self, baseline, backend):
+        jobs, base_rows, base_summaries = baseline
+        rows, summaries = run_plan(jobs, backend, max_retries=2)
+        assert rows == base_rows
+        assert summaries == base_summaries
+
+    def test_serial_ignores_tolerance_and_faults(self, baseline, tmp_path):
+        jobs, base_rows, base_summaries = baseline
+        plan = FaultPlan(spool=str(tmp_path), crash={0: 1}, hang={1: 1})
+        rows, summaries = run_plan(
+            jobs, "serial", fault_plan=plan, job_timeout_s=5.0
+        )
+        # Serial is the fault-free reference: the plan is installed but
+        # never fired (no supervised worker loop in-process).
+        assert rows == base_rows
+        assert summaries == base_summaries
+        assert not os.listdir(tmp_path)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("backend", SUPERVISED)
+    def test_crashed_jobs_are_requeued(self, baseline, tmp_path, backend):
+        jobs, base_rows, base_summaries = baseline
+        spool = tmp_path / backend
+        spool.mkdir()
+        plan = FaultPlan(spool=str(spool), crash={1: 1, 5: 2})
+        rows, summaries = run_plan(
+            jobs, backend, fault_plan=plan, max_retries=3
+        )
+        assert rows == base_rows
+        assert summaries == base_summaries
+        fired = sorted(os.listdir(spool))
+        # Every armed crash actually fired (plus the one clean re-probe
+        # marker per fault key that finds the fault exhausted).
+        assert any(m.startswith("crash-1-") for m in fired)
+        assert any(m.startswith("crash-5-1") for m in fired)
+
+    def test_poison_job_quarantined_as_row(self, baseline, tmp_path):
+        jobs, base_rows, _ = baseline
+        # Crashes forever: armed for more attempts than the budget.
+        plan = FaultPlan(spool=str(tmp_path), crash={2: 99})
+        rows, _ = run_plan(
+            jobs, "pool", fault_plan=plan, max_retries=1
+        )
+        assert len(rows) == len(base_rows)
+        poisoned = rows[2]
+        assert poisoned.error_kind == WORKER_CRASH_KIND
+        assert poisoned.outcome == "infeasible"
+        assert str(CRASH_EXIT_CODE) in (poisoned.error or "")
+        # Every other job is untouched by the quarantine.
+        assert [r for i, r in enumerate(rows) if i != 2] == [
+            r for i, r in enumerate(base_rows) if i != 2
+        ]
+
+    def test_poison_job_raises_under_on_error_raise(self, tmp_path):
+        jobs = corpus_jobs()
+        plan = FaultPlan(spool=str(tmp_path), crash={0: 99})
+        session = SweepSession(
+            SweepPlan(
+                jobs=jobs,
+                backend="pool",
+                workers=2,
+                chunk_size=3,
+                on_error="raise",
+                fault_plan=plan,
+                max_retries=1,
+            )
+        )
+        with pytest.raises(WorkerCrashError, match="job 0"):
+            list(session.stream())
+
+
+class TestTimeouts:
+    @pytest.mark.parametrize("backend", SUPERVISED)
+    def test_hung_job_recovers_on_retry(self, baseline, tmp_path, backend):
+        jobs, base_rows, base_summaries = baseline
+        spool = tmp_path / backend
+        spool.mkdir()
+        plan = FaultPlan(spool=str(spool), hang={3: 1}, hang_s=30.0)
+        rows, summaries = run_plan(
+            jobs, backend, fault_plan=plan, job_timeout_s=0.5, max_retries=2
+        )
+        assert rows == base_rows
+        assert summaries == base_summaries
+
+    def test_persistent_hang_becomes_timeout_row(self, baseline, tmp_path):
+        jobs, base_rows, _ = baseline
+        plan = FaultPlan(spool=str(tmp_path), hang={4: 99}, hang_s=30.0)
+        rows, _ = run_plan(
+            jobs, "pool", fault_plan=plan, job_timeout_s=0.3, max_retries=1
+        )
+        hung = rows[4]
+        assert hung.outcome == "timeout"
+        assert hung.timed_out and not hung.completed and not hung.deadlocked
+        assert hung.error_kind is None  # same bucket as a max_time expiry
+        assert "timeout" in (hung.error or "")
+        assert [r for i, r in enumerate(rows) if i != 4] == [
+            r for i, r in enumerate(base_rows) if i != 4
+        ]
+
+
+class TestArenaFaults:
+    def test_corrupt_slot_requeued(self, baseline, tmp_path):
+        jobs, base_rows, base_summaries = baseline
+        plan = FaultPlan(spool=str(tmp_path), corrupt={0: 1, 6: 1})
+        rows, summaries = run_plan(
+            jobs, "shm", fault_plan=plan, max_retries=2
+        )
+        assert rows == base_rows
+        assert summaries == base_summaries
+        fired = os.listdir(tmp_path)
+        assert any(m.startswith("corrupt-0-") for m in fired)
+        assert any(m.startswith("corrupt-6-") for m in fired)
+
+    def test_unwritten_slot_error_is_typed(self):
+        from repro.sweep import SummaryArena
+
+        arena = SummaryArena.create(2)
+        try:
+            with pytest.raises(ArenaSlotUnwritten, match="never written"):
+                arena.read_row(1)
+            assert issubclass(ArenaSlotUnwritten, ReproError)
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestKnobValidation:
+    def test_tolerance_validates(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            Tolerance(max_retries=-1)
+        with pytest.raises(ConfigError, match="job_timeout_s"):
+            Tolerance(job_timeout_s=0)
+        with pytest.raises(ConfigError, match="retry_backoff_s"):
+            Tolerance(retry_backoff_s=-0.1)
+        assert Tolerance().backoff(1) == pytest.approx(0.05)
+        assert Tolerance().backoff(3) == pytest.approx(0.2)
+        assert Tolerance(retry_backoff_s=10).backoff(9) == 2.0  # capped
+
+    def test_plan_knobs_validate_at_session_creation(self):
+        jobs = corpus_jobs()[:1]
+        with pytest.raises(ConfigError, match="max_retries"):
+            SweepSession(SweepPlan(jobs=jobs, max_retries=-2))
+        with pytest.raises(ConfigError, match="job_timeout_s"):
+            SweepSession(SweepPlan(jobs=jobs, job_timeout_s=-1.0))
+
+    def test_fault_plan_normalization(self, tmp_path):
+        plan = FaultPlan(spool=str(tmp_path), crash=[1, 4], hang={2: 3})
+        assert plan.crash == {1: 1, 4: 1}
+        assert plan.hang == {2: 3}
+        with pytest.raises(ConfigError, match="times >= 1"):
+            FaultPlan(spool=str(tmp_path), crash={1: 0})
+        with pytest.raises(ConfigError, match="index >= 0"):
+            FaultPlan(spool=str(tmp_path), hang=[-1])
+
+    def test_fault_plan_fires_bounded_times(self, tmp_path):
+        plan = FaultPlan(spool=str(tmp_path), corrupt={0: 2})
+
+        class FakeArena:
+            cleared = 0
+
+            def clear_slot(self, slot):
+                FakeArena.cleared += 1
+
+        arena = FakeArena()
+        fired = [plan.maybe_corrupt(arena, 0) for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert FakeArena.cleared == 2
+        assert plan.maybe_corrupt(arena, 1) is False  # unarmed index
+
+
+class TestArenaCleanup:
+    """The shm arena must be unlinked on every exit path."""
+
+    def _capture_arena_names(self, monkeypatch):
+        from repro.sweep import arena as arena_mod
+
+        created = []
+        real_create = arena_mod.SummaryArena.create.__func__
+
+        def recording_create(cls, n_rows):
+            arena = real_create(cls, n_rows)
+            created.append(arena.name)
+            return arena
+
+        monkeypatch.setattr(
+            arena_mod.SummaryArena,
+            "create",
+            classmethod(recording_create),
+        )
+        return created
+
+    def _assert_unlinked(self, names):
+        from repro.sweep import SummaryArena
+
+        assert names, "backend never created an arena"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SummaryArena.attach(name, 1)
+
+    def test_unlinked_after_error_raise(self, monkeypatch):
+        names = self._capture_arena_names(monkeypatch)
+        bad = SimJob(fig7_program(), policy="no-such-policy")
+        session = SweepSession(
+            SweepPlan(
+                jobs=[bad],
+                backend="shm",
+                workers=2,
+                on_error="raise",
+                max_retries=1,
+            )
+        )
+        with pytest.raises(ReproError):
+            list(session.stream())
+        self._assert_unlinked(names)
+
+    def test_unlinked_after_generator_close(self, monkeypatch, baseline):
+        jobs, _, _ = baseline
+        names = self._capture_arena_names(monkeypatch)
+        stream = SweepSession(
+            SweepPlan(
+                jobs=jobs,
+                backend="shm",
+                workers=2,
+                chunk_size=3,
+                max_retries=1,
+            )
+        ).stream()
+        next(stream)
+        stream.close()  # mid-sweep teardown (what Ctrl-C does in the CLI)
+        self._assert_unlinked(names)
+
+    def test_unlinked_after_legacy_close(self, monkeypatch, baseline):
+        jobs, _, _ = baseline
+        names = self._capture_arena_names(monkeypatch)
+        stream = SweepSession(
+            SweepPlan(jobs=jobs, backend="shm", workers=2, chunk_size=3)
+        ).stream()
+        next(stream)
+        stream.close()
+        self._assert_unlinked(names)
