@@ -24,23 +24,35 @@ Records written to ``BENCH_core.json``:
 * ``cross_off_cold_large_{1k,4k,10k}_par`` — the same cold lookahead
   analysis in maximal-parallel stepping over the same programs;
 * ``analysis_cold_large_10k`` — the full cold buffered-config analysis
-  (crossing-off + constraint condensation) at 10k cells.
+  (crossing-off + constraint condensation) at 10k cells;
+* ``cross_off_cold_large_{1k,4k,10k}_{seq,par}_np`` — the same cold
+  crossing-off runs through the columnar numpy backend (PR 7). The
+  non-``_np`` records pin ``backend="interned"`` so they keep
+  measuring the pure-Python engine their baselines were recorded
+  against.
 
 Sequential records carry ``speedup_vs_pr2`` (the PR 2 engine re-run on
 the recording box over these exact programs; the old engine was
 resurrected from git history for the measurement). Parallel records
 carry ``speedup_vs_pr3``, measured the same way against the PR 3
 engine's parallel stepping, interleaved with the bucketed engine in a
-single process to cancel box noise. When recording the baseline
-(``REPRO_BENCH_RECORD=1``) the acceptance floor of 2x is asserted;
-smoke runs on foreign hardware only assert the qualitative shape.
+single process to cancel box noise. The ``_np`` records carry
+``speedup_vs_pr4``, measured the same way: the PR 4 engine resurrected
+from git history, interleaved with the columnar kernel over these
+exact programs on the recording box. When recording the
+baseline (``REPRO_BENCH_RECORD=1``) the acceptance floor of 2x is
+asserted; smoke runs on foreign hardware only assert the qualitative
+shape.
 """
 
 import os
 import time
 from functools import lru_cache
 
+import pytest
+
 from repro.core.crossing import cross_off, uniform_lookahead
+from repro.core.crossing_np import numpy_available
 from repro.core.labeling import constraint_labeling
 from repro.workloads import large_spec_family, random_program
 
@@ -63,6 +75,26 @@ PR3_PARALLEL_BASELINE_MS = {
     "cross_off_cold_large_10k_par": 1725.1,
 }
 
+#: Wall ms for the PR 4 interned engine on this workload family,
+#: measured on the baseline-recording box: the PR 4 ``crossing.py``
+#: resurrected from git history, interleaved best-of-4/8 with the
+#: columnar kernel in one process over identical program objects (the
+#: same protocol as the PR 3 parallel constants — interleaving cancels
+#: box noise, which the committed records alone cannot). Keyed by the
+#: ``_np`` record names.
+PR4_BASELINE_MS = {
+    "cross_off_cold_large_1k_seq_np": 105.7,
+    "cross_off_cold_large_4k_seq_np": 692.8,
+    "cross_off_cold_large_10k_seq_np": 1980.2,
+    "cross_off_cold_large_1k_par_np": 37.3,
+    "cross_off_cold_large_4k_par_np": 214.0,
+    "cross_off_cold_large_10k_par_np": 695.6,
+}
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="columnar backend needs numpy"
+)
+
 _SPECS = {spec.cells: spec for spec in large_spec_family()}
 
 
@@ -82,7 +114,11 @@ def _refreshing_committed_baseline() -> bool:
 
 
 def _record_with_speedup(core_metrics, name, *, events, seconds, **extra):
-    if name in PR2_BASELINE_MS:
+    if name in PR4_BASELINE_MS:
+        baseline_ms, against, field = (
+            PR4_BASELINE_MS[name], "PR 4", "speedup_vs_pr4"
+        )
+    elif name in PR2_BASELINE_MS:
         baseline_ms, against, field = (
             PR2_BASELINE_MS[name], "PR 2", "speedup_vs_pr2"
         )
@@ -112,8 +148,12 @@ def _record_with_speedup(core_metrics, name, *, events, seconds, **extra):
         )
 
 
-def _cold_sequential(program, lookahead):
-    return cross_off(program, lookahead=lookahead, mode="sequential")
+def _cold_sequential(program, lookahead, backend="interned"):
+    # Pinned: these records extend the PR 4 baseline series, and the
+    # _np family A/Bs the columnar kernel against it on the same box.
+    return cross_off(
+        program, lookahead=lookahead, mode="sequential", backend=backend
+    )
 
 
 def _best_of(runs, fn):
@@ -193,8 +233,10 @@ def test_cold_full_analysis_10k(core_metrics):
     )
 
 
-def _cold_parallel(program, lookahead):
-    return cross_off(program, lookahead=lookahead, mode="parallel")
+def _cold_parallel(program, lookahead, backend="interned"):
+    return cross_off(
+        program, lookahead=lookahead, mode="parallel", backend=backend
+    )
 
 
 def test_cold_crossing_1k_parallel(benchmark, core_metrics):
@@ -243,6 +285,53 @@ def test_cold_crossing_10k_parallel(core_metrics):
         pairs=result.pairs_crossed,
         steps=result.step_count,
         cells=10000,
+    )
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "cells,label", [(1000, "1k"), (4000, "4k"), (10000, "10k")]
+)
+def test_cold_crossing_columnar_sequential(cells, label, core_metrics):
+    program = _program(cells)
+    lookahead = uniform_lookahead(program, 2)
+    seconds, result = _best_of(
+        3 if cells <= 4000 else 2,
+        lambda: _cold_sequential(program, lookahead, backend="columnar"),
+    )
+    assert result.deadlock_free
+    _record_with_speedup(
+        core_metrics,
+        f"cross_off_cold_large_{label}_seq_np",
+        events=result.pairs_crossed,
+        seconds=seconds,
+        pairs=result.pairs_crossed,
+        cells=cells,
+        backend="columnar",
+    )
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "cells,label", [(1000, "1k"), (4000, "4k"), (10000, "10k")]
+)
+def test_cold_crossing_columnar_parallel(cells, label, core_metrics):
+    program = _program(cells)
+    lookahead = uniform_lookahead(program, 2)
+    seconds, result = _best_of(
+        3 if cells <= 4000 else 2,
+        lambda: _cold_parallel(program, lookahead, backend="columnar"),
+    )
+    assert result.deadlock_free
+    _record_with_speedup(
+        core_metrics,
+        f"cross_off_cold_large_{label}_par_np",
+        events=result.pairs_crossed,
+        seconds=seconds,
+        pairs=result.pairs_crossed,
+        steps=result.step_count,
+        cells=cells,
+        backend="columnar",
     )
 
 

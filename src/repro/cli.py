@@ -26,7 +26,11 @@ import sys
 from pathlib import Path
 
 from repro.arch.config import ArrayConfig
-from repro.core.crossing import cross_off, uniform_lookahead
+from repro.core.crossing import (
+    configure_crossing_backend,
+    cross_off,
+    uniform_lookahead,
+)
 from repro.core.labeling import constraint_labeling, labels_as_str
 from repro.core.schedule import summarize_schedule
 from repro.errors import ConfigError, ReproError
@@ -59,6 +63,19 @@ def _lookahead_for(program, capacity: int):
     return uniform_lookahead(program, capacity) if capacity > 0 else None
 
 
+def _apply_crossing_backend(args) -> None:
+    """Install ``--crossing-backend`` as the process-wide preference.
+
+    Set via :func:`configure_crossing_backend` rather than threaded
+    per call so every crossing run the command triggers — direct
+    ``cross_off``, labelings, and the analyses inside sweep workers
+    (forwarded by ``WorkerContext``) — resolves the same way. An
+    unknown name is rejected by argparse ``choices`` before this runs.
+    """
+    if getattr(args, "crossing_backend", None) is not None:
+        configure_crossing_backend(args.crossing_backend)
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     program = _load(args.file)
     print(side_by_side(program))
@@ -68,6 +85,7 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    _apply_crossing_backend(args)
     program = _load(args.file)
     lookahead = _lookahead_for(program, args.capacity)
     result = cross_off(program, lookahead=lookahead)
@@ -86,6 +104,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_label(args: argparse.Namespace) -> int:
+    _apply_crossing_backend(args)
     program = _load(args.file)
     lookahead = _lookahead_for(program, args.capacity)
     labeling = constraint_labeling(program, lookahead=lookahead)
@@ -229,6 +248,7 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_crossing_backend(args)
     program = _load(args.file)
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     queues = _int_list(args.queues, "--queues")
@@ -306,6 +326,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if completed == total else 1
 
 
+def _add_crossing_backend_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--crossing-backend",
+        dest="crossing_backend",
+        choices=("auto", "interned", "columnar"),
+        default=None,
+        help="crossing engine: interned (pure Python), columnar (numpy, "
+             "identical output), or auto (columnar for large programs "
+             "when numpy is installed); default defers to "
+             "REPRO_CROSSING_BACKEND, then auto",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -323,11 +356,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=0,
         help="queue capacity for §8 lookahead (0 = strict §3 procedure)",
     )
+    _add_crossing_backend_flag(check)
     check.set_defaults(func=cmd_check)
 
     label = sub.add_parser("label", help="compute a consistent labeling")
     label.add_argument("file")
     label.add_argument("--capacity", type=int, default=0)
+    _add_crossing_backend_flag(label)
     label.set_defaults(func=cmd_label)
 
     run = sub.add_parser("run", help="simulate on a configured array")
@@ -421,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(a corrupt or missing checkpoint restarts cleanly; one "
              "from a different sweep refuses to resume)",
     )
+    _add_crossing_backend_flag(sweep)
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
     return parser

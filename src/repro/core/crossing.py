@@ -57,12 +57,63 @@ name strings. Four ingredients make it fast on 1k-10k-cell programs:
   is never rescanned.
 * **a dirty-message worklist** — a message's executable pair depends only
   on the state of its two endpoint cells, so its cached candidate is
-  invalidated only when one of those cells changes. The sequential fast
-  loop additionally keeps the dirty ids in a lazy-deletion min-heap:
-  finding "the smallest dirty message that beats the clean minimum" is
-  O(log n) per step instead of re-sorting the (growing) dirty set every
-  step — the difference between linear and quadratic total work on
-  10k-cell programs.
+  invalidated only when one of those cells changes. The general
+  observer/pick loop is driven by this worklist; the sequential fast
+  loop below replaces it with a readiness-scan drain (next section).
+
+Sequential readiness drain
+--------------------------
+
+The sequential fast loop (which also hosts observer callbacks, so the
+Section 6 labeling drive rides it) never re-derives candidates from a
+dirty set. It keeps per-message-end readiness registers exactly like
+the parallel stepper's — a locatable end's position and skipped-write
+snapshot, refreshed by nomination scans — plus a min-heap of ids whose
+two ends are both ready. Two properties make the heap exact without
+lazy deletion:
+
+* a locatable end stays locatable until its own operation crosses
+  (crossings only shrink skip regions and advance the
+  first-uncrossed-read bound), so a heap entry is never stale when
+  popped — the popped minimum id *is* the lowest executable name;
+* after crossing at position ``p`` of a cell, the rescan resumes from
+  the next uncrossed position after ``p`` with the crossed end's
+  skipped-write snapshot as its running counts — the window prefix
+  below ``p`` is untouched by the crossing, so the snapshot *is* the
+  scan state there, and no position is ever scanned twice from the
+  front.
+
+Cell positions already visited are hopped over by per-cell
+successor-skip jump lists with path compression (invariant: a position
+is uncrossed iff it maps to itself, which is also how ``uncrossed`` is
+reconstructed); amortized, a whole run does O(total ops · α) scan work.
+
+Columnar backend
+----------------
+
+:mod:`repro.core.crossing_np` provides a numpy *columnar* backend with
+bit-identical output: the intern table's encoded sequences are exported
+once per program as flat position/count arrays (sign-coded ops,
+per-message sorted write/read positions, per-cell read positions and
+sorted write-mid lists, and a cumulative write-count table that answers
+every R2 prefix query with one gather and one subtract), the parallel
+mode steps as whole-array boolean masks with batch crossing, the
+sequential mode drains the same readiness structure from a vectorized
+seed, and ``PairCrossing``/``uncrossed``/``max_skipped`` materialize
+lazily at the result boundary. Selection: the ``backend`` argument of
+:func:`cross_off` / ``CrossingState(engine=...)`` >
+:func:`configure_crossing_backend` > the ``REPRO_CROSSING_BACKEND``
+environment variable (``interned``, ``columnar`` or ``auto``; default
+``auto``). ``auto`` picks columnar when numpy imports and the program
+has at least ``COLUMNAR_AUTO_MIN_OPS`` transfer ops (conversion must
+amortize); without numpy it silently falls back to the interned engine,
+while an *explicit* ``columnar`` raises
+:class:`~repro.errors.ConfigError`. Observer/pick callbacks always pin
+the interned engine (they need the live incremental state). The
+bit-identity contract is enforced by the same differential harness that
+gates the interned fast loops: identical ``steps``/``crossings``/
+``uncrossed``/``max_skipped`` on every corpus, both modes, every
+lookahead budget — analysis caches therefore never key on the backend.
 
 Bucketed parallel step flush
 ----------------------------
@@ -111,6 +162,7 @@ in ``tests/reference_crossing.py``; property tests assert bit-identical
 from __future__ import annotations
 
 import math
+import os
 from bisect import bisect_left
 from heapq import heappop, heappush
 from dataclasses import dataclass, field
@@ -118,6 +170,79 @@ from typing import Callable, Iterator, Mapping, NamedTuple, Protocol
 
 from repro.core.ops import Op
 from repro.core.program import ArrayProgram
+from repro.errors import ConfigError
+
+#: Below this many transfer ops, ``auto`` keeps the interned engine —
+#: the columnar conversion would not amortize on a one-shot analysis.
+COLUMNAR_AUTO_MIN_OPS = 4096
+
+_BACKEND_NAMES = ("auto", "interned", "columnar")
+
+_configured_backend: str | None = None
+
+
+def configure_crossing_backend(backend: str | None) -> str | None:
+    """Set the process-wide crossing-backend preference.
+
+    ``backend`` is ``"auto"``, ``"interned"``, ``"columnar"`` or ``None``
+    (clear the preference). Per-call ``backend=`` arguments still win;
+    the ``REPRO_CROSSING_BACKEND`` environment variable is consulted only
+    when neither is set. Returns the previous preference so callers can
+    restore it.
+    """
+    global _configured_backend
+    if backend is not None and backend not in _BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown crossing backend {backend!r}; "
+            f"choose one of {', '.join(_BACKEND_NAMES)}"
+        )
+    previous = _configured_backend
+    _configured_backend = backend
+    return previous
+
+
+def configured_crossing_backend() -> str | None:
+    """The process-wide preference set by :func:`configure_crossing_backend`."""
+    return _configured_backend
+
+
+def resolve_backend(program: ArrayProgram, backend: str | None = None) -> str:
+    """Resolve the crossing backend for one run over ``program``.
+
+    Resolution order: explicit ``backend`` argument, then
+    :func:`configure_crossing_backend`, then ``REPRO_CROSSING_BACKEND``,
+    then ``"auto"``. ``auto`` returns ``"columnar"`` when numpy imports
+    and the program has at least :data:`COLUMNAR_AUTO_MIN_OPS` transfer
+    ops, else ``"interned"`` (silent fallback — the zero-dependency
+    install never errors). An explicit ``"columnar"`` without numpy
+    raises :class:`~repro.errors.ConfigError`.
+    """
+    name = backend if backend is not None else _configured_backend
+    if name is None:
+        name = os.environ.get("REPRO_CROSSING_BACKEND") or "auto"
+    if name not in _BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown crossing backend {name!r}; "
+            f"choose one of {', '.join(_BACKEND_NAMES)}"
+        )
+    if name == "interned":
+        return "interned"
+    from repro.core import crossing_np
+
+    if name == "columnar":
+        if not crossing_np.numpy_available():
+            raise ConfigError(
+                "crossing backend 'columnar' requires numpy (install the "
+                "repro[fast] extra); use 'interned' or 'auto' for the "
+                "pure-Python engine"
+            )
+        return "columnar"
+    if (
+        crossing_np.numpy_available()
+        and program.total_transfer_ops >= COLUMNAR_AUTO_MIN_OPS
+    ):
+        return "columnar"
+    return "interned"
 
 
 @dataclass(frozen=True)
@@ -232,6 +357,7 @@ class CrossingState:
     __slots__ = (
         "program",
         "lookahead",
+        "engine",
         "intern",
         "total_remaining",
         "_senders",
@@ -254,7 +380,6 @@ class CrossingState:
         "_exec_order",
         "_exec_added",
         "_dirty",
-        "_dirty_heap",
         "_incident",
     )
 
@@ -262,9 +387,16 @@ class CrossingState:
         self,
         program: ArrayProgram,
         lookahead: LookaheadConfig | None = None,
+        engine: str | None = None,
     ) -> None:
         self.program = program
         self.lookahead = lookahead
+        # The resolved kernel preference for drivers over this state
+        # (cross_off consults the same resolution). The incremental
+        # query API below is always the interned implementation; the
+        # columnar kernels live in repro.core.crossing_np and are
+        # dispatched at the cross_off boundary.
+        self.engine = resolve_backend(program, engine)
         intern = program.intern
         self.intern = intern
         ncells = len(intern.cell_names)
@@ -300,13 +432,9 @@ class CrossingState:
         # `_executable` as a lightweight (sender_pos, receiver_pos,
         # skipped_sender, skipped_receiver) id-tuple (absence = no pair)
         # and recomputed only for ids in `_dirty` — a message is dirtied
-        # exactly when one of its endpoint cells changes. `_dirty_heap` is
-        # a lazy-deletion min-heap over the dirty ids, maintained only
-        # while the sequential fast loop is active (it is the only
-        # consumer that needs ordered access to the dirty set).
+        # exactly when one of its endpoint cells changes.
         self._executable: dict[int, tuple] = {}
         self._dirty: set[int] = set(range(nmsgs))
-        self._dirty_heap: list[int] | None = None
         # Step-start snapshot state for executable_pairs(): the previous
         # snapshot (id-sorted, lazily pruned) plus a min-heap of ids that
         # (re)entered `_executable` since — merging the two is
@@ -587,7 +715,6 @@ class CrossingState:
         ``skipped_*`` tuples carry interned ids, not names.
         """
         dirty = self._dirty
-        dirty_heap = self._dirty_heap
         fronts = self._fronts
         senders = self._senders
         receivers = self._receivers
@@ -614,11 +741,7 @@ class CrossingState:
                 fronts[cid] = front
                 # The front moved: every incident message's eligibility
                 # (front fast path, skip region) may have changed.
-                for m in self._incident[cid]:
-                    if m not in dirty:
-                        dirty.add(m)
-                        if dirty_heap is not None:
-                            heappush(dirty_heap, m)
+                dirty.update(self._incident[cid])
             else:
                 # Front unchanged: a message's candidate in this cell is
                 # affected only if the crossed position lies *before* its
@@ -643,15 +766,10 @@ class CrossingState:
                         k = rcrossed[m]
                     if k < len(positions) and pos < positions[k]:
                         dirty.add(m)
-                        if dirty_heap is not None:
-                            heappush(dirty_heap, m)
         # The crossed message's own candidate always changes (and must be
         # dropped once its remaining count reaches zero) — the positional
         # probes above miss it when its final operation in a cell crossed.
-        if mid not in dirty:
-            dirty.add(mid)
-            if dirty_heap is not None:
-                heappush(dirty_heap, mid)
+        dirty.add(mid)
         remaining = self._remaining
         remaining[mid] -= 2
         if remaining[mid] == 0:
@@ -904,12 +1022,206 @@ def _run_parallel_fast(
     state.total_remaining = total_remaining
 
 
+def _run_sequential_fast(
+    state: CrossingState,
+    steps: list[list[PairCrossing]],
+    crossings: list[PairCrossing],
+    observer: PairObserver | None,
+) -> None:
+    """Readiness-scan sequential drain (see the module docstring).
+
+    One pair per step, always the lowest executable message name: the
+    heap of both-ends-ready ids is exact (a located end stays located
+    until its own op crosses), so the popped minimum needs no
+    re-validation. After each crossing the two endpoint cells are
+    rescanned *from the crossed position*, restarting from the crossed
+    end's skipped-write snapshot; successor-skip jump lists (position
+    uncrossed iff it maps to itself) keep scans on uncrossed ops only.
+
+    Observer callbacks run here too (the labeling drive): each gets the
+    unstamped pair before mutation, exactly like the general loop, and
+    may read the documented state views (``future_messages``,
+    ``last_crossed_message``, ``fronts``, ``uncrossed_ops``,
+    ``max_skipped``, ``remaining_per_message``) — all maintained per
+    crossing. The worklist caches (``executable_pair(s)``) are *not*
+    refreshed on this path; observers needing those run through the
+    general ``pick`` loop.
+    """
+    intern = state.intern
+    names = intern.message_names
+    cells = intern.cell_names
+    nmsgs = len(names)
+    enc = intern.signed_transfers
+    nxt = [list(range(len(seq) + 1)) for seq in enc]
+    senders = state._senders
+    receivers = state._receivers
+    cap = state._cap
+    crossed_all = state._crossed
+    fronts = state._fronts
+    last_crossed = state._last_crossed
+    wcrossed = state._wcrossed
+    rcrossed = state._rcrossed
+    cell_reads_crossed = state._cell_reads_crossed
+    remaining = state._remaining
+    max_skipped = state._max_skipped
+    ready_w = bytearray(nmsgs)
+    ready_r = bytearray(nmsgs)
+    in_heap = bytearray(nmsgs)
+    w_pos = [0] * nmsgs
+    r_pos = [0] * nmsgs
+    w_skip: list[tuple] = [()] * nmsgs
+    r_skip: list[tuple] = [()] * nmsgs
+    heap: list[int] = []
+    pair_new = PairCrossing
+
+    def scan(cid: int, start: int, counts: dict[int, int] | None) -> None:
+        """Nominate every locatable end at/after ``start`` in ``cid``.
+
+        ``counts`` carries the skipped-write tally of the window below
+        ``start`` (``None`` = fresh window from the front). Stops at the
+        first uncrossed read (R1, nominating its receiver end) or at the
+        first write that exhausts an R2 budget; on the way, the first
+        uncrossed write of each message met is nominated with the
+        current tally as its id-sorted skip snapshot.
+        """
+        seq = enc[cid]
+        size = len(seq)
+        nx = nxt[cid]
+        j = start
+        if j >= size:
+            return
+        pos = nx[j]
+        if pos != j:
+            while nx[pos] != pos:
+                pos = nx[pos]
+            while nx[j] != pos:
+                nx[j], j = pos, nx[j]
+        while pos < size:
+            mid = seq[pos]
+            if mid < 0:
+                mid = ~mid
+                ready_r[mid] = 1
+                r_pos[mid] = pos
+                if not counts:
+                    r_skip[mid] = ()
+                elif len(counts) == 1:
+                    r_skip[mid] = tuple(counts.items())
+                else:
+                    r_skip[mid] = tuple(sorted(counts.items()))
+                if ready_w[mid] and not in_heap[mid]:
+                    in_heap[mid] = 1
+                    heappush(heap, mid)
+                return
+            if counts is None:
+                ready_w[mid] = 1
+                w_pos[mid] = pos
+                w_skip[mid] = ()
+                if ready_r[mid] and not in_heap[mid]:
+                    in_heap[mid] = 1
+                    heappush(heap, mid)
+                if cap is None:
+                    return  # no lookahead: the front op is the window
+                counts = {mid: 1}
+                if cap[mid] < 1:
+                    return
+            else:
+                k = counts.get(mid)
+                if k is None:
+                    ready_w[mid] = 1
+                    w_pos[mid] = pos
+                    if len(counts) == 1:
+                        w_skip[mid] = tuple(counts.items())
+                    else:
+                        w_skip[mid] = tuple(sorted(counts.items()))
+                    if ready_r[mid] and not in_heap[mid]:
+                        in_heap[mid] = 1
+                        heappush(heap, mid)
+                    counts[mid] = 1
+                    if cap[mid] < 1:
+                        return
+                else:
+                    k += 1
+                    counts[mid] = k
+                    if k > cap[mid]:
+                        return  # R2: deeper candidates would overfill mid
+            j = pos + 1
+            pos = nx[j]
+            if pos != j:
+                while nx[pos] != pos:
+                    pos = nx[pos]
+                while nx[j] != pos:
+                    nx[j], j = pos, nx[j]
+
+    for cid in range(len(cells)):
+        scan(cid, 0, None)
+    total_remaining = state.total_remaining
+    while heap:
+        mid = heappop(heap)
+        in_heap[mid] = 0
+        ready_w[mid] = 0
+        ready_r[mid] = 0
+        sp = w_pos[mid]
+        rp = r_pos[mid]
+        ss = w_skip[mid]
+        sr = r_skip[mid]
+        s = senders[mid]
+        r = receivers[mid]
+        step_no = len(steps) + 1
+        # --- materialize (ids -> names only here) ---------------------
+        skip_s = tuple((names[m], c) for m, c in ss) if ss else ()
+        skip_r = tuple((names[m], c) for m, c in sr) if sr else ()
+        stamped = pair_new(
+            step_no, names[mid], cells[s], sp, cells[r], rp, skip_s, skip_r
+        )
+        if observer is not None:
+            # The general loop hands observers the unstamped pair (the
+            # step number is assigned by the crossing), before mutation.
+            observer(state, stamped._replace(step=0))
+        # --- apply ----------------------------------------------------
+        wcrossed[mid] += 1
+        rcrossed[mid] += 1
+        cell_reads_crossed[r] += 1
+        remaining[mid] -= 2
+        total_remaining -= 2
+        last_crossed[s] = mid
+        last_crossed[r] = mid
+        crossed_all[s][sp] = 1
+        crossed_all[r][rp] = 1
+        nxt[s][sp] = sp + 1
+        nxt[r][rp] = rp + 1
+        for cid, pos in ((s, sp), (r, rp)):
+            if fronts[cid] == pos:
+                nx = nxt[cid]
+                j = pos + 1
+                front = nx[j]
+                if front != j:
+                    while nx[front] != front:
+                        front = nx[front]
+                    while nx[j] != front:
+                        nx[j], j = front, nx[j]
+                fronts[cid] = front
+        if ss or sr:
+            for m, c in ss:
+                if c > max_skipped[m]:
+                    max_skipped[m] = c
+            for m, c in sr:
+                if c > max_skipped[m]:
+                    max_skipped[m] = c
+        steps.append([stamped])
+        crossings.append(stamped)
+        # --- rescan from the crossed positions ------------------------
+        scan(s, sp + 1, dict(ss) if ss else None)
+        scan(r, rp + 1, dict(sr) if sr else None)
+    state.total_remaining = total_remaining
+
+
 def cross_off(
     program: ArrayProgram,
     lookahead: LookaheadConfig | None = None,
     mode: str = "parallel",
     observer: PairObserver | None = None,
     pick: Callable[[list[PairCrossing]], PairCrossing] | None = None,
+    backend: str | None = None,
 ) -> CrossingResult:
     """Run the crossing-off procedure on ``program``.
 
@@ -924,6 +1236,11 @@ def cross_off(
         pick: sequential-mode tie-breaker among executable pairs; defaults
             to lowest message name (which reproduces the paper's choice of
             A as the first pair in the Fig. 7 walkthrough).
+        backend: kernel selection — ``"interned"``, ``"columnar"`` or
+            ``"auto"`` (see "Columnar backend" in the module docstring);
+            ``None`` defers to :func:`configure_crossing_backend` /
+            ``REPRO_CROSSING_BACKEND``. Output never depends on the
+            backend; observer/pick callbacks pin the interned engine.
 
     Returns:
         A :class:`CrossingResult`; ``deadlock_free`` is True iff every
@@ -931,71 +1248,23 @@ def cross_off(
     """
     if mode not in ("parallel", "sequential"):
         raise ValueError(f"unknown mode {mode!r}")
-    state = CrossingState(program, lookahead)
+    if observer is None and pick is None:
+        if resolve_backend(program, backend) == "columnar":
+            from repro.core import crossing_np
+
+            return crossing_np.columnar_cross_off(program, lookahead, mode)
+    elif backend is not None and backend not in _BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown crossing backend {backend!r}; "
+            f"choose one of {', '.join(_BACKEND_NAMES)}"
+        )
+    state = CrossingState(program, lookahead, engine="interned")
     steps: list[list[PairCrossing]] = []
     crossings: list[PairCrossing] = []
-    if observer is None and pick is None:
-        # Fast loop for the analysis path: work on the cached id-entry
-        # tuples directly, materializing exactly one (already-stamped)
-        # PairCrossing per crossing. Output is identical to the general
-        # loop below — the sequential choice is the lowest message name
-        # (== lowest id) and parallel steps cross the step-start set in
-        # name (== id) order.
-        executable = state._executable
-        dirty = state._dirty
-        apply_cross = state._apply_cross
-        as_pair = state._as_pair
-        compute = state._compute_entry
-        if mode == "sequential":
-            # Two lazy-deletion heaps drive the "lowest executable name"
-            # choice in O(log n) per step: `exec_heap` holds the *clean*
-            # executable ids (every id is pushed when it (re)gains a
-            # fresh entry; stale tops — dirtied or no longer executable —
-            # are popped on peek), and `state._dirty_heap` mirrors the
-            # dirty set (ids whose set membership is gone are stale).
-            # Dirty ids are evaluated in ascending order just far enough
-            # to beat the clean minimum; the rest stay deferred.
-            state._ensure_incident()
-            state._ensure_indexes()
-            exec_heap: list[int] = []
-            dirty_heap = sorted(dirty)  # a sorted list is a valid heap
-            state._dirty_heap = dirty_heap
-            while state.total_remaining > 0:
-                while exec_heap and (
-                    exec_heap[0] in dirty or exec_heap[0] not in executable
-                ):
-                    heappop(exec_heap)
-                clean_min = exec_heap[0] if exec_heap else None
-                best = clean_min
-                while dirty_heap:
-                    mid = dirty_heap[0]
-                    if mid not in dirty:
-                        heappop(dirty_heap)  # stale: already re-evaluated
-                        continue
-                    if clean_min is not None and mid > clean_min:
-                        break
-                    heappop(dirty_heap)
-                    dirty.discard(mid)
-                    entry = compute(mid)
-                    if entry is None:
-                        executable.pop(mid, None)
-                    else:
-                        # (No _exec_added push: this state never serves
-                        # executable_pairs — the fast loops own it.)
-                        executable[mid] = entry
-                        heappush(exec_heap, mid)
-                        best = mid
-                        break  # ascending: first hit is the dirty minimum
-                if best is None:
-                    break
-                step_no = len(steps) + 1
-                entry = executable[best]
-                stamped = as_pair(best, entry, step_no)
-                apply_cross(best, entry[0], entry[1], entry[2], entry[3])
-                steps.append([stamped])
-                crossings.append(stamped)
-        else:
-            _run_parallel_fast(state, steps, crossings)
+    if pick is None and mode == "sequential":
+        _run_sequential_fast(state, steps, crossings, observer)
+    elif pick is None and observer is None:
+        _run_parallel_fast(state, steps, crossings)
     else:
         while not state.done:
             pairs = state.executable_pairs()

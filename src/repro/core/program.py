@@ -236,6 +236,8 @@ class InternTable:
         "encoded_transfers",
         "transfer_counts",
         "max_op_cycles",
+        "_signed",
+        "_columnar",
     )
 
     def __init__(self, program: "ArrayProgram") -> None:
@@ -278,6 +280,10 @@ class InternTable:
         )
         self.transfer_counts: tuple[int, ...] = tuple(counts)
         self.max_op_cycles: int = max_cycles
+        # Derived encodings, built lazily and shared by every analysis
+        # over the program (see signed_transfers / columnar).
+        self._signed: tuple[list[int], ...] | None = None
+        self._columnar = None
 
     @property
     def cell_count(self) -> int:
@@ -286,6 +292,42 @@ class InternTable:
     @property
     def message_count(self) -> int:
         return len(self.message_names)
+
+    @property
+    def signed_transfers(self) -> tuple[list[int], ...]:
+        """Per-cell sign-coded transfer sequences (built once, lazily).
+
+        Writes encode as ``mid``, reads as ``~mid`` — one comparison
+        (``x < 0``) replaces tuple unpacking in the crossing engine's
+        nomination scans. The inner lists are read-only by contract
+        (lists, not tuples: list indexing is what the hot scans do).
+        """
+        signed = self._signed
+        if signed is None:
+            signed = tuple(
+                [mid if is_write else ~mid for is_write, mid in seq]
+                for seq in self.encoded_transfers
+            )
+            self._signed = signed
+        return signed
+
+    def columnar(self):
+        """The numpy columnar view of this table (built once, lazily).
+
+        Returns a :class:`repro.core.crossing_np.ColumnarTables` — flat
+        position arrays, cumulative write-count tables and capacity
+        gather indexes shared zero-copy by every columnar crossing run
+        over this program. Raises :class:`~repro.errors.ConfigError`
+        when numpy is unavailable; callers gate on
+        :func:`repro.core.crossing_np.numpy_available`.
+        """
+        tables = self._columnar
+        if tables is None:
+            from repro.core.crossing_np import ColumnarTables
+
+            tables = ColumnarTables(self)
+            self._columnar = tables
+        return tables
 
 
 @dataclass(frozen=True)

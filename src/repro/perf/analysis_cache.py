@@ -11,6 +11,13 @@ times, so this module memoizes the analyses under a content key:
     (program fingerprint, topology fingerprint, router class,
      queue_capacity, allow_extension)
 
+The crossing *backend* (interned vs columnar, see
+:func:`repro.core.crossing.resolve_backend`) is deliberately **not**
+part of the key: the engines are pinned bit-identical by the
+equivalence harness, so a labeling computed under one backend is the
+labeling under the other — switching backends mid-process keeps every
+cache entry valid and shared.
+
 Fingerprints are BLAKE2 digests of the structural content (cells,
 messages, per-cell operation sequences), so two structurally identical
 programs share cache entries even if built independently. Entries are

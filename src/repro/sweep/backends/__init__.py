@@ -69,6 +69,7 @@ class WorkerContext:
     disk_cache: str | None = None
     disk_cache_max_bytes: int | None = None
     fault_plan: FaultPlan | None = None
+    crossing_backend: str | None = None
 
     @classmethod
     def capture(
@@ -81,23 +82,37 @@ class WorkerContext:
         An explicit ``disk_cache`` wins; otherwise a programmatically
         configured disk tier (:func:`repro.perf.disk_cache.
         configure_disk_cache`) is forwarded so pool workers share it.
-        Env-var-only configuration needs no forwarding — workers inherit
-        the environment and resolve it themselves. ``fault_plan`` rides
+        The crossing-backend preference follows the same rule: a
+        parent-process :func:`repro.core.crossing.
+        configure_crossing_backend` call is forwarded so every worker
+        resolves engines the way the parent does. Env-var-only
+        configuration needs no forwarding — workers inherit the
+        environment and resolve it themselves. ``fault_plan`` rides
         along verbatim: it is the injection channel for the
         deterministic fault harness (:mod:`repro.sweep.fault`).
         """
+        from repro.core.crossing import configured_crossing_backend
+
+        crossing_backend = configured_crossing_backend()
         if disk_cache is not None:
-            return cls(disk_cache=disk_cache, fault_plan=fault_plan)
+            return cls(
+                disk_cache=disk_cache,
+                fault_plan=fault_plan,
+                crossing_backend=crossing_backend,
+            )
         from repro.perf.disk_cache import active_disk_cache_config
 
         active = active_disk_cache_config()
         if active is None:
-            return cls(fault_plan=fault_plan)
+            return cls(
+                fault_plan=fault_plan, crossing_backend=crossing_backend
+            )
         directory, max_bytes = active
         return cls(
             disk_cache=directory,
             disk_cache_max_bytes=max_bytes,
             fault_plan=fault_plan,
+            crossing_backend=crossing_backend,
         )
 
     def apply(self) -> None:
@@ -114,6 +129,10 @@ class WorkerContext:
             configure_disk_cache(
                 self.disk_cache, max_bytes=self.disk_cache_max_bytes
             )
+        if self.crossing_backend is not None:
+            from repro.core.crossing import configure_crossing_backend
+
+            configure_crossing_backend(self.crossing_backend)
         fault_mod.install(self.fault_plan)
 
 

@@ -196,3 +196,32 @@ class TestCustomSubclassSafety:
             pass
 
         assert topology_fingerprint(WeirdTopology(("C1", "C2"))) is None
+
+
+class TestBackendIndependence:
+    """The content key deliberately excludes the crossing backend.
+
+    The interned and columnar engines are pinned bit-identical
+    (tests/test_crossing_equivalence.py), so switching backends
+    mid-process must keep sharing the same cache entry — no second
+    miss, no recomputed labeling.
+    """
+
+    def test_backend_switch_shares_cache_entry(self):
+        from repro.core.crossing import configure_crossing_backend
+
+        program = fir_program(4, 8)
+        registers = fir_registers((1.0,) * 4)
+        previous = configure_crossing_backend("interned")
+        try:
+            first = simulate(program, registers=registers)
+            assert analysis_cache_stats()["misses"] == 1
+            configure_crossing_backend("auto")
+            second = simulate(program, registers=registers)
+        finally:
+            configure_crossing_backend(previous)
+        stats = analysis_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+        assert second.completed == first.completed
+        assert second.time == first.time

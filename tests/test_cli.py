@@ -331,3 +331,43 @@ class TestSweepFaultToleranceFlags:
         assert closed == [True]  # the stream was torn down
         assert "interrupted" in captured.err
         assert "--resume" in captured.err
+
+
+class TestCrossingBackendFlag:
+    """--crossing-backend on check/label/sweep (process-global knob)."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        from repro.core.crossing import configure_crossing_backend
+
+        previous = configure_crossing_backend(None)
+        yield
+        configure_crossing_backend(previous)
+
+    def test_check_backends_print_identically(self, fig7_file, capsys):
+        from repro.core.crossing_np import numpy_available
+
+        assert main(["check", fig7_file, "--crossing-backend", "interned"]) == 0
+        interned = capsys.readouterr().out
+        if not numpy_available():
+            pytest.skip("columnar leg needs numpy")
+        assert main(["check", fig7_file, "--crossing-backend", "columnar"]) == 0
+        assert capsys.readouterr().out == interned
+
+    def test_label_accepts_flag(self, fig7_file, capsys):
+        code = main(["label", fig7_file, "--crossing-backend", "interned"])
+        assert code == 0
+        assert "A=1 B=3 C=2" in capsys.readouterr().out
+
+    def test_sweep_accepts_flag_and_forwards_to_workers(self, fig7_file, capsys):
+        code = main([
+            "sweep", fig7_file, "--queues", "1,2",
+            "--crossing-backend", "interned", "--workers", "2",
+        ])
+        assert code == 0
+        assert "2/2 runs completed" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_by_argparse(self, fig7_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", fig7_file, "--crossing-backend", "vectorized"])
+        assert "invalid choice" in capsys.readouterr().err

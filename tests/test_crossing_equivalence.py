@@ -51,11 +51,19 @@ from hypothesis import strategies as st
 from reference_crossing import reference_cross_off
 
 from repro import ArrayConfig, Simulator
-from repro.core.crossing import cross_off, uniform_lookahead
+from repro.core.crossing import (
+    COLUMNAR_AUTO_MIN_OPS,
+    CrossingState,
+    configure_crossing_backend,
+    cross_off,
+    resolve_backend,
+    uniform_lookahead,
+)
+from repro.core.crossing_np import numpy_available
 from repro.core.message import Message
 from repro.core.ops import R, W
 from repro.core.program import ArrayProgram
-from repro.errors import ProgramError
+from repro.errors import ConfigError, ProgramError
 from repro.sim.engine import WHEEL_HORIZON, Engine
 from repro.workloads import (
     WorkloadSpec,
@@ -652,3 +660,193 @@ class TestTimingWheelDeterminism:
         default = Engine()
         default.after(20, lambda: None)
         assert len(default._heap) == 1  # default horizon: heap overflow
+
+
+# ---------------------------------------------------------------------------
+# Columnar backend: interned/columnar A/B axis, pinned edges, machinery
+# ---------------------------------------------------------------------------
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="columnar backend needs numpy"
+)
+
+
+def assert_backends_identical(program, lookahead, mode):
+    """Field-for-field equality of the two backends on one input.
+
+    Complements :func:`assert_identical` (each backend vs the oracle):
+    this axis runs the interned and columnar engines head to head, so a
+    shared misreading of the paper in both engine and oracle cannot
+    hide a backend divergence (and vice versa).
+    """
+    a = cross_off(program, lookahead=lookahead, mode=mode, backend="interned")
+    b = cross_off(program, lookahead=lookahead, mode=mode, backend="columnar")
+    assert b.deadlock_free == a.deadlock_free
+    assert b.steps == a.steps
+    assert b.crossings == a.crossings
+    assert b.max_skipped == a.max_skipped
+    assert b.uncrossed == a.uncrossed
+    assert b.lookahead_used == a.lookahead_used
+
+
+@requires_numpy
+@given(specs, lookaheads, modes)
+@RELAXED
+def test_backend_ab_random_identical(spec, capacity, mode):
+    program = random_program(spec)
+    assert_backends_identical(program, _lookahead(program, capacity), mode)
+
+
+@requires_numpy
+@given(specs, lookaheads, modes)
+@RELAXED
+def test_backend_ab_deadlocked_identical(spec, capacity, mode):
+    program = inject_read_cycle(random_program(spec), seed=spec.seed)
+    assert_backends_identical(program, _lookahead(program, capacity), mode)
+
+
+@requires_numpy
+@given(large_specs, lookaheads, modes)
+@LARGE
+def test_backend_ab_large_identical(spec, capacity, mode):
+    """The columnar target regime, with hoisting for skip pressure."""
+    program = hoist_writes(random_program(spec), swaps=12, seed=spec.seed + 5)
+    assert_backends_identical(program, _lookahead(program, capacity), mode)
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "spec,mode,capacity",
+    SEED_CORPUS,
+    ids=[f"{s.cells}c-{m}-cap{c}" for s, m, c in SEED_CORPUS],
+)
+def test_seed_corpus_backend_ab(spec, mode, capacity):
+    program = random_program(spec)
+    assert_backends_identical(program, _lookahead(program, capacity), mode)
+
+
+@requires_numpy
+class TestColumnarEdges:
+    """Pinned shapes for the columnar kernels' boundary paths."""
+
+    ALL_MODES = [("parallel", None), ("parallel", 2), ("sequential", None),
+                 ("sequential", 2), ("sequential", math.inf)]
+
+    def _check_all(self, program):
+        for mode, capacity in self.ALL_MODES:
+            lookahead = _lookahead(program, capacity)
+            assert_identical(program, lookahead, mode)
+            assert_backends_identical(program, lookahead, mode)
+
+    def test_empty_program(self):
+        """No messages at all: the kernels' zero-size guards."""
+        program = ArrayProgram(("C1", "C2"), [], {}, name="empty")
+        self._check_all(program)
+        result = cross_off(program, backend="columnar")
+        assert result.deadlock_free
+        assert result.crossings == []
+        assert result.uncrossed == {}
+
+    def test_single_message(self):
+        cells = ("C1", "C2")
+        messages = [Message("ONLY", "C1", "C2", 3)]
+        programs = {"C1": [W("ONLY")] * 3, "C2": [R("ONLY")] * 3}
+        self._check_all(
+            ArrayProgram(cells, messages, programs, name="single-message")
+        )
+
+    def test_empty_cells_and_skips(self):
+        """Unused cells plus a hoisted write exercising nonzero skips."""
+        cells = ("C1", "C2", "C3", "C4")
+        messages = [
+            Message("A", "C2", "C3", 2),
+            Message("B", "C2", "C3", 1),
+        ]
+        programs = {
+            "C2": [W("A"), W("B"), W("A")],
+            "C3": [R("B"), R("A"), R("A")],
+        }
+        self._check_all(
+            ArrayProgram(cells, messages, programs, name="skip-edges")
+        )
+
+    def test_auto_threshold_boundary(self):
+        """``auto`` flips to columnar exactly at COLUMNAR_AUTO_MIN_OPS."""
+        spec = WorkloadSpec(
+            cells=6, messages=8, max_length=3, max_span=3, burst=2, seed=3
+        )
+        small = random_program(spec)
+        assert small.total_transfer_ops < COLUMNAR_AUTO_MIN_OPS
+        assert resolve_backend(small) == "interned"
+        assert resolve_backend(small, "columnar") == "columnar"
+        length = COLUMNAR_AUTO_MIN_OPS // 2
+        at = ArrayProgram(
+            ("C1", "C2"),
+            [Message("M", "C1", "C2", length)],
+            {"C1": [W("M")] * length, "C2": [R("M")] * length},
+            name="at-threshold",
+        )
+        assert at.total_transfer_ops == COLUMNAR_AUTO_MIN_OPS
+        assert resolve_backend(at) == "columnar"
+        under = ArrayProgram(
+            ("C1", "C2"),
+            [Message("M", "C1", "C2", length - 1)],
+            {"C1": [W("M")] * (length - 1), "C2": [R("M")] * (length - 1)},
+            name="under-threshold",
+        )
+        assert under.total_transfer_ops == COLUMNAR_AUTO_MIN_OPS - 2
+        assert resolve_backend(under) == "interned"
+        # Both resolutions produce identical output either way.
+        self._check_all(at)
+
+
+class TestBackendMachinery:
+    """Resolution order and configuration knobs, backend-independent."""
+
+    def test_configure_returns_previous_and_restores(self):
+        previous = configure_crossing_backend("interned")
+        try:
+            assert configure_crossing_backend(None) == "interned"
+        finally:
+            configure_crossing_backend(previous)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            configure_crossing_backend("vectorized")
+        program = ArrayProgram(("C1",), [], {}, name="tiny")
+        with pytest.raises(ConfigError):
+            resolve_backend(program, "vectorized")
+
+    def test_env_var_resolution(self, monkeypatch):
+        program = ArrayProgram(("C1",), [], {}, name="tiny")
+        monkeypatch.setenv("REPRO_CROSSING_BACKEND", "interned")
+        assert resolve_backend(program) == "interned"
+        # Explicit argument and configured preference both win over env.
+        previous = configure_crossing_backend("auto")
+        try:
+            assert resolve_backend(program) == resolve_backend(program, "auto")
+        finally:
+            configure_crossing_backend(previous)
+
+    def test_explicit_columnar_without_numpy_errors(self):
+        program = ArrayProgram(("C1",), [], {}, name="tiny")
+        if numpy_available():
+            assert resolve_backend(program, "columnar") == "columnar"
+        else:
+            with pytest.raises(ConfigError):
+                resolve_backend(program, "columnar")
+            # auto stays a silent fallback.
+            assert resolve_backend(program) == "interned"
+            assert cross_off(program).deadlock_free
+
+    def test_crossing_state_resolves_engine(self):
+        cells = ("C1", "C2")
+        messages = [Message("M", "C1", "C2", 1)]
+        programs = {"C1": [W("M")], "C2": [R("M")]}
+        program = ArrayProgram(cells, messages, programs, name="state")
+        state = CrossingState(program, engine="interned")
+        assert state.engine == "interned"
+        small_auto = CrossingState(program)
+        assert small_auto.engine == "interned"  # under the auto threshold
+        if numpy_available():
+            assert CrossingState(program, engine="columnar").engine == "columnar"

@@ -364,3 +364,48 @@ class TestResultHandle:
         first = handle.result()
         assert first.completed
         assert handle.result() is first
+
+
+class TestWorkerContextCrossingBackend:
+    """The crossing-backend preference rides WorkerContext to workers."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        from repro.core.crossing import configure_crossing_backend
+
+        previous = configure_crossing_backend(None)
+        yield
+        configure_crossing_backend(previous)
+
+    def test_capture_snapshots_configured_preference(self):
+        from repro.core.crossing import configure_crossing_backend
+        from repro.sweep.backends import WorkerContext
+
+        assert WorkerContext.capture().crossing_backend is None
+        configure_crossing_backend("interned")
+        ctx = WorkerContext.capture()
+        assert ctx.crossing_backend == "interned"
+        # Explicit disk_cache path carries the preference too.
+        assert WorkerContext.capture("/tmp/x").crossing_backend == "interned"
+
+    def test_apply_installs_preference(self):
+        from repro.core.crossing import configured_crossing_backend
+        from repro.sweep.backends import WorkerContext
+
+        WorkerContext(crossing_backend="interned").apply()
+        assert configured_crossing_backend() == "interned"
+        # A context with no preference leaves the current one alone.
+        WorkerContext().apply()
+        assert configured_crossing_backend() == "interned"
+
+    def test_pool_workers_inherit_preference(self, fig7):
+        from repro.core.crossing import configure_crossing_backend
+
+        configure_crossing_backend("interned")
+        plan = SweepPlan(
+            jobs=sweep_jobs(fig7, policies=("ordered",), queues=(1, 2)),
+            backend="pool",
+            workers=2,
+        )
+        rows = [h.summary for h in SweepSession(plan).run().handles]
+        assert [row.outcome for row in rows] == ["completed", "completed"]
