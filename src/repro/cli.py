@@ -9,6 +9,12 @@ The textual format is that of :mod:`repro.lang.parser`. Examples::
     python -m repro run    program.sysp --policy fcfs --trace
     python -m repro show   program.sysp            # paper-style listing
     python -m repro sweep  program.sysp --policies ordered,fcfs --queues 1,2
+    python -m repro frontier program.sysp --queues 1,2 --capacity 0,1,2,4,8
+
+``frontier`` answers the Section 8 sizing question directly: the minimal
+queue capacity per (policy, queues) line, binary-searched in O(log n)
+simulations where completion is monotone in capacity (the static
+policy) and fully evaluated where it is not (FCFS).
 
 Long sweeps can run fault-tolerantly (``--job-timeout``,
 ``--max-retries``: crashed workers are replaced and their jobs retried,
@@ -40,15 +46,19 @@ from repro.sim.runtime import simulate
 from repro.sweep import (
     CompletedCount,
     DeadlockRateByConfig,
+    FrontierPlanner,
     MakespanHistogram,
     PerConfigMakespan,
+    PlanSpec,
     QuantileReducer,
     SweepPlan,
     SweepSession,
+    exhaustive_spec,
     iter_sweep_jobs,
     iter_sweep_labels,
     parse_quantiles,
     sweep_jobs,
+    sweep_label,
     sweep_labels,
 )
 from repro.viz.crossing_view import render_annotated, render_steps
@@ -326,6 +336,52 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if completed == total else 1
 
 
+def cmd_frontier(args: argparse.Namespace) -> int:
+    """Minimal-buffering frontier per (policy, queues) line (Section 8).
+
+    Binary-searches the capacity axis where completion is monotone in
+    capacity (the static policy), evaluates the whole line otherwise
+    (FCFS, whose non-monotonicity is a pinned counterexample) — see
+    :mod:`repro.sweep.planner`.
+    """
+    _apply_crossing_backend(args)
+    program = _load(args.file)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    queues = _int_list(args.queues, "--queues")
+    capacities = _int_list(args.capacity, "--capacity")
+    spec = PlanSpec(
+        program,
+        policies=policies,
+        queues=queues,
+        capacities=capacities,
+        backend=_sweep_backend(args),
+        workers=args.workers,
+    )
+    if args.exhaustive:
+        spec = exhaustive_spec(spec)
+    report = FrontierPlanner(spec).run()
+    for row in report.rows:
+        _print_row(sweep_label(row.policy, row.queues, row.capacity), row)
+    for line in report.lines:
+        cap = line.frontier_capacity
+        print(
+            f"frontier {line.policy} q={line.queues}: "
+            + (f"cap={cap}" if cap is not None else "none (no capacity on "
+               "the axis completes)")
+            + f"  [{line.mode}, {line.jobs_executed} probes]"
+        )
+    print(f"executed {report.jobs_executed}/{report.grid_jobs} grid jobs")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.json}")
+    complete = all(
+        line.frontier_capacity is not None for line in report.lines
+    )
+    return 0 if complete else 1
+
+
 def _add_crossing_backend_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--crossing-backend",
@@ -459,6 +515,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_crossing_backend_flag(sweep)
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
+
+    frontier = sub.add_parser(
+        "frontier",
+        help="minimal buffering per (policy, queues) line, searched in "
+             "O(log n) jobs where monotonicity allows",
+        description="Find each (policy, queues) line's minimal completing "
+                    "queue capacity on the given axis. Monotone policies "
+                    "(static) are binary-searched — 2 + log2(n) runs "
+                    "instead of n; FCFS is evaluated exhaustively because "
+                    "extra buffering can introduce a deadlock there. "
+                    "Exit status 0 when every line has a frontier, 1 when "
+                    "some line never completes.",
+    )
+    frontier.add_argument("file")
+    frontier.add_argument(
+        "--policies", default="static",
+        help="comma-separated assignment policies (static is "
+             "binary-searched; ordered and fcfs are fully evaluated)",
+    )
+    frontier.add_argument(
+        "--queues", default="1", help="comma-separated queues-per-link values"
+    )
+    frontier.add_argument(
+        "--capacity", default="0,1,2,4,8,16,32,64",
+        help="comma-separated capacity axis to search (sorted, no "
+             "duplicates)",
+    )
+    frontier.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for each probe round",
+    )
+    frontier.add_argument(
+        "--backend", choices=("auto", "serial", "pool", "shm"), default="auto",
+        help="execution backend for probe rounds (see 'repro sweep')",
+    )
+    frontier.add_argument(
+        "--exhaustive", action="store_true",
+        help="disable the binary search and evaluate every grid point "
+             "(the differential baseline; same rows, same frontier)",
+    )
+    _add_crossing_backend_flag(frontier)
+    frontier.add_argument(
+        "--json",
+        help="write the frontier report (per-line frontier, probes, "
+             "jobs-executed vs grid cost) to this JSON file",
+    )
+    frontier.set_defaults(func=cmd_frontier)
     return parser
 
 

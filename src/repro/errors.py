@@ -71,13 +71,18 @@ class WorkerCrashError(ReproError):
 
 
 class CheckpointError(ReproError):
-    """A sweep checkpoint cannot be used for the requested resume.
+    """A sweep checkpoint cannot be used, or could not be written.
 
     Raised when a checkpoint's grid fingerprint or job count does not
     match the sweep being resumed — resuming the wrong sweep would
-    silently merge unrelated aggregates. A *corrupt* checkpoint
-    (truncated, bit-flipped) is never an error: it reads as absent and
-    the sweep restarts cleanly.
+    silently merge unrelated aggregates — and when the *final* snapshot
+    of a checkpointed stream cannot be published (full disk, vanished
+    directory): the sweep's rows are intact, but the checkpoint on disk
+    is stale and a later ``resume`` would silently redo (or, with
+    non-idempotent reducers, double-count) work, so the failure must
+    not pass silently. A *corrupt* checkpoint (truncated, bit-flipped)
+    is never an error on read: it reads as absent and the sweep
+    restarts cleanly.
     """
 
 

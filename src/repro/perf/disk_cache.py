@@ -15,9 +15,12 @@ fingerprints (program x topology x router x queue-provisioning bits):
   its own :class:`~repro.perf.analysis_cache.AnalysisKey`; a version or
   key mismatch reads as a miss, so upgrading the serialization never
   poisons old caches;
-* **corruption tolerance** — any failure to read or deserialize an
-  entry (truncated file, foreign bytes, unpicklable content) is treated
-  as a miss, never an error;
+* **corruption tolerance** — the I/O and deserialization failure
+  classes a cache legitimately encounters (truncated file, foreign
+  bytes, stale class references, permission walls) are treated as
+  misses and counted in ``stats()["load_errors"]``; genuine bug-class
+  exceptions (:exc:`MemoryError`, a programming error in an artifact's
+  ``__setstate__``) propagate instead of hiding behind a silent miss;
 * **integrity digest** — the artifact payload is pickled separately and
   stored alongside a BLAKE2 checksum of those exact bytes; a load
   verifies the checksum *before* deserializing the artifacts, so a
@@ -128,6 +131,8 @@ class DiskAnalysisCache:
         self.stores = 0
         self.rejected = 0  # checksum mismatches (a subset of misses)
         self.evictions = 0  # entries removed by the size bound
+        self.load_errors = 0  # unreadable/corrupt entries (subset of misses)
+        self.store_errors = 0  # failed publishes (store returned False)
         # Running directory-size estimate (this process's view): stores
         # add their payload size, the full scan inside _evict_to_budget
         # resyncs it. Only when the estimate crosses the budget does a
@@ -143,12 +148,25 @@ class DiskAnalysisCache:
         """The stored artifact dict for ``key``, or ``None``.
 
         Version-stamped, key-checked and (when a digest is present)
-        checksum-verified *before* the artifact bytes are unpickled;
-        every read, verification or deserialization failure is a miss.
+        checksum-verified *before* the artifact bytes are unpickled. A
+        read, verification or deserialization failure of the expected
+        I/O/corruption classes is a miss (counted in ``load_errors``);
+        anything else — :exc:`MemoryError`, a programming error in an
+        artifact's ``__setstate__`` — propagates, because swallowing it
+        hides a real bug behind a silent cache miss.
         """
         path = self._path(key)
         try:
             raw = path.read_bytes()
+        except FileNotFoundError:
+            # The ordinary cold miss: nothing was ever stored here.
+            self.misses += 1
+            return None
+        except OSError:
+            self.load_errors += 1
+            self.misses += 1
+            return None
+        try:
             payload = pickle.loads(raw)
             if (
                 isinstance(payload, dict)
@@ -172,8 +190,11 @@ class DiskAnalysisCache:
                     except OSError:
                         pass
                     return artifacts
-        except Exception:
-            pass
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError, IndexError):
+            # The classes pickle.loads raises on truncated/foreign/
+            # stale bytes (plus OSError from utime-less filesystems).
+            self.load_errors += 1
         self.misses += 1
         return None
 
@@ -186,7 +207,11 @@ class DiskAnalysisCache:
         """
         try:
             blob = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError,
+                RecursionError):
+            # The classes pickle.dumps raises on unpicklable content
+            # (custom artifacts with closures, cyclic monsters).
+            self.store_errors += 1
             return False
         payload = {
             "version": FORMAT_VERSION,
@@ -208,7 +233,10 @@ class DiskAnalysisCache:
                 except OSError:
                     replaced = 0
             os.replace(tmp, path)
-        except Exception:
+        except (OSError, pickle.PicklingError):
+            # Full disks, permission walls, vanished directories: degrade
+            # to "no disk tier", never to a failed simulation.
+            self.store_errors += 1
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
@@ -289,6 +317,8 @@ class DiskAnalysisCache:
             "stores": self.stores,
             "rejected": self.rejected,
             "evictions": self.evictions,
+            "load_errors": self.load_errors,
+            "store_errors": self.store_errors,
         }
 
 

@@ -121,7 +121,33 @@ snapshots of reducer state plus a completed-job bitmap, keyed by the
 sweep's grid fingerprint (:mod:`repro.sweep.checkpoint`). A resumed
 sweep skips finished jobs and reports reducer summaries byte-identical
 to a never-interrupted run; a corrupt checkpoint reads as absent (clean
-restart), a checkpoint from a *different* sweep refuses to resume.
+restart), a checkpoint from a *different* sweep refuses to resume. A
+final snapshot that cannot be *written* is surfaced, not swallowed: the
+session records it (``SweepSession.checkpoint_error``), warns, and
+raises :class:`~repro.errors.CheckpointError` — a stale checkpoint
+resumed later would silently redo work.
+
+The frontier planner
+--------------------
+
+Most provisioning sweeps exist to answer one question: the *minimal*
+buffering at which each (policy, queues) line completes. The planner
+(:mod:`repro.sweep.planner`) answers it without exhausting the capacity
+axis. A :class:`~repro.sweep.planner.PlanSpec` names the program, the
+grid axes and the execution knobs;
+:class:`~repro.sweep.planner.FrontierPlanner` binary-searches each line
+whose policy is proven monotone in capacity (static — 2 + log2(n)
+probes instead of n) and falls back to full evaluation for the rest
+(FCFS, where extra buffering can *introduce* deadlock — a pinned
+counterexample). Every probe is an ordinary
+:class:`~repro.sweep.plan.SweepPlan` job whose
+:class:`~repro.sweep.summary.RunSummary` row carries its exhaustive-grid
+index, so reducers and backends compose unchanged and a planner row is
+byte-identical to the grid's row at the same coordinates. Probe points
+share capacity-independent analysis artifacts (routes,
+competing-message sets) through the analysis cache, so only the
+capacity-dependent work is repaid per probe. CLI: ``repro frontier``
+(``--exhaustive`` forces the full evaluation baseline).
 """
 
 from repro.sweep.arena import ROW_SIZE, SummaryArena
@@ -139,6 +165,7 @@ from repro.sweep.grid import (
     iter_sweep_jobs,
     iter_sweep_labels,
     sweep_jobs,
+    sweep_label,
     sweep_labels,
 )
 from repro.sweep.jobs import WORKER_CRASH_KIND, BatchError, SimJob, job_fingerprint
@@ -150,6 +177,15 @@ from repro.sweep.plan import (
     simulate_many,
     simulate_stream,
 )
+from repro.sweep.planner import (
+    MONOTONE_POLICIES,
+    FrontierPlanner,
+    FrontierReport,
+    FrontierResult,
+    PlanSpec,
+    exhaustive_spec,
+    find_frontier,
+)
 from repro.sweep.reducers import (
     CompletedCount,
     DeadlockRateByConfig,
@@ -159,6 +195,7 @@ from repro.sweep.reducers import (
     StreamReducer,
     merge_reducers,
     parse_quantiles,
+    validate_quantile_labels,
 )
 from repro.sweep.summary import RunSummary, summarize_result
 
@@ -168,9 +205,14 @@ __all__ = [
     "DeadlockRateByConfig",
     "ExecutionBackend",
     "FaultPlan",
+    "FrontierPlanner",
+    "FrontierReport",
+    "FrontierResult",
     "JobRecord",
+    "MONOTONE_POLICIES",
     "MakespanHistogram",
     "PerConfigMakespan",
+    "PlanSpec",
     "QuantileReducer",
     "ROW_SIZE",
     "ResultHandle",
@@ -186,6 +228,8 @@ __all__ = [
     "WORKER_CRASH_KIND",
     "WorkerContext",
     "available_backends",
+    "exhaustive_spec",
+    "find_frontier",
     "get_backend",
     "iter_sweep_jobs",
     "iter_sweep_labels",
@@ -198,5 +242,7 @@ __all__ = [
     "summarize_result",
     "sweep_fingerprint",
     "sweep_jobs",
+    "sweep_label",
     "sweep_labels",
+    "validate_quantile_labels",
 ]

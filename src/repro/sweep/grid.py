@@ -18,6 +18,19 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.program import ArrayProgram
 
 
+def sweep_label(
+    policy: str, queues: int, capacity: int, rep: int = 0, repeat: int = 1
+) -> str:
+    """The canonical human-readable label of one grid point.
+
+    Shared by the exhaustive grid and the frontier planner
+    (:mod:`repro.sweep.planner`), so a planner probe and the grid job at
+    the same coordinates always print identically.
+    """
+    suffix = f" #{rep + 1}" if repeat > 1 else ""
+    return f"{policy} q={queues} cap={capacity}{suffix}"
+
+
 def _sweep_grid(
     policies: Sequence[str],
     queues: Sequence[int],
@@ -33,8 +46,7 @@ def _sweep_grid(
         for nq in queues:
             for cap in capacities:
                 for rep in range(repeat):
-                    suffix = f" #{rep + 1}" if repeat > 1 else ""
-                    yield pol, nq, cap, f"{pol} q={nq} cap={cap}{suffix}"
+                    yield pol, nq, cap, sweep_label(pol, nq, cap, rep, repeat)
 
 
 def iter_sweep_jobs(

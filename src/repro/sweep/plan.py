@@ -26,10 +26,12 @@ public entry points, now thin shims over a plan + session.
 from __future__ import annotations
 
 import dataclasses
+import sys
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.sweep.backends import (
     ExecutionBackend,
     FaultPlan,
@@ -160,7 +162,15 @@ class SweepOutcome:
 class SweepSession:
     """Validates a :class:`SweepPlan` and executes it."""
 
+    #: The exception that prevented the final checkpoint snapshot of a
+    #: checkpointed stream, or ``None``. Always set when the final save
+    #: fails — even on the interpreter-shutdown path where raising is
+    #: unsafe — so a caller holding the session can always detect a
+    #: stale checkpoint.
+    checkpoint_error: BaseException | None
+
     def __init__(self, plan: SweepPlan) -> None:
+        self.checkpoint_error = None
         if plan.on_error not in _VALID_ON_ERROR:
             raise ConfigError(
                 f"on_error must be 'raise' or 'collect', got {plan.on_error!r}"
@@ -294,7 +304,39 @@ class SweepSession:
             # Runs on normal exhaustion, on error, and when the consumer
             # closes the generator (Ctrl-C in the CLI): whatever
             # happened, the file on disk reflects every row yielded.
-            ckpt.save(reducers)
+            # A failed final save must not be invisible — the sweep's
+            # rows are fine, but the checkpoint is stale and a later
+            # resume would silently redo work — so it is recorded on
+            # the session, warned about, and raised as CheckpointError.
+            # (When the generator is merely garbage-collected, Python
+            # swallows exceptions from this clause; the warning and the
+            # ``checkpoint_error`` attribute still get through.)
+            propagating = sys.exc_info()[0] is not None
+            try:
+                ckpt.save(reducers)
+            except BaseException as exc:
+                self.checkpoint_error = exc
+                warnings.warn(
+                    f"final checkpoint snapshot to {self.plan.checkpoint!r} "
+                    f"failed ({type(exc).__name__}: {exc}); the checkpoint "
+                    "on disk is stale and must not be resumed from",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                if isinstance(exc, CheckpointError):
+                    raise
+                # Don't replace an exception already propagating out of
+                # the stream body — including the GeneratorExit of an
+                # explicit close(); it is the more fundamental event and
+                # the warning and attribute still record this failure.
+                # And don't raise during interpreter shutdown, where the
+                # generator is being finalized and the exception would
+                # land in an unraisable-hook at best.
+                if not propagating and not sys.is_finalizing():
+                    raise CheckpointError(
+                        f"could not write final checkpoint snapshot to "
+                        f"{self.plan.checkpoint!r}: {exc}"
+                    ) from exc
 
     def iter_handles(self) -> Iterator[ResultHandle]:
         """Lazily yield one :class:`ResultHandle` per job, in job order.

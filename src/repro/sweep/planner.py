@@ -1,0 +1,469 @@
+"""Adaptive provisioning-frontier planner: Section 8 sizing in log cost.
+
+The paper's Section 8 question — how many queues and how much buffering
+before a program class stops deadlocking? — is a *frontier* query: along
+each (policy, queues) line of the provisioning grid, find the minimal
+queue capacity whose run completes. Exhaustively sweeping the capacity
+axis answers it in linear cost; this module answers it in logarithmic
+cost where monotonicity licenses a binary search, and falls back to full
+evaluation where it does not:
+
+* **static policy** — run-time completion is monotone in capacity
+  (buffering only relaxes blocking under a per-message static
+  assignment; the property is hypothesis-pinned in
+  ``tests/test_properties.py::test_buffering_never_hurts_static_completion``),
+  so the planner bisects: probe the top capacity, probe the bottom,
+  then binary-search the boundary — 2 + ceil(log2 n) probes instead of
+  n;
+* **fcfs** (and any policy not in :data:`MONOTONE_POLICIES`) — extra
+  capacity can *introduce* a deadlock (the pinned PR 2 counterexample,
+  ``test_fcfs_buffering_can_hurt_completion``: FCFS grants queues in
+  arrival order and buffering reorders arrivals), so a bisection's
+  invariant does not hold and the planner evaluates the whole line.
+  The differential tests keep this fallback honest by reusing exactly
+  that counterexample program.
+
+Every probe the planner *does* run goes through the ordinary sweep
+machinery — a :class:`~repro.sweep.plan.SweepPlan` per probe round,
+executed by whichever backend the :class:`PlanSpec` names — and is
+emitted as a standard :class:`~repro.sweep.summary.RunSummary` row whose
+``index`` is the job's position in the *exhaustive* grid (policy-major,
+then queues, then ascending capacity, exactly
+:func:`repro.sweep.grid.sweep_jobs` order over the sorted capacity
+axis). Reducers therefore fold planner rows unchanged, and a planner row
+is byte-identical to the exhaustive grid's row at the same index
+(simulations are deterministic) — which is what the differential harness
+asserts. Checkpointing is the one sweep feature that does not compose:
+probe rounds are data-dependent, so there is no fixed grid to fingerprint;
+the planner rejects a request for it at the :class:`PlanSpec` layer by
+simply not offering the knob.
+
+Between probe rounds the planner re-uses neighboring-config analysis
+deltas through the content-keyed analysis cache
+(:mod:`repro.perf.analysis_cache`): message routes and competing-message
+sets depend only on program x topology x router — never on queue
+capacity — so the first probed capacity's entry donates them to every
+later capacity's entry
+(:meth:`~repro.perf.analysis_cache.AnalysisEntry.seed_capacity_independent`)
+and each new probe point pays only for the capacity-*dependent*
+artifacts (lookahead capacities, labeling) instead of a cold start. The
+warm-up happens in the planner's process, so it benefits the default
+in-process (serial) execution directly and multiprocess backends through
+the shared disk tier when one is configured.
+
+Entry points: build a :class:`PlanSpec` and call
+:meth:`FrontierPlanner.run`, or use :func:`find_frontier` /
+:func:`exhaustive_spec` (the forced-full-evaluation twin used for
+differential testing and honest cost accounting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.arch.config import ArrayConfig
+from repro.errors import ConfigError
+from repro.sweep.grid import sweep_label
+from repro.sweep.jobs import SimJob
+from repro.sweep.plan import SweepPlan, SweepSession
+from repro.sweep.reducers import StreamReducer
+from repro.sweep.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.program import ArrayProgram
+
+#: Policies whose run-time completion is proven (and hypothesis-pinned)
+#: monotone in queue capacity, licensing the binary search. FCFS is
+#: excluded by the pinned counterexample; "ordered" is excluded
+#: conservatively (its labeling is recomputed per capacity, and no
+#: monotonicity property is pinned for it).
+MONOTONE_POLICIES = frozenset({"static"})
+
+#: ``FrontierResult.mode`` values.
+MODE_BISECT = "bisect"
+MODE_EXHAUSTIVE = "exhaustive"
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """A frontier query: program, grid axes, execution knobs.
+
+    The declarative layer over :class:`~repro.sweep.plan.SweepPlan` for
+    frontier search. ``capacities`` is the axis to search (sorted
+    ascending and deduplicated by the planner; duplicates are rejected
+    so the exhaustive grid it is compared against is unambiguous).
+    ``monotone_policies`` names the policies the planner may bisect —
+    everything else is evaluated exhaustively; pass ``frozenset()``
+    (see :func:`exhaustive_spec`) to force full evaluation everywhere.
+    ``reducers`` are fed every executed row, in emission order, exactly
+    as a sweep session would feed them.
+    """
+
+    program: "ArrayProgram"
+    policies: Sequence[str] = ("static",)
+    queues: Sequence[int] = (1,)
+    capacities: Sequence[int] = (0,)
+    registers: dict[str, dict[str, float | None]] | None = None
+    reducers: Sequence[StreamReducer] = ()
+    backend: str | None = None
+    workers: int = 1
+    chunk_size: int | None = None
+    disk_cache: str | None = None
+    monotone_policies: frozenset[str] = MONOTONE_POLICIES
+
+
+def exhaustive_spec(spec: PlanSpec) -> PlanSpec:
+    """``spec`` with bisection disabled: every line fully evaluated.
+
+    The planner run under this twin *is* the exhaustive grid — same
+    jobs, same row indices — which makes it both the differential
+    oracle (planner frontier must match it exactly) and the honest cost
+    baseline (its ``jobs_executed`` equals the grid size).
+    """
+    return dataclasses.replace(spec, monotone_policies=frozenset())
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """One (policy, queues) line's answer.
+
+    ``frontier_capacity`` is the minimal capacity on the axis whose run
+    completed — ``None`` when no probed capacity completes. ``probes``
+    holds only the capacities actually executed, ascending, with each
+    row's outcome string; under :data:`MODE_EXHAUSTIVE` that is the
+    whole axis, under :data:`MODE_BISECT` the O(log n) probe set.
+    """
+
+    policy: str
+    queues: int
+    mode: str
+    frontier_capacity: int | None
+    probes: tuple[tuple[int, str], ...]
+
+    @property
+    def jobs_executed(self) -> int:
+        return len(self.probes)
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "queues": self.queues,
+            "mode": self.mode,
+            "frontier_capacity": self.frontier_capacity,
+            "jobs_executed": self.jobs_executed,
+            "probes": [
+                {"capacity": cap, "outcome": outcome}
+                for cap, outcome in self.probes
+            ],
+        }
+
+
+@dataclass
+class FrontierReport:
+    """A full planner run: per-line frontiers plus every executed row.
+
+    ``rows`` carry exhaustive-grid indices (see the module docstring),
+    in emission order — round by round, within a round in job order.
+    """
+
+    lines: list[FrontierResult]
+    rows: list[RunSummary]
+    grid_jobs: int
+    capacities: tuple[int, ...]
+
+    @property
+    def jobs_executed(self) -> int:
+        return len(self.rows)
+
+    def frontier(self) -> dict[str, int | None]:
+        """``{"<policy> q=<n>": minimal completing capacity or None}``."""
+        return {
+            f"{line.policy} q={line.queues}": line.frontier_capacity
+            for line in self.lines
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "frontier": self.frontier(),
+            "grid_jobs": self.grid_jobs,
+            "jobs_executed": self.jobs_executed,
+            "capacities": list(self.capacities),
+            "lines": [line.as_dict() for line in self.lines],
+        }
+
+
+class _LineSearch:
+    """The per-line state machine: bisect phases or exhaustive sweep.
+
+    Bisect invariant (requires completed-monotone-in-capacity): after
+    the top and bottom probes, ``lo`` indexes a not-completed capacity
+    and ``hi`` a completed one; each midpoint probe halves the bracket
+    until they are adjacent and ``hi`` is the frontier.
+    """
+
+    __slots__ = (
+        "policy", "queues", "line_index", "mode", "done",
+        "frontier_idx", "outcomes", "_phase", "_lo", "_hi", "_n",
+    )
+
+    def __init__(
+        self, policy: str, queues: int, line_index: int, mode: str, n: int
+    ) -> None:
+        self.policy = policy
+        self.queues = queues
+        self.line_index = line_index
+        self.mode = mode
+        self.done = False
+        self.frontier_idx: int | None = None
+        self.outcomes: dict[int, str] = {}  # capacity index -> outcome
+        self._phase = "top"
+        self._lo = 0
+        self._hi = n - 1
+        self._n = n
+
+    def next_probes(self) -> list[int]:
+        """Capacity indices to execute this round (empty when done)."""
+        if self.done:
+            return []
+        if self.mode == MODE_EXHAUSTIVE:
+            return list(range(self._n))
+        if self._phase == "top":
+            return [self._n - 1]
+        if self._phase == "bottom":
+            return [0]
+        return [(self._lo + self._hi) // 2]
+
+    def record(self, index: int, outcome: str) -> None:
+        """Fold one probe's outcome and advance the phase machine."""
+        self.outcomes[index] = outcome
+        if self.mode == MODE_EXHAUSTIVE:
+            if len(self.outcomes) == self._n:
+                completed = [
+                    i for i, o in sorted(self.outcomes.items())
+                    if o == "completed"
+                ]
+                self.frontier_idx = completed[0] if completed else None
+                self.done = True
+            return
+        completed = outcome == "completed"
+        if self._phase == "top":
+            if not completed:
+                # The most generous capacity fails: monotonicity says
+                # everything below it fails too.
+                self.frontier_idx = None
+                self.done = True
+            elif self._n == 1:
+                self.frontier_idx = 0
+                self.done = True
+            else:
+                self._phase = "bottom"
+            return
+        if self._phase == "bottom":
+            if completed:
+                self.frontier_idx = 0
+                self.done = True
+            else:
+                self._phase = "bisect"
+                self._maybe_finish()
+            return
+        mid = (self._lo + self._hi) // 2
+        if completed:
+            self._hi = mid
+        else:
+            self._lo = mid
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self._hi - self._lo == 1:
+            self.frontier_idx = self._hi
+            self.done = True
+
+    def result(self, capacities: tuple[int, ...]) -> FrontierResult:
+        return FrontierResult(
+            policy=self.policy,
+            queues=self.queues,
+            mode=self.mode,
+            frontier_capacity=(
+                capacities[self.frontier_idx]
+                if self.frontier_idx is not None
+                else None
+            ),
+            probes=tuple(
+                (capacities[i], outcome)
+                for i, outcome in sorted(self.outcomes.items())
+            ),
+        )
+
+
+class FrontierPlanner:
+    """Executes a :class:`PlanSpec`: bisect where sound, sweep elsewhere.
+
+    Probe rounds batch one pending probe per bisecting line (plus, in
+    the first round, every exhaustive line's whole axis) into a single
+    :class:`~repro.sweep.plan.SweepPlan`, so line-level parallelism is
+    available to multiprocess backends; errors are collected
+    (``on_error="collect"``) — an infeasible corner is a not-completed
+    data point, exactly as in an exhaustive sweep.
+    """
+
+    def __init__(self, spec: PlanSpec) -> None:
+        if not spec.policies:
+            raise ConfigError("frontier search needs at least one policy")
+        if not spec.queues:
+            raise ConfigError("frontier search needs at least one queues value")
+        if not spec.capacities:
+            raise ConfigError("frontier search needs a capacity axis")
+        if len(set(spec.capacities)) != len(tuple(spec.capacities)):
+            raise ConfigError(
+                "capacity axis contains duplicates; the exhaustive grid it "
+                "is compared against would be ambiguous"
+            )
+        self.spec = spec
+        self.capacities: tuple[int, ...] = tuple(sorted(spec.capacities))
+        self._analyzed: set[int] = set()  # capacities with a warm entry
+
+    # -- grid geometry ----------------------------------------------------
+
+    def _lines(self) -> list[_LineSearch]:
+        spec = self.spec
+        lines = []
+        for pol in spec.policies:
+            for nq in spec.queues:
+                mode = (
+                    MODE_BISECT
+                    if pol in spec.monotone_policies
+                    else MODE_EXHAUSTIVE
+                )
+                lines.append(
+                    _LineSearch(pol, nq, len(lines), mode, len(self.capacities))
+                )
+        return lines
+
+    def _grid_index(self, line: _LineSearch, cap_index: int) -> int:
+        """Position in the exhaustive policy x queues x capacity grid."""
+        return line.line_index * len(self.capacities) + cap_index
+
+    # -- analysis warm-up -------------------------------------------------
+
+    def _warm_analysis(self, probe_caps: Sequence[int]) -> None:
+        """Seed new capacities' cache entries from an already-probed one.
+
+        Routes and competing sets are capacity-independent, so the
+        donor entry (the first capacity ever probed) hands them to every
+        later probe point and only the capacity-dependent artifacts are
+        recomputed. Skipped entirely for programs whose topology/router
+        cannot be content-fingerprinted (lookup returns ``None``).
+        """
+        from repro.arch.routing import default_router
+        from repro.arch.topology import ExplicitLinear
+        from repro.perf.analysis_cache import GLOBAL_ANALYSIS_CACHE
+
+        fresh = [c for c in probe_caps if c not in self._analyzed]
+        if not fresh:
+            return
+        program = self.spec.program
+        topology = ExplicitLinear(tuple(program.cells))
+        router = default_router(topology)
+        donor = None
+        if self._analyzed:
+            donor = GLOBAL_ANALYSIS_CACHE.lookup(
+                program,
+                topology,
+                router,
+                ArrayConfig(queue_capacity=next(iter(self._analyzed))),
+            )
+        for cap in fresh:
+            if donor is not None:
+                entry = GLOBAL_ANALYSIS_CACHE.lookup(
+                    program, topology, router, ArrayConfig(queue_capacity=cap)
+                )
+                if entry is not None:
+                    entry.seed_capacity_independent(donor)
+            self._analyzed.add(cap)
+
+    # -- execution --------------------------------------------------------
+
+    def _run_round(
+        self, probes: list[tuple[_LineSearch, int]]
+    ) -> list[RunSummary]:
+        spec = self.spec
+        jobs = [
+            SimJob(
+                spec.program,
+                config=ArrayConfig(
+                    queues_per_link=line.queues,
+                    queue_capacity=self.capacities[cap_index],
+                ),
+                policy=line.policy,
+                registers=spec.registers,
+            )
+            for line, cap_index in probes
+        ]
+        self._warm_analysis([job.config.queue_capacity for job in jobs])
+        plan = SweepPlan(
+            jobs=jobs,
+            backend=spec.backend,
+            workers=spec.workers,
+            chunk_size=spec.chunk_size,
+            on_error="collect",
+            disk_cache=spec.disk_cache,
+        )
+        return list(SweepSession(plan).stream())
+
+    def run(self) -> FrontierReport:
+        """Execute the search; every executed row is in the report."""
+        lines = self._lines()
+        reducers = tuple(self.spec.reducers)
+        rows: list[RunSummary] = []
+        while True:
+            probes = [
+                (line, cap_index)
+                for line in lines
+                for cap_index in line.next_probes()
+            ]
+            if not probes:
+                break
+            for (line, cap_index), row in zip(probes, self._run_round(probes)):
+                grid_row = dataclasses.replace(
+                    row, index=self._grid_index(line, cap_index)
+                )
+                line.record(cap_index, grid_row.outcome)
+                for reducer in reducers:
+                    reducer.update(grid_row)
+                rows.append(grid_row)
+        return FrontierReport(
+            lines=[line.result(self.capacities) for line in lines],
+            rows=rows,
+            grid_jobs=(
+                len(self.spec.policies)
+                * len(self.spec.queues)
+                * len(self.capacities)
+            ),
+            capacities=self.capacities,
+        )
+
+
+def find_frontier(
+    program: "ArrayProgram",
+    policies: Sequence[str] = ("static",),
+    queues: Sequence[int] = (1,),
+    capacities: Sequence[int] = (0,),
+    **knobs,
+) -> FrontierReport:
+    """One-call frontier search (see :class:`PlanSpec` for the knobs)."""
+    return FrontierPlanner(
+        PlanSpec(
+            program,
+            policies=policies,
+            queues=queues,
+            capacities=capacities,
+            **knobs,
+        )
+    ).run()
+
+
+def probe_label(row: RunSummary) -> str:
+    """The grid label of one executed probe row (for CLI tables)."""
+    return sweep_label(row.policy, row.queues, row.capacity)

@@ -22,6 +22,7 @@ Every reducer implements three methods:
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.sweep.summary import RunSummary
@@ -292,8 +293,34 @@ def _quantile_label(q: float) -> str:
     return "p" + format(round(q * 100, 6), ".10g")
 
 
+def validate_quantile_labels(fractions: Sequence[float]) -> None:
+    """Reject distinct fractions whose summary labels would collide.
+
+    ``_quantile_label`` rounds to 6 decimal places of percent, so two
+    requested quantiles closer than 5e-9 (e.g. ``0.5`` and
+    ``0.5000000004``) would both print as ``p50`` and one would silently
+    overwrite the other in the summary dict. That is a caller error —
+    surfaced here rather than as a vanished dict key.
+    """
+    by_label: dict[str, float] = {}
+    for q in fractions:
+        label = _quantile_label(q)
+        seen = by_label.setdefault(label, q)
+        if seen != q:
+            raise ConfigError(
+                f"quantiles {seen!r} and {q!r} both format as {label!r}; "
+                "their summary entries would collide"
+            )
+
+
 def parse_quantiles(raw: str) -> tuple[float, ...]:
-    """Parse ``"p50,p95,p99"`` (or bare ``"50,95"``) into fractions."""
+    """Parse ``"p50,p95,p99"`` (or bare ``"50,95"``) into fractions.
+
+    Exact duplicates (``"p50,p50"``, or ``"p50,50"`` after
+    normalization) are dropped, keeping first occurrence order; distinct
+    quantiles that would collide to one summary label are rejected (see
+    :func:`validate_quantile_labels`).
+    """
     fractions: list[float] = []
     for token in raw.split(","):
         token = token.strip()
@@ -312,9 +339,12 @@ def parse_quantiles(raw: str) -> tuple[float, ...]:
             )
         # Round away the division noise (99.9/100 != 0.999 in floats) so
         # labels round-trip: p99.9 -> 0.999 -> "p99.9".
-        fractions.append(round(percent / 100.0, 12))
+        fraction = round(percent / 100.0, 12)
+        if fraction not in fractions:
+            fractions.append(fraction)
     if not fractions:
         raise ConfigError("no quantiles given")
+    validate_quantile_labels(fractions)
     return tuple(fractions)
 
 
@@ -351,6 +381,7 @@ class QuantileReducer(StreamReducer):
         for q in quantiles:
             if not 0.0 <= q <= 1.0:
                 raise ConfigError(f"quantile {q!r} out of range [0, 1]")
+        validate_quantile_labels(quantiles)
         self.quantiles = tuple(quantiles)
         self.compression = compression
         self.count = 0

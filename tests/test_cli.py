@@ -333,6 +333,94 @@ class TestSweepFaultToleranceFlags:
         assert "--resume" in captured.err
 
 
+@pytest.fixture
+def burst_file(tmp_path):
+    """Two cells exchanging 2-word bursts: static frontier at cap=2."""
+    from repro.core.message import Message
+    from repro.core.ops import R, W
+    from repro.core.program import ArrayProgram
+
+    msgs = [Message("M0", "A", "B", 2), Message("M1", "B", "A", 2)]
+    progs = {
+        "A": [W("M0", constant=1.0)] * 2 + [R("M1", into="a0"), R("M1", into="a1")],
+        "B": [W("M1", constant=2.0)] * 2 + [R("M0", into="b0"), R("M0", into="b1")],
+    }
+    path = tmp_path / "burst.sysp"
+    path.write_text(print_program(ArrayProgram(["A", "B"], msgs, progs)))
+    return str(path)
+
+
+class TestFrontier:
+    def test_frontier_found_exit_zero(self, burst_file, capsys):
+        code = main([
+            "frontier", burst_file, "--queues", "1,2",
+            "--capacity", "0,1,2,3,4,5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frontier static q=1: cap=2" in out
+        assert "frontier static q=2: cap=2" in out
+        assert "[bisect" in out
+        assert "grid jobs" in out
+
+    def test_probe_rows_use_sweep_labels(self, burst_file, capsys):
+        main(["frontier", burst_file, "--capacity", "0,1,2,3"])
+        out = capsys.readouterr().out
+        assert "static q=1 cap=3" in out  # top probe, grid-format label
+
+    def test_no_frontier_exit_one(self, burst_file, capsys):
+        code = main(["frontier", burst_file, "--capacity", "0,1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "none" in out
+
+    def test_exhaustive_flag_runs_whole_grid(self, burst_file, capsys):
+        code = main([
+            "frontier", burst_file, "--capacity", "0,1,2,3,4,5",
+            "--exhaustive",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[exhaustive, 6 probes]" in out
+        assert "executed 6/6 grid jobs" in out
+
+    def test_json_report(self, burst_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "frontier.json"
+        code = main([
+            "frontier", burst_file, "--queues", "1,2",
+            "--capacity", "0,1,2,3,4,5,6,7", "--json", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["frontier"] == {"static q=1": 2, "static q=2": 2}
+        assert payload["grid_jobs"] == 16
+        assert payload["jobs_executed"] < payload["grid_jobs"]
+        assert payload["lines"][0]["mode"] == "bisect"
+
+    def test_fcfs_line_reported_exhaustive(self, fig7_file, capsys):
+        code = main([
+            "frontier", fig7_file, "--policies", "fcfs",
+            "--queues", "2", "--capacity", "0,1,2",
+        ])
+        out = capsys.readouterr().out
+        assert "[exhaustive, 3 probes]" in out
+        assert code in (0, 1)
+
+    def test_duplicate_capacities_clean_error(self, burst_file, capsys):
+        assert main(["frontier", burst_file, "--capacity", "0,1,1"]) == 2
+        assert "duplicates" in capsys.readouterr().err
+
+    def test_workers_and_backend_flags(self, burst_file, capsys):
+        code = main([
+            "frontier", burst_file, "--capacity", "0,1,2,3",
+            "--workers", "2", "--backend", "pool",
+        ])
+        assert code == 0
+        assert "frontier static q=1: cap=2" in capsys.readouterr().out
+
+
 class TestCrossingBackendFlag:
     """--crossing-backend on check/label/sweep (process-global knob)."""
 

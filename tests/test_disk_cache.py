@@ -215,6 +215,92 @@ class TestRobustness:
         assert len(disk) == 0
 
 
+class TestErrorAccounting:
+    """Corruption is a counted miss; genuine bugs propagate."""
+
+    def _stored_key(self, disk):
+        from repro.perf import AnalysisKey
+
+        key = AnalysisKey("p", "t", "r", 0, False)
+        assert disk.store(key, {"x": 1})
+        return key
+
+    def test_cold_miss_is_not_a_load_error(self, tmp_path):
+        from repro.perf import AnalysisKey
+
+        disk = DiskAnalysisCache(tmp_path)
+        assert disk.load(AnalysisKey("absent", "t", "r", 0, False)) is None
+        stats = disk.stats()
+        assert stats["misses"] == 1
+        assert stats["load_errors"] == 0
+
+    def test_corrupt_entry_counted_as_load_error(self, tmp_path):
+        disk = DiskAnalysisCache(tmp_path)
+        key = self._stored_key(disk)
+        (path,) = tmp_path.glob("*.analysis.pkl")
+        path.write_bytes(b"\x80garbage")
+        assert disk.load(key) is None
+        stats = disk.stats()
+        assert stats["load_errors"] == 1
+        assert stats["misses"] == 1
+
+    def test_unreadable_entry_counted_as_load_error(self, tmp_path):
+        disk = DiskAnalysisCache(tmp_path)
+        key = self._stored_key(disk)
+        path = tmp_path / f"{_entry_path(disk, key).name}"
+        path.unlink()
+        path.mkdir()  # read_bytes now raises IsADirectoryError (OSError)
+        assert disk.load(key) is None
+        assert disk.stats()["load_errors"] == 1
+
+    def test_failed_store_counted(self, tmp_path):
+        disk = DiskAnalysisCache(tmp_path)
+        from repro.perf import AnalysisKey
+
+        key = AnalysisKey("p", "t", "r", 0, False)
+        assert disk.store(key, {"labeling": lambda: None}) is False
+        assert disk.stats()["store_errors"] == 1
+
+    def test_bug_class_exception_propagates_from_load(
+        self, tmp_path, monkeypatch
+    ):
+        """A MemoryError (or any programming error) inside
+        deserialization must not be swallowed as a cache miss."""
+        import pickle as pickle_mod
+
+        disk = DiskAnalysisCache(tmp_path)
+        key = self._stored_key(disk)
+
+        def bomb(raw):
+            raise MemoryError("boom")
+
+        monkeypatch.setattr(pickle_mod, "loads", bomb)
+        with pytest.raises(MemoryError):
+            disk.load(key)
+
+    def test_bug_class_exception_propagates_from_artifacts(
+        self, tmp_path, monkeypatch
+    ):
+        import pickle as pickle_mod
+
+        disk = DiskAnalysisCache(tmp_path)
+        key = self._stored_key(disk)
+        real_loads = pickle_mod.loads
+        calls = {"n": 0}
+
+        def bomb_second(raw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return real_loads(raw)  # outer envelope parses fine
+            raise ZeroDivisionError("bug in __setstate__")
+
+        monkeypatch.setattr(pickle_mod, "loads", bomb_second)
+        with pytest.raises(ZeroDivisionError):
+            disk.load(key)
+        # The propagated bug was not miscounted as a miss.
+        assert disk.stats()["load_errors"] == 0
+
+
 def _entry_path(cache, key):
     return cache._path(key)
 

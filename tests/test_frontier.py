@@ -1,0 +1,354 @@
+"""The frontier planner: bisection == exhaustive grid, fallback honest.
+
+The planner's whole claim is that it *searches* the same answer the
+exhaustive provisioning grid *computes*: per (policy, queues) line, the
+minimal capacity that completes. These tests pin that claim three ways:
+
+* a differential corpus (closed-form burst programs + generated
+  workloads) where planner and exhaustive-twin reports must agree on
+  the frontier and on every shared row, byte for byte;
+* a hypothesis property quantifying the same agreement over the random
+  program family under the static (monotone) policy;
+* the FCFS fallback, kept honest by the pinned PR 2 non-monotonicity
+  counterexample (``test_properties.test_fcfs_buffering_can_hurt_completion``):
+  on that program a bisection would *miss* the frontier that full
+  evaluation finds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ArrayConfig
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.errors import ConfigError
+from repro.perf.analysis_cache import GLOBAL_ANALYSIS_CACHE
+from repro.sweep import (
+    MONOTONE_POLICIES,
+    CompletedCount,
+    FrontierPlanner,
+    PlanSpec,
+    exhaustive_spec,
+    find_frontier,
+    sweep_labels,
+)
+from repro.sweep.planner import MODE_BISECT, MODE_EXHAUSTIVE, probe_label
+from repro.workloads import WorkloadSpec, hoist_writes, random_program
+
+#: The pinned FCFS non-monotonicity counterexample of
+#: tests/test_properties.py: completes at capacity 0, deadlocks at 2.
+FCFS_COUNTEREXAMPLE = WorkloadSpec(
+    cells=6, messages=6, max_length=1, max_span=2, burst=1, seed=2
+)
+
+
+def burst_exchange(k: int) -> ArrayProgram:
+    """Two cells exchange k-word bursts; static frontier at cap=k."""
+    msgs = [Message("M0", "A", "B", k), Message("M1", "B", "A", k)]
+    progs = {
+        "A": [W("M0", constant=1.0) for _ in range(k)]
+        + [R("M1", into=f"a{i}") for i in range(k)],
+        "B": [W("M1", constant=2.0) for _ in range(k)]
+        + [R("M0", into=f"b{i}") for i in range(k)],
+    }
+    return ArrayProgram(["A", "B"], msgs, progs)
+
+
+def assert_differential(spec: PlanSpec) -> tuple:
+    """Planner vs exhaustive twin: same frontier, identical shared rows."""
+    planned = FrontierPlanner(spec).run()
+    grid = FrontierPlanner(exhaustive_spec(spec)).run()
+    assert planned.frontier() == grid.frontier()
+    assert grid.jobs_executed == grid.grid_jobs
+    grid_rows = {row.index: row for row in grid.rows}
+    for row in planned.rows:
+        assert row == grid_rows[row.index]
+    return planned, grid
+
+
+class TestDifferentialCorpus:
+    def test_burst_programs_frontier_at_burst_size(self):
+        for k in (1, 3, 6):
+            spec = PlanSpec(
+                burst_exchange(k),
+                policies=("static",),
+                queues=(1, 2),
+                capacities=tuple(range(10)),
+            )
+            planned, grid = assert_differential(spec)
+            assert planned.frontier() == {
+                "static q=1": k,
+                "static q=2": k,
+            }
+            assert planned.jobs_executed < grid.jobs_executed
+
+    def test_generated_workloads(self):
+        for seed in (0, 7, 23, 91):
+            prog = hoist_writes(
+                random_program(
+                    WorkloadSpec(
+                        cells=4,
+                        messages=6,
+                        max_length=2,
+                        max_span=2,
+                        burst=3,
+                        seed=seed,
+                    )
+                ),
+                swaps=4,
+                seed=seed,
+            )
+            spec = PlanSpec(
+                prog,
+                policies=("static",),
+                queues=(1, 2),
+                capacities=(0, 1, 2, 3, 4, 6, 8),
+            )
+            assert_differential(spec)
+
+    def test_logarithmic_cost_on_long_axis(self):
+        spec = PlanSpec(
+            burst_exchange(5),
+            policies=("static",),
+            queues=(1,),
+            capacities=tuple(range(64)),
+        )
+        planned, grid = assert_differential(spec)
+        # 2 endpoint probes + ceil(log2 63) bisections = 8 jobs vs 64.
+        assert planned.jobs_executed <= 8
+        assert planned.jobs_executed * 4 <= grid.jobs_executed
+
+
+class TestStaticPropertyAgreement:
+    @given(
+        st.builds(
+            WorkloadSpec,
+            cells=st.integers(min_value=2, max_value=6),
+            messages=st.integers(min_value=1, max_value=8),
+            max_length=st.integers(min_value=1, max_value=3),
+            max_span=st.integers(min_value=1, max_value=2),
+            burst=st.integers(min_value=1, max_value=3),
+            seed=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    @settings(
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+        deadline=None,
+    )
+    def test_planner_frontier_equals_exhaustive(self, wspec):
+        prog = hoist_writes(random_program(wspec), swaps=3, seed=wspec.seed)
+        spec = PlanSpec(
+            prog,
+            policies=("static",),
+            queues=(1, 2),
+            capacities=(0, 1, 2, 4),
+        )
+        assert_differential(spec)
+
+
+class TestFcfsFallback:
+    def test_fcfs_routes_to_full_evaluation(self):
+        report = find_frontier(
+            random_program(FCFS_COUNTEREXAMPLE),
+            policies=("fcfs",),
+            queues=(2,),
+            capacities=(0, 1, 2),
+        )
+        (line,) = report.lines
+        assert line.mode == MODE_EXHAUSTIVE
+        assert line.jobs_executed == 3  # the whole axis, no bisection
+        # The counterexample's signature: the *minimum* of the axis
+        # completes while a larger capacity deadlocks — the exact shape
+        # a bisection (which trusts the top probe) would answer "no
+        # frontier" on. Full evaluation finds cap=0.
+        assert line.frontier_capacity == 0
+        outcomes = dict(line.probes)
+        assert outcomes[0] == "completed"
+        assert outcomes[2] == "deadlock"
+
+    def test_fcfs_is_not_in_monotone_policies(self):
+        assert "fcfs" not in MONOTONE_POLICIES
+        assert "static" in MONOTONE_POLICIES
+
+    def test_forcing_bisection_on_fcfs_would_lie(self):
+        """The guard this fallback provides, demonstrated: bisecting the
+        non-monotone line misses the frontier full evaluation finds."""
+        prog = random_program(FCFS_COUNTEREXAMPLE)
+        lying = find_frontier(
+            prog,
+            policies=("fcfs",),
+            queues=(2,),
+            capacities=(0, 1, 2),
+            monotone_policies=frozenset({"fcfs"}),
+        )
+        honest = find_frontier(
+            prog, policies=("fcfs",), queues=(2,), capacities=(0, 1, 2)
+        )
+        assert honest.frontier() == {"fcfs q=2": 0}
+        assert lying.frontier() != honest.frontier()
+
+
+class TestPlannerMechanics:
+    def test_spec_validation(self):
+        prog = burst_exchange(1)
+        with pytest.raises(ConfigError):
+            FrontierPlanner(PlanSpec(prog, policies=()))
+        with pytest.raises(ConfigError):
+            FrontierPlanner(PlanSpec(prog, queues=()))
+        with pytest.raises(ConfigError):
+            FrontierPlanner(PlanSpec(prog, capacities=()))
+        with pytest.raises(ConfigError):
+            FrontierPlanner(PlanSpec(prog, capacities=(0, 1, 1)))
+
+    def test_no_frontier_costs_one_probe_per_bisect_line(self):
+        # burst 5 never completes below capacity 5: on an axis capped at
+        # 3 the top probe fails and monotonicity ends the line there.
+        report = find_frontier(
+            burst_exchange(5),
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 1, 2, 3),
+        )
+        (line,) = report.lines
+        assert line.frontier_capacity is None
+        assert line.jobs_executed == 1
+        assert line.probes == ((3, "deadlock"),)
+
+    def test_single_point_axis(self):
+        report = find_frontier(
+            burst_exchange(2),
+            policies=("static",),
+            queues=(1,),
+            capacities=(2,),
+        )
+        (line,) = report.lines
+        assert line.frontier_capacity == 2
+        assert line.jobs_executed == 1
+
+    def test_unsorted_capacities_are_searched_sorted(self):
+        report = find_frontier(
+            burst_exchange(2),
+            policies=("static",),
+            queues=(1,),
+            capacities=(5, 0, 2, 1, 4),
+        )
+        assert report.capacities == (0, 1, 2, 4, 5)
+        assert report.frontier() == {"static q=1": 2}
+
+    def test_row_indices_and_labels_match_grid_geometry(self):
+        caps = (0, 1, 2, 3)
+        spec = PlanSpec(
+            burst_exchange(2),
+            policies=("static",),
+            queues=(1, 2),
+            capacities=caps,
+        )
+        labels = sweep_labels(
+            policies=spec.policies, queues=spec.queues, capacities=caps
+        )
+        report = FrontierPlanner(spec).run()
+        for row in report.rows:
+            assert probe_label(row) == labels[row.index]
+
+    def test_reducers_fed_executed_rows_in_emission_order(self):
+        outcomes = CompletedCount()
+        spec = PlanSpec(
+            burst_exchange(2),
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 1, 2, 3, 4),
+            reducers=(outcomes,),
+        )
+        report = FrontierPlanner(spec).run()
+        assert outcomes.total == report.jobs_executed
+        assert outcomes.completed == sum(
+            1 for row in report.rows if row.completed
+        )
+
+    def test_report_as_dict_round_trips_through_json(self):
+        import json
+
+        report = find_frontier(
+            burst_exchange(1),
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 1, 2),
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["frontier"] == {"static q=1": 1}
+        assert payload["jobs_executed"] == report.jobs_executed
+
+    def test_infeasible_corners_are_data(self):
+        # One queue per link is too few for a static assignment with
+        # two competing messages in some generated programs; the planner
+        # must treat the ConfigError row as "not completed", not crash.
+        prog = random_program(
+            WorkloadSpec(
+                cells=4, messages=8, max_length=1, max_span=2, burst=2, seed=5
+            )
+        )
+        report = find_frontier(
+            prog,
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 2),
+        )
+        assert len(report.lines) == 1  # reached a verdict without raising
+
+
+class TestAnalysisSeeding:
+    def test_capacity_independent_artifacts_are_shared(self):
+        GLOBAL_ANALYSIS_CACHE.clear()
+        prog = burst_exchange(3)
+        topo = ExplicitLinear(tuple(prog.cells))
+        router = default_router(topo)
+        donor = GLOBAL_ANALYSIS_CACHE.lookup(
+            prog, topo, router, ArrayConfig(queue_capacity=0)
+        )
+        _ = donor.routes, donor.competing  # force computation
+        target = GLOBAL_ANALYSIS_CACHE.lookup(
+            prog, topo, router, ArrayConfig(queue_capacity=7)
+        )
+        target.seed_capacity_independent(donor)
+        assert target.routes is donor.routes
+        assert target.competing is donor.competing
+        # Seeding must not mark the entry disk-synced: under a disk
+        # tier the seeded artifacts still need persisting for this key.
+        assert target._disk_synced is False
+
+    def test_seeding_never_overwrites_computed_artifacts(self):
+        GLOBAL_ANALYSIS_CACHE.clear()
+        prog = burst_exchange(2)
+        topo = ExplicitLinear(tuple(prog.cells))
+        router = default_router(topo)
+        donor = GLOBAL_ANALYSIS_CACHE.lookup(
+            prog, topo, router, ArrayConfig(queue_capacity=0)
+        )
+        _ = donor.routes
+        target = GLOBAL_ANALYSIS_CACHE.lookup(
+            prog, topo, router, ArrayConfig(queue_capacity=5)
+        )
+        own_routes = target.routes  # computed before seeding
+        target.seed_capacity_independent(donor)
+        assert target.routes is own_routes
+
+    def test_planner_reuses_analysis_across_probes(self):
+        GLOBAL_ANALYSIS_CACHE.clear()
+        find_frontier(
+            burst_exchange(4),
+            policies=("static",),
+            queues=(1,),
+            capacities=tuple(range(16)),
+        )
+        stats = GLOBAL_ANALYSIS_CACHE.stats()
+        # One probed capacity == at most one cache miss; the planner's
+        # warming plus the simulator's lookup hit the same entries.
+        assert 0 < stats["size"] <= 6  # 2 + log2(16) probes
+        assert stats["hits"] >= stats["size"]

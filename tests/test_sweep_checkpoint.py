@@ -262,6 +262,84 @@ class TestPlanValidation:
             SweepSession(SweepPlan(jobs=corpus_jobs(), checkpoint_every=0))
 
 
+class TestFinalSnapshotFailure:
+    """A final snapshot that cannot be written must not pass silently.
+
+    The sweep's rows are fine, but the checkpoint on disk is stale; a
+    later ``--resume`` would silently redo (or double-count) work. The
+    session must record the failure, warn, and raise
+    :class:`CheckpointError` when nothing else is already propagating.
+    """
+
+    def _blocked_checkpoint_path(self, tmp_path) -> str:
+        # The checkpoint's parent "directory" is a regular file, so
+        # every snapshot write fails at makedirs with a real OSError.
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        return str(blocker / "sweep.ckpt")
+
+    def _session(self, tmp_path):
+        # checkpoint_every is huge: periodic saves never fire, so the
+        # *final* snapshot in the stream's finally is the failing write.
+        return SweepSession(
+            plan_for(
+                corpus_jobs(),
+                fresh_reducers(),
+                checkpoint=self._blocked_checkpoint_path(tmp_path),
+                checkpoint_every=10_000,
+            )
+        )
+
+    def test_exhausted_stream_raises_and_marks_session(self, tmp_path):
+        session = self._session(tmp_path)
+        rows = []
+        with pytest.warns(RuntimeWarning, match="final checkpoint"):
+            with pytest.raises(CheckpointError, match="final checkpoint"):
+                for row in session.stream():
+                    rows.append(row)
+        # Every row was delivered before the failure surfaced.
+        assert len(rows) == len(corpus_jobs())
+        assert isinstance(session.checkpoint_error, OSError)
+
+    def test_closed_stream_warns_and_marks_without_raising(self, tmp_path):
+        # Ctrl-C teardown closes the generator; GeneratorExit is the
+        # more fundamental event, so the failure is recorded and warned
+        # about but close() still completes.
+        session = self._session(tmp_path)
+        stream = session.stream()
+        next(stream)
+        with pytest.warns(RuntimeWarning, match="final checkpoint"):
+            stream.close()
+        assert isinstance(session.checkpoint_error, OSError)
+
+    def test_body_error_not_replaced_by_checkpoint_error(self, tmp_path):
+        # An error propagating out of the stream body must survive a
+        # failing final save (which is still recorded on the session).
+        jobs = corpus_jobs() + [SimJob(fig7_program(), max_events="bad")]
+        session = SweepSession(
+            plan_for(
+                jobs,
+                fresh_reducers(),
+                on_error="raise",
+                checkpoint=self._blocked_checkpoint_path(tmp_path),
+                checkpoint_every=10_000,
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="final checkpoint"):
+            with pytest.raises(TypeError):
+                list(session.stream())
+        assert isinstance(session.checkpoint_error, OSError)
+
+    def test_healthy_session_has_no_checkpoint_error(self, tmp_path):
+        ck = str(tmp_path / "ok.ckpt")
+        session = SweepSession(
+            plan_for(corpus_jobs(), fresh_reducers(), checkpoint=ck)
+        )
+        rows = list(session.stream())
+        assert rows and os.path.exists(ck)
+        assert session.checkpoint_error is None
+
+
 class TestCheckpointUnit:
     def test_bitmap_roundtrip(self, tmp_path):
         ck = SweepCheckpoint(str(tmp_path / "u.ckpt"), "fp", 20, every=4)

@@ -303,3 +303,27 @@ class TestParseQuantiles:
             parse_quantiles("150")
         with pytest.raises(ConfigError):
             parse_quantiles(",")
+
+    def test_exact_duplicates_deduped_keeping_order(self):
+        # "p50,p50" and the p-prefixed/bare mix both normalize to one
+        # fraction; the summary would otherwise carry duplicate work
+        # for a single "p50" key.
+        assert parse_quantiles("p50,p50") == (0.5,)
+        assert parse_quantiles("p95,50,p95,p50") == (0.95, 0.5)
+
+    def test_label_collisions_rejected(self):
+        # Distinct fractions closer than _quantile_label's 6-decimal
+        # percent rounding would silently overwrite each other's
+        # summary entry ("p50" twice); that is a caller error.
+        with pytest.raises(ConfigError, match="collide"):
+            parse_quantiles("p50,p50.0000000004")
+        with pytest.raises(ConfigError, match="collide"):
+            QuantileReducer((0.5, 0.5000000000004))
+
+    def test_near_but_distinct_quantiles_still_allowed(self):
+        # Above the rounding granularity, close quantiles are distinct
+        # labels and must keep working.
+        assert parse_quantiles("p50,p50.0001") == (0.5, 0.500001)
+        digest = QuantileReducer((0.5, 0.500001))
+        digest.add(1)
+        assert set(digest.summary()["quantiles"]) == {"p50", "p50.0001"}
