@@ -1,0 +1,146 @@
+"""Witness-pruned sweep cost: jobs simulated vs the full grid.
+
+A deadlock-dense provisioning sweep mostly re-proves deadlocks it has
+already proven. With a witness store (:mod:`repro.witness`), jobs a
+stored certificate covers emit their deadlock row without simulating —
+sound only for the monotone static policy, so on the 2-policy x 64-cap
+grid here (cross-reading cells: every corner deadlocks) a warm store
+prunes exactly the static half and simulates only FCFS, which is exempt
+by construction.
+
+The bench runs the grid three ways — no store (baseline), cold store
+(mines as it goes, prunes its own tail), warm store (second run against
+the saved file) — and asserts the issue's acceptance bar:
+
+* per-index rows and reducer summaries byte-identical across all three;
+* the warm run simulates at most half the grid;
+* no FCFS job is ever pruned and no FCFS certificate is ever stored.
+
+``REPRO_BENCH_RECORD=1`` records ``witness_warm_128`` /
+``witness_grid_128`` into ``BENCH_core.json`` (wall seconds, jobs
+simulated, ``witness_pruned_jobs`` / ``witness_grid_jobs``). Smoke mode
+(CI ``--benchmark-disable``) runs the same assertions without touching
+the baseline.
+"""
+
+import json
+import time
+
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.sweep import (
+    CompletedCount,
+    DeadlockRateByConfig,
+    MakespanHistogram,
+    SweepPlan,
+    SweepSession,
+    sweep_jobs,
+)
+from repro.witness import WitnessStore
+
+N_CAPS = 64
+POLICIES = ("static", "fcfs")
+
+
+def cross_read() -> ArrayProgram:
+    """Two cells each reading before writing: deadlocks everywhere."""
+    msgs = [Message("M0", "A", "B", 1), Message("M1", "B", "A", 1)]
+    progs = {
+        "A": [R("M1", into="x"), W("M0", constant=1.0)],
+        "B": [R("M0", into="y"), W("M1", constant=2.0)],
+    }
+    return ArrayProgram(["A", "B"], msgs, progs)
+
+
+def _jobs():
+    return sweep_jobs(
+        cross_read(),
+        policies=POLICIES,
+        queues=(1,),
+        capacities=tuple(range(N_CAPS)),
+    )
+
+
+def _run(store=None):
+    reducers = (CompletedCount(), MakespanHistogram(), DeadlockRateByConfig())
+    session = SweepSession(
+        SweepPlan(jobs=_jobs(), reducers=reducers, witness_store=store)
+    )
+    t0 = time.perf_counter()
+    rows = list(session.stream())
+    wall = time.perf_counter() - t0
+    summaries = json.dumps(
+        {r.name: r.summary() for r in reducers}, sort_keys=True
+    )
+    return rows, summaries, session, wall
+
+
+def _run_all(tmp_path):
+    base_rows, base_summaries, _base, base_wall = _run()
+    store = WitnessStore(tmp_path / "witness.json")
+    cold_rows, cold_summaries, cold, _cold_wall = _run(store)
+    store.save()
+    warm_store = WitnessStore(tmp_path / "witness.json")
+    warm_rows, warm_summaries, warm, warm_wall = _run(warm_store)
+    return (
+        (base_rows, base_summaries, base_wall),
+        (cold_rows, cold_summaries, cold),
+        (warm_rows, warm_summaries, warm, warm_store, warm_wall),
+    )
+
+
+def _check(base, cold, warm) -> None:
+    base_rows, base_summaries, _base_wall = base
+    cold_rows, cold_summaries, cold_session = cold
+    warm_rows, warm_summaries, warm_session, warm_store, _warm_wall = warm
+    n = len(base_rows)
+    assert n == len(POLICIES) * N_CAPS
+    # Byte-identity: pruning may never change a row or an aggregate.
+    assert cold_rows == base_rows and cold_summaries == base_summaries
+    assert warm_rows == base_rows and warm_summaries == base_summaries
+    # The acceptance bar: a warm store halves the simulated jobs.
+    assert n - warm_session.witness_pruned <= n // 2, (
+        warm_session.witness_pruned,
+        n,
+    )
+    # FCFS is never pruned: every prune is on the static half, and the
+    # store holds no FCFS certificate to prune with.
+    assert warm_session.witness_pruned == N_CAPS
+    assert all(w.policy == "static" for w in warm_store.witnesses())
+    assert cold_session.witness_mined >= 1
+
+
+def test_witness_pruning_smoke(benchmark, tmp_path):
+    """Warm store simulates <= half the grid, rows byte-identical."""
+    base, cold, warm = _run_all(tmp_path)
+    _check(base, cold, warm)
+    warm_store = warm[3]
+    benchmark(lambda: _run(warm_store))
+
+
+def test_witness_pruning_recorded(core_metrics, tmp_path):
+    """Record warm-pruned vs unpruned cost on the 128-job grid."""
+    base, cold, warm = _run_all(tmp_path)
+    _check(base, cold, warm)
+    base_rows, _bs, base_wall = base
+    _wr, _ws, warm_session, _store, warm_wall = warm
+    n = len(base_rows)
+    core_metrics(
+        "witness_warm_128",
+        events=sum(row.events for row in base_rows),
+        seconds=warm_wall,
+        jobs=n - warm_session.witness_pruned,
+        witness_pruned_jobs=warm_session.witness_pruned,
+        witness_grid_jobs=n,
+    )
+    core_metrics(
+        "witness_grid_128",
+        events=sum(row.events for row in base_rows),
+        seconds=base_wall,
+        jobs=n,
+    )
+    print(
+        f"[witness] warm store simulated {n - warm_session.witness_pruned}"
+        f"/{n} jobs ({warm_session.witness_pruned} pruned), rows identical"
+    )

@@ -22,6 +22,13 @@ hung jobs killed and recorded as timeouts) and resumably
 (``--checkpoint PATH`` snapshots progress atomically; ``--resume``
 skips finished jobs after a crash or Ctrl-C and reports aggregates
 byte-identical to an uninterrupted run).
+
+Deadlock-dense sweeps can skip re-proving what they already know:
+``--witness-store PATH`` persists deadlock certificates across runs;
+jobs a stored certificate covers emit their deadlock row without
+simulating (monotone static policy only — FCFS is exempt because
+buffering can change its outcome), and ``repro witness {ls,show,prune}``
+inspects the store.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ from repro.sweep import (
 )
 from repro.viz.crossing_view import render_annotated, render_steps
 from repro.viz.timeline import render_assignments, render_outcome
+from repro.witness import WitnessStore
 
 
 def _load(path: str):
@@ -174,15 +182,18 @@ def _fault_tolerance_kwargs(args) -> dict:
     )
 
 
-def _interrupted(rows, args) -> int:
+def _interrupted(rows, args, store: WitnessStore | None = None) -> int:
     """Ctrl-C during a sweep: tear down cleanly, report, exit 130.
 
     Closing the stream generator unwinds every layer's ``finally``:
     the supervised executor terminates its workers, the shm backend
     unlinks its arena, and a checkpointed sweep writes one final
-    snapshot — so an interrupted run is immediately resumable.
+    snapshot — so an interrupted run is immediately resumable. Mined
+    witnesses are durable progress too, so the store is saved as well.
     """
     rows.close()
+    if store is not None:
+        store.save()
     note = "interrupted — workers terminated"
     if args.checkpoint:
         note += (
@@ -190,6 +201,23 @@ def _interrupted(rows, args) -> int:
         )
     print(note, file=sys.stderr)
     return 130
+
+
+def _witness_store(args) -> WitnessStore | None:
+    path = getattr(args, "witness_store", None)
+    return WitnessStore(path) if path else None
+
+
+def _witness_report(store: WitnessStore | None, session) -> None:
+    """Persist the store and print what pruning bought this run."""
+    if store is None:
+        return
+    store.save()
+    print(
+        f"[witness] pruned {session.witness_pruned} known-deadlocked "
+        f"job(s), mined {session.witness_mined} new certificate(s) "
+        f"({len(store)} stored)"
+    )
 
 
 def _print_row(label: str, row) -> None:
@@ -225,15 +253,18 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
     labels = iter_sweep_labels(
         policies=policies, queues=queues, capacities=capacities, repeat=args.repeat
     )
+    store = _witness_store(args)
     plan = SweepPlan(
         jobs=jobs,
         reducers=reducers,
         backend=_sweep_backend(args),
         workers=args.workers,
         chunk_size=32,
+        witness_store=store,
         **_fault_tolerance_kwargs(args),
     )
-    rows = SweepSession(plan).stream()
+    session = SweepSession(plan)
+    rows = session.stream()
     try:
         if args.checkpoint:
             # A resumed stream skips finished jobs, so labels must be
@@ -246,7 +277,8 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
             for label, row in zip(labels, rows):
                 _print_row(label, row)
     except KeyboardInterrupt:
-        return _interrupted(rows, args)
+        return _interrupted(rows, args, store)
+    _witness_report(store, session)
     print(f"{outcomes.completed}/{outcomes.total} runs completed")
     for reducer in reducers:
         print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
@@ -284,6 +316,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # the checkpoint) keeps the completion tally — and the exit code —
     # covering the whole grid.
     outcomes = CompletedCount() if args.checkpoint else None
+    store = _witness_store(args)
     plan = SweepPlan(
         jobs=jobs,
         labels=labels,
@@ -291,12 +324,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         backend=_sweep_backend(args),
         workers=args.workers,
         on_error="collect",
+        witness_store=store,
         **_fault_tolerance_kwargs(args),
     )
     # Summary rows carry everything the table needs, so even the eager
     # sweep never materializes full results.
     rows = []
-    stream = SweepSession(plan).stream()
+    session = SweepSession(plan)
+    stream = session.stream()
     try:
         for row in stream:
             label = labels[row.index]
@@ -306,7 +341,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 rows.append((label, row.outcome, row.time, row.events))
             _print_row(label, row)
     except KeyboardInterrupt:
-        return _interrupted(stream, args)
+        return _interrupted(stream, args, store)
+    _witness_report(store, session)
     if outcomes is not None:
         completed, total = outcomes.completed, outcomes.total
     else:
@@ -349,6 +385,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
     queues = _int_list(args.queues, "--queues")
     capacities = _int_list(args.capacity, "--capacity")
+    store = _witness_store(args)
     spec = PlanSpec(
         program,
         policies=policies,
@@ -356,6 +393,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
         capacities=capacities,
         backend=_sweep_backend(args),
         workers=args.workers,
+        witness_store=store,
     )
     if args.exhaustive:
         spec = exhaustive_spec(spec)
@@ -370,6 +408,13 @@ def cmd_frontier(args: argparse.Namespace) -> int:
                "the axis completes)")
             + f"  [{line.mode}, {line.jobs_executed} probes]"
         )
+    if store is not None:
+        store.save()
+        print(
+            f"[witness] seeded {report.witness_seeded_lines} line(s), "
+            f"pruned {report.witness_pruned} probe(s), mined "
+            f"{report.witness_mined} certificate(s) ({len(store)} stored)"
+        )
     print(f"executed {report.jobs_executed}/{report.grid_jobs} grid jobs")
     if args.json:
         Path(args.json).write_text(
@@ -380,6 +425,47 @@ def cmd_frontier(args: argparse.Namespace) -> int:
         line.frontier_capacity is not None for line in report.lines
     )
     return 0 if complete else 1
+
+
+def cmd_witness(args: argparse.Namespace) -> int:
+    """Inspect or compact a deadlock-witness store (no simulation)."""
+    store = WitnessStore(args.store)
+    if args.witness_cmd == "ls":
+        for w in store.witnesses():
+            covers = (
+                f"cap>={w.peak_occupancy}" if w.open_ray
+                else f"cap={w.capacity}"
+            )
+            print(
+                f"{w.witness_id}  {w.policy:<8} q={w.queues} "
+                f"witnessed@{w.capacity} covers {covers:<9} "
+                f"cells={','.join(w.cells)} msgs={','.join(w.messages)}"
+            )
+        stats = store.stats()
+        print(
+            f"{stats['witnesses']} witness(es) in "
+            f"{stats['scopes']} scope(s)"
+        )
+        if stats["loads_rejected"]:
+            print(
+                f"warning: store file was corrupt and read as empty "
+                f"({stats['loads_rejected']} rejected load(s))",
+                file=sys.stderr,
+            )
+        return 0
+    if args.witness_cmd == "show":
+        witness = store.get(args.id)
+        if witness is None:
+            raise ConfigError(
+                f"no witness matching id prefix {args.id!r} in {args.store}"
+            )
+        print(json.dumps(witness.as_dict(), indent=2, sort_keys=True))
+        return 0
+    # prune: drop certificates subsumed by a stronger stored one.
+    removed = store.prune()
+    store.save()
+    print(f"pruned {removed} subsumed witness(es), {len(store)} kept")
+    return 0
 
 
 def _add_crossing_backend_flag(command: argparse.ArgumentParser) -> None:
@@ -512,6 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(a corrupt or missing checkpoint restarts cleanly; one "
              "from a different sweep refuses to resume)",
     )
+    sweep.add_argument(
+        "--witness-store", dest="witness_store", metavar="PATH", default=None,
+        help="consult/grow a deadlock-witness store at PATH: jobs a "
+             "stored certificate covers emit their known deadlock row "
+             "without simulating (static policy only — FCFS is never "
+             "pruned because extra buffering can change its outcome), "
+             "and new deadlocks mined from this run are saved back",
+    )
     _add_crossing_backend_flag(sweep)
     sweep.add_argument("--json", help="write results to this JSON file")
     sweep.set_defaults(func=cmd_sweep)
@@ -557,11 +651,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_crossing_backend_flag(frontier)
     frontier.add_argument(
+        "--witness-store", dest="witness_store", metavar="PATH", default=None,
+        help="seed bisection bounds from a deadlock-witness store at "
+             "PATH (capacities a certificate dominates skip the bottom "
+             "probe) and save newly mined certificates back",
+    )
+    frontier.add_argument(
         "--json",
         help="write the frontier report (per-line frontier, probes, "
              "jobs-executed vs grid cost) to this JSON file",
     )
     frontier.set_defaults(func=cmd_frontier)
+
+    witness = sub.add_parser(
+        "witness",
+        help="inspect or compact a deadlock-witness store",
+        description="Operate on the certificate file 'repro sweep "
+                    "--witness-store' grows: list certificates with "
+                    "their capacity bands, dump one as JSON, or drop "
+                    "subsumed entries.",
+    )
+    witness_sub = witness.add_subparsers(dest="witness_cmd", required=True)
+    witness_ls = witness_sub.add_parser(
+        "ls", help="list stored certificates and their capacity bands"
+    )
+    witness_ls.add_argument("store", help="witness store file")
+    witness_show = witness_sub.add_parser(
+        "show", help="dump one certificate as JSON"
+    )
+    witness_show.add_argument("store", help="witness store file")
+    witness_show.add_argument("id", help="witness id (unique prefix ok)")
+    witness_prune = witness_sub.add_parser(
+        "prune", help="drop certificates a stronger stored one subsumes"
+    )
+    witness_prune.add_argument("store", help="witness store file")
+    witness.set_defaults(func=cmd_witness)
     return parser
 
 

@@ -31,16 +31,25 @@ def _consumer(sim: "Simulator", flow: MessageFlow, hop: int) -> _Agent | None:
     return sim.forwarders.get((flow.message.name, hop))
 
 
-def _queue_hop(flow: MessageFlow, queue) -> int | None:
-    for hop, q in enumerate(flow.queues):
-        if q is queue:
-            return hop
-    return None
+def _queue_hop_map(sim: "Simulator") -> dict[str, dict[int, int]]:
+    """Per-flow ``id(queue) -> hop`` lookup, built once per diagnosis.
+
+    Replaces a linear scan of ``flow.queues`` per blocked-agent edge —
+    quadratic on arrays where many flows share long routes — with one
+    prebuilt map. Keyed by queue identity (the scan it replaces used
+    ``is``), per flow because a physical queue can serve different
+    flows over a run.
+    """
+    return {
+        name: {id(q): hop for hop, q in enumerate(flow.queues)}
+        for name, flow in sim.flows.items()
+    }
 
 
 def build_wait_graph(sim: "Simulator") -> dict[str, set[str]]:
     """Edges ``waiter -> could-unblock-it`` over unfinished agents."""
     graph: dict[str, set[str]] = {}
+    queue_hops = _queue_hop_map(sim)
     for agent in sim.all_agents():
         if agent.done:
             continue
@@ -48,7 +57,7 @@ def build_wait_graph(sim: "Simulator") -> dict[str, set[str]]:
         queue = agent.wait_queue
         if queue is not None and queue.assigned is not None:
             flow = sim.flows[queue.assigned]
-            hop = _queue_hop(flow, queue)
+            hop = queue_hops[queue.assigned].get(id(queue))
             if hop is not None:
                 other = (
                     _consumer(sim, flow, hop)
@@ -66,7 +75,7 @@ def build_wait_graph(sim: "Simulator") -> dict[str, set[str]]:
                     if q.assigned is None:
                         continue
                     holder_flow = sim.flows[q.assigned]
-                    holder_hop = _queue_hop(holder_flow, q)
+                    holder_hop = queue_hops[q.assigned].get(id(q))
                     if holder_hop is None:
                         continue
                     other = _consumer(sim, holder_flow, holder_hop)
@@ -94,13 +103,20 @@ def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
     for start in graph:
         if color[start] != WHITE:
             continue
-        stack: list[tuple[str, list[str]]] = [(start, sorted(graph[start]))]
+        # Each frame carries an index cursor into its sorted neighbor
+        # list: advancing is O(1) where the former ``nbrs.pop(0)`` was
+        # O(n) per step — quadratic per node on dense wait graphs.
+        # Neighbors stay sorted so the returned cycle is deterministic
+        # whatever order the graph's sets were built in.
+        stack: list[list] = [[start, sorted(graph[start]), 0]]
         color[start] = GRAY
         while stack:
-            node, nbrs = stack[-1]
+            frame = stack[-1]
+            node, nbrs, cursor = frame
             advanced = False
-            while nbrs:
-                nxt = nbrs.pop(0)
+            while cursor < len(nbrs):
+                nxt = nbrs[cursor]
+                cursor += 1
                 if nxt not in graph:
                     continue
                 if color[nxt] == GRAY:
@@ -115,10 +131,12 @@ def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
                 if color[nxt] == WHITE:
                     color[nxt] = GRAY
                     parent[nxt] = node
-                    stack.append((nxt, sorted(graph[nxt])))
+                    frame[2] = cursor
+                    stack.append([nxt, sorted(graph[nxt]), 0])
                     advanced = True
                     break
             if not advanced:
+                frame[2] = cursor
                 color[node] = BLACK
                 stack.pop()
     return None

@@ -127,6 +127,27 @@ session records it (``SweepSession.checkpoint_error``), warns, and
 raises :class:`~repro.errors.CheckpointError` — a stale checkpoint
 resumed later would silently redo work.
 
+Witness pruning
+---------------
+
+Deadlock-dense grids mostly re-prove deadlocks they have already
+proven. Giving a :class:`~repro.sweep.plan.SweepPlan` a
+``witness_store`` (:class:`~repro.witness.WitnessStore`; CLI: ``repro
+sweep --witness-store PATH``) lets the session answer such jobs from
+*certificates* mined on earlier runs (:mod:`repro.witness`): a job a
+stored :class:`~repro.witness.DeadlockWitness` covers emits its
+deadlock row via :func:`~repro.sweep.jobs.witness_row` without
+simulating, byte-identical to the simulated row — the certificate's
+capacity band is exactly the set of capacities whose run replays the
+witnessed trace. Pruning is restricted to
+:data:`~repro.sweep.planner.MONOTONE_POLICIES` (static); FCFS — where
+extra buffering can change the outcome, a pinned counterexample — is
+exempt by construction and always simulates. Skips and newly mined
+certificates are counted on the session (``witness_pruned`` /
+``witness_mined``), compose with ``--checkpoint``/``--resume``, and
+seed the frontier planner's bisection bounds
+(:meth:`~repro.witness.WitnessStore.monotone_bound`).
+
 The frontier planner
 --------------------
 
@@ -168,7 +189,13 @@ from repro.sweep.grid import (
     sweep_label,
     sweep_labels,
 )
-from repro.sweep.jobs import WORKER_CRASH_KIND, BatchError, SimJob, job_fingerprint
+from repro.sweep.jobs import (
+    WORKER_CRASH_KIND,
+    BatchError,
+    SimJob,
+    job_fingerprint,
+    witness_row,
+)
 from repro.sweep.plan import (
     ResultHandle,
     SweepOutcome,
@@ -245,4 +272,5 @@ __all__ = [
     "sweep_label",
     "sweep_labels",
     "validate_quantile_labels",
+    "witness_row",
 ]

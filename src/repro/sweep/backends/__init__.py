@@ -15,7 +15,12 @@ ordered stream of :class:`JobRecord` triples ``(index, row, result)``:
   (or :class:`~repro.sweep.jobs.BatchError`) when ``want_results`` is
   set *and* the backend materializes results eagerly, else ``None`` —
   the session then hydrates on demand through a
-  :class:`~repro.sweep.plan.ResultHandle`;
+  :class:`~repro.sweep.plan.ResultHandle`. A backend MAY attach the
+  result even when ``want_results`` is unset if it costs nothing (the
+  serial backend always does: the result exists in-process anyway) —
+  the session uses such free results opportunistically, e.g. to mine
+  deadlock witnesses off a streamed run — but consumers MUST NOT rely
+  on it: multiprocess backends ship ``None`` on the summary-only path;
 * with ``collect_errors`` unset, the first failing job's exception MUST
   propagate to the consumer (no silent loss);
 * worker processes MUST apply the :class:`WorkerContext` before running

@@ -44,7 +44,12 @@ class SerialBackend(ExecutionBackend):
         tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:
         ctx.apply()
+        # The full result is attached even when the caller did not ask
+        # for results: it already exists in-process (nothing is shipped
+        # or retained — the consumer drops it with the record), and the
+        # session's witness miner reads deadlock diagnoses off streamed
+        # records for free because of it.
         for index, job in enumerate(jobs):
             result = run_job(job, collect_errors)
             row = summarize_result(index, job, result)
-            yield JobRecord(index, row, result if want_results else None)
+            yield JobRecord(index, row, result)

@@ -22,7 +22,12 @@ Durability follows :mod:`repro.perf.disk_cache`: snapshots are written
 to a temporary file and published with :func:`os.replace` (atomic on
 POSIX), carry a BLAKE2 checksum over the pickled payload, and any
 corruption — truncation, bit flips, foreign bytes — reads as *absent*
-(clean restart), never as an error. Only a well-formed checkpoint for a
+(clean restart), never as an error, but is counted
+(:meth:`SweepCheckpoint.stats`) rather than silently conflated with a
+missing file. Deserialization failures are narrowed to the corruption
+classes (:data:`_CORRUPT_LOAD_ERRORS`): a ``MemoryError`` or a bug in
+a reducer's unpickling propagates instead of masquerading as a clean
+restart. Only a well-formed checkpoint for a
 *different* sweep raises (:class:`~repro.errors.CheckpointError`):
 silently discarding it would silently re-run the sweep, and silently
 using it would merge unrelated aggregates.
@@ -68,28 +73,56 @@ def sweep_fingerprint(
     return h.hexdigest()
 
 
-def _load_raw(path: str) -> dict | None:
-    """The payload dict, or None for missing/corrupt/foreign files."""
+#: What corrupt checkpoint bytes can raise while deserializing — the
+#: same classes :mod:`repro.perf.disk_cache` narrows to: pickle framing
+#: (``UnpicklingError``/``EOFError``/``ValueError``), and payloads
+#: referencing renamed or missing classes across versions
+#: (``AttributeError``/``ImportError``/``IndexError``). Anything
+#: outside this set — ``MemoryError``, ``KeyboardInterrupt``, a bug in
+#: a reducer's ``__setstate__`` — is NOT corruption and must propagate:
+#: swallowing it would silently read a real failure as "absent
+#: checkpoint = clean restart" and redo the whole sweep.
+_CORRUPT_LOAD_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    ValueError,
+    AttributeError,
+    ImportError,
+    IndexError,
+)
+
+
+def _load_raw(path: str) -> tuple[dict | None, bool]:
+    """``(payload, rejected)``: the state dict, or why there is none.
+
+    ``(dict, False)`` for a well-formed file, ``(None, False)`` for a
+    missing one (the normal cold start), ``(None, True)`` for a file
+    that exists but failed validation — bad magic, checksum mismatch,
+    unpicklable payload, foreign version — so the caller can count
+    rejected loads instead of conflating them with absence.
+    """
     try:
         blob = open(path, "rb").read()
+    except FileNotFoundError:
+        return None, False
     except OSError:
-        return None
+        return None, True  # unreadable is not the same as absent
     if len(blob) < len(_MAGIC) + _DIGEST_SIZE or not blob.startswith(_MAGIC):
-        return None
+        return None, True
     digest = blob[len(_MAGIC):len(_MAGIC) + _DIGEST_SIZE]
     payload = blob[len(_MAGIC) + _DIGEST_SIZE:]
     if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != digest:
-        return None  # truncated or bit-flipped: verified before unpickling
+        return None, True  # truncated or bit-flipped: verified pre-unpickle
     try:
         state = pickle.loads(payload)
-    except Exception:
-        return None
+    except _CORRUPT_LOAD_ERRORS:
+        return None, True
     if (
         not isinstance(state, dict)
         or state.get("version") != FORMAT_VERSION
     ):
-        return None
-    return state
+        return None, True
+    return state, False
 
 
 class SweepCheckpoint:
@@ -115,6 +148,10 @@ class SweepCheckpoint:
         self.every = max(1, every)
         self.done = bytearray((n_jobs + 7) // 8)
         self._unsaved = 0
+        #: checkpoint files that existed but failed validation at
+        #: :meth:`resume` (treated as absent for recovery, but counted —
+        #: a rejected load is observable, never silent)
+        self.loads_rejected = 0
 
     # -- bitmap -----------------------------------------------------------
 
@@ -182,7 +219,9 @@ class SweepCheckpoint:
         :class:`~repro.errors.CheckpointError` when a *valid* checkpoint
         belongs to a different sweep or reducer stack.
         """
-        state = _load_raw(self.path)
+        state, rejected = _load_raw(self.path)
+        if rejected:
+            self.loads_rejected += 1
         if state is None:
             return 0
         if state["fingerprint"] != self.fingerprint:
@@ -211,3 +250,11 @@ class SweepCheckpoint:
         self.done = bytearray(state["done"])
         self._unsaved = 0
         return self.done_count()
+
+    def stats(self) -> dict:
+        """Observability counters, mirroring ``DiskCacheTier.stats``."""
+        return {
+            "n_jobs": self.n_jobs,
+            "done": self.done_count(),
+            "loads_rejected": self.loads_rejected,
+        }

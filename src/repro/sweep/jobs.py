@@ -22,6 +22,7 @@ from repro.errors import ConfigError, ReproError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
     from repro.core.program import ArrayProgram
     from repro.sim.result import SimulationResult
+    from repro.sweep.summary import RunSummary
 
 
 #: ``BatchError.kind`` of a job quarantined after crashing its worker
@@ -122,6 +123,37 @@ def run_job(
         return job.run()
     except ReproError as exc:
         return BatchError(kind=type(exc).__name__, error=str(exc))
+
+
+def witness_row(index: int, job: SimJob, witness) -> "RunSummary":
+    """The deadlock row a covered job would produce, without running it.
+
+    Field-for-field the row :func:`~repro.sweep.summary.summarize_result`
+    builds from a simulated deadlock: ``completed``/``timed_out`` False,
+    ``deadlocked`` True, ``time``/``events``/``words`` from the
+    witnessed trace (identical inside the certificate's capacity band —
+    see :meth:`~repro.witness.certificate.DeadlockWitness.
+    covers_capacity`), config fields from *this* job's config, and the
+    error fields left at their defaults exactly as a simulated deadlock
+    leaves them. Byte-equality of pruned vs simulated rows is pinned by
+    differential tests across every backend.
+    """
+    # Imported lazily: summary.py imports this module at module scope.
+    from repro.sweep.summary import RunSummary
+
+    config = job.config or ArrayConfig()
+    return RunSummary(
+        index=index,
+        completed=False,
+        deadlocked=True,
+        timed_out=False,
+        time=witness.time,
+        events=witness.events,
+        words=witness.words,
+        policy=job.policy,
+        queues=config.queues_per_link,
+        capacity=config.queue_capacity,
+    )
 
 
 def job_fingerprint(job: SimJob) -> str:

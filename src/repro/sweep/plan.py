@@ -35,6 +35,7 @@ from repro.errors import CheckpointError, ConfigError
 from repro.sweep.backends import (
     ExecutionBackend,
     FaultPlan,
+    JobRecord,
     Tolerance,
     WorkerContext,
     get_backend,
@@ -45,6 +46,7 @@ from repro.sweep.jobs import (
     default_chunk_size,
     normalize_jobs,
     run_job,
+    witness_row,
 )
 from repro.sweep.reducers import StreamReducer
 from repro.sweep.summary import RunSummary
@@ -53,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.program import ArrayProgram
     from repro.arch.config import ArrayConfig
     from repro.sim.result import SimulationResult
+    from repro.witness.store import WitnessStore
 
 _VALID_ON_ERROR = ("raise", "collect")
 
@@ -78,6 +81,21 @@ class SweepPlan:
     report byte-identically to an uninterrupted run. Checkpointing is a
     streaming feature: :meth:`SweepSession.run` /
     :meth:`SweepSession.iter_handles` reject it.
+
+    ``witness_store`` attaches a deadlock-witness store
+    (:class:`~repro.witness.store.WitnessStore`): each job is checked
+    against the store before dispatch and, when a stored certificate
+    covers it row-exactly, its deadlock row is synthesized
+    (:func:`~repro.sweep.jobs.witness_row`) instead of simulated —
+    counted in :attr:`SweepSession.witness_pruned`. With
+    ``witness_mine`` (the default), deadlocked results that come back
+    attached to records (always on the serial backend, on eager
+    full-result backends under :meth:`SweepSession.iter_handles`) are
+    mined into new certificates. Only monotone policies are ever pruned
+    or mined (FCFS is exempt by construction — see
+    :mod:`repro.witness.certificate`); composing with ``checkpoint`` is
+    safe because pruned jobs are marked done like simulated ones and
+    the grid fingerprint does not depend on the store.
     """
 
     jobs: Iterable[SimJob]
@@ -95,6 +113,8 @@ class SweepPlan:
     checkpoint: str | None = None
     checkpoint_every: int = 64
     resume: bool = False
+    witness_store: "WitnessStore | None" = None
+    witness_mine: bool = True
 
 
 _UNSET = object()
@@ -169,8 +189,16 @@ class SweepSession:
     #: stale checkpoint.
     checkpoint_error: BaseException | None
 
+    #: Jobs answered from the witness store instead of simulated, and
+    #: new certificates mined from this session's deadlocked results.
+    #: Both stay 0 when ``plan.witness_store`` is ``None``.
+    witness_pruned: int
+    witness_mined: int
+
     def __init__(self, plan: SweepPlan) -> None:
         self.checkpoint_error = None
+        self.witness_pruned = 0
+        self.witness_mined = 0
         if plan.on_error not in _VALID_ON_ERROR:
             raise ConfigError(
                 f"on_error must be 'raise' or 'collect', got {plan.on_error!r}"
@@ -246,6 +274,79 @@ class SweepSession:
             tolerance=self.tolerance,
         )
 
+    def _witness_records(
+        self, jobs: Iterable[SimJob], want_results: bool
+    ) -> Iterator[JobRecord]:
+        """Backend records merged with store-synthesized rows, in order.
+
+        Each job is checked against ``plan.witness_store`` as the
+        backend pulls it: covered jobs are withheld from execution and
+        their deadlock rows synthesized (:func:`~repro.sweep.jobs.
+        witness_row`, byte-identical to the simulated row inside the
+        certificate's capacity band); the rest run normally and their
+        compact record indices are mapped back to original positions.
+        Synthesized rows interleave with executed ones by ascending
+        original index, so downstream consumers (reducers, checkpoints,
+        the CLI tables) cannot tell a pruned row from a simulated one.
+
+        Mining rides the same pass for free: records that arrive with a
+        full result attached (always on the serial backend — see the
+        backend contract) have their deadlock diagnoses normalized into
+        new certificates when ``plan.witness_mine`` is set. Multiprocess
+        summary-only streams ship no results, so they prune but do not
+        mine.
+        """
+        from collections import deque
+
+        store = self.plan.witness_store
+        mine = self.plan.witness_mine
+        synth: deque[tuple[int, RunSummary]] = deque()
+        sent: list[tuple[int, SimJob]] = []  # compact index -> original
+
+        def feed() -> Iterator[SimJob]:
+            for original, job in enumerate(jobs):
+                witness = store.find(job)
+                if witness is not None:
+                    synth.append((original, witness_row(original, job, witness)))
+                    self.witness_pruned += 1
+                    continue
+                sent.append((original, job))
+                yield job
+
+        for record in self._execute(feed(), want_results=want_results):
+            original, job = sent[record.index]
+            while synth and synth[0][0] < original:
+                index, row = synth.popleft()
+                yield JobRecord(index, row, None)
+            if mine and record.result is not None:
+                mined = self._mine(job, record.result)
+                if mined:
+                    self.witness_mined += 1
+            row = record.row
+            if row.index != original:
+                row = dataclasses.replace(row, index=original)
+            yield JobRecord(original, row, record.result)
+        while synth:
+            index, row = synth.popleft()
+            yield JobRecord(index, row, None)
+
+    def _mine(self, job: SimJob, result) -> bool:
+        """Normalize one attached result into a stored certificate."""
+        from repro.witness import mine_witness
+
+        witness = mine_witness(job, result)
+        if witness is None:
+            return False
+        return self.plan.witness_store.add(witness)
+
+    def _records(
+        self, jobs: Iterable[SimJob], want_results: bool
+    ) -> Iterator[JobRecord]:
+        """The record stream, witness-pruned when a store is attached."""
+        if self.plan.witness_store is not None:
+            return self._witness_records(jobs, want_results)
+        return self._execute(jobs, want_results=want_results)
+
     def stream(self) -> Iterator[RunSummary]:
         """Yield one row per job, in job order, feeding every reducer.
 
@@ -260,7 +361,7 @@ class SweepSession:
 
     def _stream_plain(self) -> Iterator[RunSummary]:
         reducers = tuple(self.plan.reducers)
-        for record in self._execute(self.plan.jobs, want_results=False):
+        for record in self._records(self.plan.jobs, want_results=False):
             for reducer in reducers:
                 reducer.update(record.row)
             yield record.row
@@ -292,7 +393,12 @@ class SweepSession:
         try:
             if remaining:
                 compact = [jobs[i] for i in remaining]
-                for record in self._execute(compact, want_results=False):
+                # Witness pruning composes transparently: _records
+                # yields pruned rows at their compact positions, so the
+                # index remap and the done bitmap treat them exactly
+                # like simulated rows and a resumed pruned sweep stays
+                # byte-identical to an uninterrupted one.
+                for record in self._records(compact, want_results=False):
                     original = remaining[record.index]
                     row = dataclasses.replace(record.row, index=original)
                     for reducer in reducers:
@@ -363,7 +469,10 @@ class SweepSession:
         labels = self.plan.labels
         reducers = tuple(self.plan.reducers)
         collect = self._collect_errors()
-        for record in self._execute(jobs, want_results=True):
+        # A witness-pruned handle arrives with no materialized result
+        # (there was no run); its ResultHandle hydrates by executing
+        # the job on demand, exactly like a shm-backend handle.
+        for record in self._records(jobs, want_results=True):
             for reducer in reducers:
                 reducer.update(record.row)
             yield ResultHandle(

@@ -73,12 +73,21 @@ from repro.sweep.summary import RunSummary
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.program import ArrayProgram
+    from repro.witness.store import WitnessStore
 
 #: Policies whose run-time completion is proven (and hypothesis-pinned)
 #: monotone in queue capacity, licensing the binary search. FCFS is
 #: excluded by the pinned counterexample; "ordered" is excluded
 #: conservatively (its labeling is recomputed per capacity, and no
 #: monotonicity property is pinned for it).
+#:
+#: This set also gates deadlock-witness pruning (:mod:`repro.witness`):
+#: a stored certificate only generalizes across capacities when
+#: completion is monotone in capacity (a witnessed deadlock then
+#: dominates every smaller capacity, and its trace-replay band every
+#: covered one), so ``WitnessStore.find`` and ``mine_witness`` both
+#: refuse policies outside this set — FCFS rows are never pruned, by
+#: construction rather than by store discipline.
 MONOTONE_POLICIES = frozenset({"static"})
 
 #: ``FrontierResult.mode`` values.
@@ -99,6 +108,14 @@ class PlanSpec:
     (see :func:`exhaustive_spec`) to force full evaluation everywhere.
     ``reducers`` are fed every executed row, in emission order, exactly
     as a sweep session would feed them.
+
+    ``witness_store`` seeds each bisecting line's bounds from stored
+    deadlock certificates (a witnessed deadlock at capacity ``c``
+    dominates every capacity ``<= c`` under a monotone policy, so the
+    bottom probe and part of the bracket are skipped) and rides along
+    into every probe round's :class:`~repro.sweep.plan.SweepPlan`, so
+    covered probes are answered from the store and fresh deadlocks are
+    mined back into it.
     """
 
     program: "ArrayProgram"
@@ -112,6 +129,7 @@ class PlanSpec:
     chunk_size: int | None = None
     disk_cache: str | None = None
     monotone_policies: frozenset[str] = MONOTONE_POLICIES
+    witness_store: "WitnessStore | None" = None
 
 
 def exhaustive_spec(spec: PlanSpec) -> PlanSpec:
@@ -172,6 +190,12 @@ class FrontierReport:
     rows: list[RunSummary]
     grid_jobs: int
     capacities: tuple[int, ...]
+    #: Witness-store accounting (all 0 without a store): lines whose
+    #: bisection bounds a certificate seeded, probe jobs answered from
+    #: the store, and new certificates mined during probe rounds.
+    witness_seeded_lines: int = 0
+    witness_pruned: int = 0
+    witness_mined: int = 0
 
     @property
     def jobs_executed(self) -> int:
@@ -190,6 +214,9 @@ class FrontierReport:
             "grid_jobs": self.grid_jobs,
             "jobs_executed": self.jobs_executed,
             "capacities": list(self.capacities),
+            "witness_seeded_lines": self.witness_seeded_lines,
+            "witness_pruned": self.witness_pruned,
+            "witness_mined": self.witness_mined,
             "lines": [line.as_dict() for line in self.lines],
         }
 
@@ -205,7 +232,7 @@ class _LineSearch:
 
     __slots__ = (
         "policy", "queues", "line_index", "mode", "done",
-        "frontier_idx", "outcomes", "_phase", "_lo", "_hi", "_n",
+        "frontier_idx", "outcomes", "seeded", "_phase", "_lo", "_hi", "_n",
     )
 
     def __init__(
@@ -218,10 +245,32 @@ class _LineSearch:
         self.done = False
         self.frontier_idx: int | None = None
         self.outcomes: dict[int, str] = {}  # capacity index -> outcome
+        self.seeded = False
         self._phase = "top"
         self._lo = 0
         self._hi = n - 1
         self._n = n
+
+    def seed_known_deadlocked(self, cap_index: int) -> None:
+        """Fold witness knowledge: capacities ``<= cap_index`` deadlock.
+
+        Outcome-only dominance from a stored certificate under a
+        monotone policy. Covering the whole axis settles the line with
+        zero probes; otherwise the bottom probe is skipped (its answer
+        is known not-completed) and the bisection bracket starts at the
+        highest dominated index instead of 0.
+        """
+        if self.mode != MODE_BISECT or self.done:
+            return
+        if cap_index >= self._n - 1:
+            # Even the top capacity is witnessed deadlocked: no probe
+            # can complete, the frontier is known absent.
+            self.frontier_idx = None
+            self.done = True
+            self.seeded = True
+            return
+        self._lo = max(self._lo, cap_index)
+        self.seeded = True
 
     def next_probes(self) -> list[int]:
         """Capacity indices to execute this round (empty when done)."""
@@ -257,6 +306,12 @@ class _LineSearch:
             elif self._n == 1:
                 self.frontier_idx = 0
                 self.done = True
+            elif self.seeded:
+                # A witness already answered the bottom probe (the
+                # dominated prefix cannot complete): go straight to
+                # bisecting the remaining bracket.
+                self._phase = "bisect"
+                self._maybe_finish()
             else:
                 self._phase = "bottom"
             return
@@ -323,6 +378,8 @@ class FrontierPlanner:
         self.spec = spec
         self.capacities: tuple[int, ...] = tuple(sorted(spec.capacities))
         self._analyzed: set[int] = set()  # capacities with a warm entry
+        self._witness_pruned = 0
+        self._witness_mined = 0
 
     # -- grid geometry ----------------------------------------------------
 
@@ -409,12 +466,56 @@ class FrontierPlanner:
             chunk_size=spec.chunk_size,
             on_error="collect",
             disk_cache=spec.disk_cache,
+            witness_store=spec.witness_store,
         )
-        return list(SweepSession(plan).stream())
+        session = SweepSession(plan)
+        round_rows = list(session.stream())
+        self._witness_pruned += session.witness_pruned
+        self._witness_mined += session.witness_mined
+        return round_rows
+
+    def _seed_from_witnesses(self, lines: "list[_LineSearch]") -> int:
+        """Fold stored certificates into each bisecting line's bounds.
+
+        A certificate at capacity ``c`` proves (by monotonicity) that
+        every capacity ``<= c`` deadlocks, so the line's bottom probe —
+        and part of its bracket — is already answered. Returns the
+        number of lines seeded. Outcome-only knowledge: no row is
+        synthesized here, the grid's dominated rows simply stop being
+        interesting to a frontier query.
+        """
+        store = self.spec.witness_store
+        if store is None:
+            return 0
+        from repro.witness import witness_scope
+
+        seeded = 0
+        for line in lines:
+            if line.mode != MODE_BISECT:
+                continue
+            representative = SimJob(
+                self.spec.program,
+                config=ArrayConfig(queues_per_link=line.queues),
+                policy=line.policy,
+                registers=self.spec.registers,
+            )
+            bound = store.monotone_bound(witness_scope(representative))
+            if bound is None:
+                continue
+            dominated = [
+                i for i, cap in enumerate(self.capacities) if cap <= bound
+            ]
+            if dominated:
+                line.seed_known_deadlocked(dominated[-1])
+                seeded += 1
+        return seeded
 
     def run(self) -> FrontierReport:
         """Execute the search; every executed row is in the report."""
         lines = self._lines()
+        self._witness_pruned = 0
+        self._witness_mined = 0
+        seeded = self._seed_from_witnesses(lines)
         reducers = tuple(self.spec.reducers)
         rows: list[RunSummary] = []
         while True:
@@ -442,6 +543,9 @@ class FrontierPlanner:
                 * len(self.capacities)
             ),
             capacities=self.capacities,
+            witness_seeded_lines=seeded,
+            witness_pruned=self._witness_pruned,
+            witness_mined=self._witness_mined,
         )
 
 

@@ -1,0 +1,34 @@
+"""Deadlock witnesses: certificates mined from runs, reused by sweeps.
+
+The deadlock detector already explains every deadlocked run with a
+wait-for cycle; this package turns that explanation into a *reusable*
+artifact. :func:`mine_witness` normalizes one deadlocked
+:class:`~repro.sim.result.SimulationResult` into a
+:class:`DeadlockWitness` — the blocked subprogram slice, the policy,
+and the capacity band the deadlock provably covers — and
+:class:`WitnessStore` persists certificates with subsumption lookup, so
+a provisioning sweep consults the store before dispatching each job and
+emits known-deadlocked rows without simulating them
+(:mod:`repro.sweep.plan` wires it through ``SweepPlan.witness_store``;
+the CLI through ``repro sweep --witness-store`` and ``repro witness
+{ls,show,prune}``).
+
+Soundness boundaries live in :mod:`repro.witness.certificate`: only
+monotone policies (static) are ever pruned — FCFS is exempt by
+construction — and rows are synthesized only inside the witnessed
+trace-replay band, so pruned rows are byte-identical to simulated ones.
+"""
+
+from repro.witness.certificate import (
+    DeadlockWitness,
+    mine_witness,
+    witness_scope,
+)
+from repro.witness.store import WitnessStore
+
+__all__ = [
+    "DeadlockWitness",
+    "WitnessStore",
+    "mine_witness",
+    "witness_scope",
+]

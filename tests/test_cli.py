@@ -1,5 +1,7 @@
 """CLI tests: check, label, run, show on program files."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -459,3 +461,85 @@ class TestCrossingBackendFlag:
         with pytest.raises(SystemExit):
             main(["check", fig7_file, "--crossing-backend", "vectorized"])
         assert "invalid choice" in capsys.readouterr().err
+
+
+@pytest.fixture
+def crossread_file(tmp_path):
+    """Cross-reading cells: deadlocks at every capacity, every policy."""
+    from repro.core.message import Message
+    from repro.core.ops import R, W
+    from repro.core.program import ArrayProgram
+
+    msgs = [Message("M0", "A", "B", 1), Message("M1", "B", "A", 1)]
+    progs = {
+        "A": [R("M1", into="x"), W("M0", constant=1.0)],
+        "B": [R("M0", into="y"), W("M1", constant=2.0)],
+    }
+    path = tmp_path / "crossread.sysp"
+    path.write_text(print_program(ArrayProgram(["A", "B"], msgs, progs)))
+    return str(path)
+
+
+class TestWitnessCli:
+    GRID = ["--policies", "static,fcfs", "--capacity", "0,1,2,3,4,5,6,7"]
+
+    def test_sweep_with_store_prints_identical_rows(
+        self, crossread_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "w.json")
+        assert main(["sweep", crossread_file] + self.GRID) == 1
+        baseline = capsys.readouterr().out
+        assert main(
+            ["sweep", crossread_file, "--witness-store", store] + self.GRID
+        ) == 1
+        cold = capsys.readouterr().out
+        assert main(
+            ["sweep", crossread_file, "--witness-store", store] + self.GRID
+        ) == 1
+        warm = capsys.readouterr().out
+        # The per-row table is unchanged; only the [witness] line is new.
+        strip = lambda out: [
+            line for line in out.splitlines()
+            if not line.startswith("[witness]")
+        ]
+        assert strip(cold) == strip(baseline)
+        assert strip(warm) == strip(baseline)
+        assert "[witness] pruned 8" in warm  # the whole static line
+        assert "mined 0" in warm
+
+    def test_witness_ls_show_prune(self, crossread_file, tmp_path, capsys):
+        store = str(tmp_path / "w.json")
+        main(["sweep", crossread_file, "--witness-store", store] + self.GRID)
+        capsys.readouterr()
+
+        assert main(["witness", "ls", store]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+        assert "cells=A,B" in out
+        assert "1 witness(es)" in out
+        witness_id = out.split()[0]
+
+        assert main(["witness", "show", store, witness_id[:6]]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == witness_id
+        assert payload["policy"] == "static"
+
+        assert main(["witness", "show", store, "zzzz"]) == 2
+        assert "no witness matching" in capsys.readouterr().err
+
+        assert main(["witness", "prune", store]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+
+    def test_frontier_with_store_reports_seeding(
+        self, crossread_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "w.json")
+        main(["sweep", crossread_file, "--witness-store", store] + self.GRID)
+        capsys.readouterr()
+        code = main([
+            "frontier", crossread_file, "--capacity", "0,1,2,4",
+            "--witness-store", store,
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # nothing on this axis completes
+        assert "[witness] seeded 1 line(s)" in out

@@ -57,3 +57,76 @@ class TestWaitGraph:
 
     def test_find_cycle_ignores_unknown_targets(self):
         assert find_cycle({"a": {"ghost"}}) is None
+
+    def test_find_cycle_deterministic_across_set_orders(self):
+        # Neighbor sets have no order; the DFS sorts them, so the same
+        # graph must always yield the same cycle — witness certificates
+        # canonicalize what this returns, so instability would make the
+        # same deadlock mine as different certificates run to run.
+        graph = {"b": {"c", "a"}, "a": {"b"}, "c": {"b"}}
+        assert find_cycle(graph) == ["b", "a", "b"]
+        # The same edges with differently-built sets must not matter.
+        rebuilt = {"b": set(["a", "c"]), "a": {"b"}, "c": {"b"}}
+        assert find_cycle(rebuilt) == ["b", "a", "b"]
+
+    def test_find_cycle_deep_chain_into_cycle(self):
+        # A long tail before the cycle exercises the index-cursor DFS
+        # frames (descend, backtrack, resume at the saved cursor).
+        chain = {f"n{i}": {f"n{i+1}"} for i in range(50)}
+        chain["n50"] = {"n20"}
+        cycle = find_cycle(chain)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1] == "n20"
+        assert len(cycle) == 32  # n20..n50 plus the closing repeat
+
+
+class TestWaitGrantEdges:
+    """Grant-wait edges: multi-queue holders and stuck senders."""
+
+    def _stuck_grant_sim(self):
+        # A pushes X and Y (filling both queues on A->B), then blocks
+        # awaiting a grant for Z; B waits for Z, which was never even
+        # granted a queue — its sender is itself stuck.
+        from repro.core.message import Message
+        from repro.core.ops import R, W
+        from repro.core.program import ArrayProgram
+
+        msgs = [
+            Message("X", "A", "B", 1),
+            Message("Y", "A", "B", 1),
+            Message("Z", "A", "B", 1),
+        ]
+        progs = {
+            "A": [
+                W("X", constant=1.0),
+                W("Y", constant=2.0),
+                W("Z", constant=3.0),
+            ],
+            "B": [R("Z", into="z"), R("X", into="x"), R("Y", into="y")],
+        }
+        program = ArrayProgram(["A", "B"], msgs, progs)
+        sim = Simulator(
+            program,
+            config=ArrayConfig(queues_per_link=2, queue_capacity=1),
+            policy="fcfs",
+        )
+        result = sim.run()
+        return sim, result
+
+    def test_multi_queue_holders_all_point_at_their_consumer(self):
+        sim, result = self._stuck_grant_sim()
+        assert result.deadlocked
+        graph = build_wait_graph(sim)
+        # A awaits a grant on a link whose two queues are both held by
+        # flows B consumes: every holder edge lands on cell:B.
+        assert "cell:B" in graph["cell:A"]
+
+    def test_receiver_of_stuck_sender_gets_pusher_edge(self):
+        sim, result = self._stuck_grant_sim()
+        graph = build_wait_graph(sim)
+        # B waits for Z, which holds no queue anywhere — the fallback
+        # edge to Z's would-be pusher (A) is what closes the cycle.
+        assert "cell:A" in graph["cell:B"]
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {"cell:A", "cell:B"}

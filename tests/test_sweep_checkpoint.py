@@ -188,6 +188,52 @@ class TestCorruptionTolerance:
         ck = str(tmp_path / "never-written.ckpt")
         self._assert_clean_restart(jobs, ck, base_rows, base_summaries)
 
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda blob: blob[: len(blob) // 2],  # truncated
+            lambda blob: b"junk" * 50,  # foreign bytes
+            lambda blob: blob[:9] + bytes([blob[9] ^ 0x40]) + blob[10:],
+        ],
+        ids=["truncated", "foreign", "bit-flip"],
+    )
+    def test_rejected_load_is_counted(self, tmp_path, corrupt):
+        path = str(tmp_path / "counted.ckpt")
+        reducers = fresh_reducers()
+        ck = SweepCheckpoint(path, "fp", 8)
+        ck.mark_done(0)
+        ck.save(reducers)
+        Path(path).write_bytes(corrupt(Path(path).read_bytes()))
+        fresh = SweepCheckpoint(path, "fp", 8)
+        assert fresh.resume(fresh_reducers()) == 0  # clean restart...
+        assert fresh.stats()["loads_rejected"] == 1  # ...but observable
+
+    def test_missing_file_is_not_counted_as_rejected(self, tmp_path):
+        ck = SweepCheckpoint(str(tmp_path / "absent.ckpt"), "fp", 8)
+        assert ck.resume(fresh_reducers()) == 0
+        assert ck.stats() == {"n_jobs": 8, "done": 0, "loads_rejected": 0}
+
+    def test_memory_error_propagates_not_swallowed(
+        self, tmp_path, monkeypatch
+    ):
+        # The bare except this replaced would have read an OOM during
+        # unpickling as "absent checkpoint" and silently redone the
+        # whole sweep. Only the corruption classes may be swallowed.
+        import pickle
+
+        path = str(tmp_path / "oom.ckpt")
+        ck = SweepCheckpoint(path, "fp", 8)
+        ck.save(fresh_reducers())
+
+        def exploding_loads(payload):
+            raise MemoryError("simulated OOM during unpickle")
+
+        monkeypatch.setattr(pickle, "loads", exploding_loads)
+        fresh = SweepCheckpoint(path, "fp", 8)
+        with pytest.raises(MemoryError):
+            fresh.resume(fresh_reducers())
+        assert fresh.loads_rejected == 0
+
 
 class TestMismatchRefusal:
     def test_different_jobs_refuse_to_resume(self, baseline, tmp_path):

@@ -1,0 +1,303 @@
+"""Witness pruning through the sweep stack: differential byte-identity.
+
+The contract under test: a sweep given a witness store produces rows and
+reducer summaries *byte-identical* to the same sweep without one — the
+store only changes how many jobs actually simulate. Pinned against the
+serial baseline across backends, under checkpoint/resume composition,
+and through the frontier planner's bisection seeding; the acceptance
+grid (2 policies x 64 capacities, deadlock-dense) must simulate at most
+half its jobs on a warm store, with FCFS never pruned.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.message import Message
+from repro.core.ops import R, W
+from repro.core.program import ArrayProgram
+from repro.sweep import (
+    CompletedCount,
+    DeadlockRateByConfig,
+    FrontierPlanner,
+    MakespanHistogram,
+    PlanSpec,
+    SweepPlan,
+    SweepSession,
+    exhaustive_spec,
+    sweep_jobs,
+)
+from repro.witness import WitnessStore
+
+
+def cross_read():
+    """Deadlocks at every capacity under every policy (circular read)."""
+    msgs = [Message("M0", "A", "B", 1), Message("M1", "B", "A", 1)]
+    progs = {
+        "A": [R("M1", into="x"), W("M0", constant=1.0)],
+        "B": [R("M0", into="y"), W("M1", constant=2.0)],
+    }
+    return ArrayProgram(["A", "B"], msgs, progs)
+
+
+def burst_exchange():
+    """Two cells exchanging 2-word bursts: static frontier at cap=2."""
+    msgs = [Message("M0", "A", "B", 2), Message("M1", "B", "A", 2)]
+    progs = {
+        "A": [W("M0", constant=1.0)] * 2
+        + [R("M1", into="a0"), R("M1", into="a1")],
+        "B": [W("M1", constant=2.0)] * 2
+        + [R("M0", into="b0"), R("M0", into="b1")],
+    }
+    return ArrayProgram(["A", "B"], msgs, progs)
+
+
+def fresh_reducers():
+    return (CompletedCount(), MakespanHistogram(), DeadlockRateByConfig())
+
+
+def summaries_json(reducers) -> str:
+    return json.dumps({r.name: r.summary() for r in reducers}, sort_keys=True)
+
+
+def run_sweep(jobs, store=None, **plan_kwargs):
+    reducers = fresh_reducers()
+    session = SweepSession(
+        SweepPlan(
+            jobs=jobs, reducers=reducers, witness_store=store, **plan_kwargs
+        )
+    )
+    rows = list(session.stream())
+    return rows, summaries_json(reducers), session
+
+
+class TestAcceptanceGrid:
+    """The issue's acceptance bar, asserted in-test."""
+
+    CAPACITIES = tuple(range(64))
+
+    def grid(self, policies=("static", "fcfs")):
+        return sweep_jobs(
+            cross_read(),
+            policies=policies,
+            queues=(1,),
+            capacities=self.CAPACITIES,
+        )
+
+    def test_warm_store_halves_the_simulated_jobs(self, tmp_path):
+        jobs = self.grid()
+        base_rows, base_summaries, _ = run_sweep(jobs)
+
+        # Cold: the store starts empty, mines as it goes, prunes the
+        # static tail it has already proven. Rows must not change.
+        store = WitnessStore(tmp_path / "w.json")
+        cold_rows, cold_summaries, cold = run_sweep(jobs, store)
+        assert cold_rows == base_rows
+        assert cold_summaries == base_summaries
+        assert cold.witness_pruned >= 60
+        assert cold.witness_mined >= 1
+        store.save()
+
+        # Warm: every static job is covered; only FCFS simulates.
+        warm_store = WitnessStore(tmp_path / "w.json")
+        warm_rows, warm_summaries, warm = run_sweep(jobs, warm_store)
+        assert warm_rows == base_rows
+        assert warm_summaries == base_summaries
+        simulated = len(jobs) - warm.witness_pruned
+        assert simulated <= len(jobs) // 2
+        # FCFS is never pruned: all 64 prunes are the static half, and
+        # the store never even holds an FCFS certificate.
+        assert warm.witness_pruned == 64
+        assert all(w.policy == "static" for w in warm_store.witnesses())
+
+    def test_pruned_rows_at_the_end_of_the_grid(self, tmp_path):
+        # Policy order reversed: every pruned (static) row now lands
+        # *after* the backend's stream is exhausted — the flush path.
+        jobs = self.grid(policies=("fcfs", "static"))
+        base_rows, base_summaries, _ = run_sweep(jobs)
+        store = WitnessStore(tmp_path / "w.json")
+        run_sweep(self.grid(), store)  # mine on the forward grid
+        rows, summaries, session = run_sweep(jobs, store)
+        assert rows == base_rows
+        assert summaries == base_summaries
+        assert session.witness_pruned == 64
+        assert [r.index for r in rows] == list(range(len(jobs)))
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("backend", ("pool", "shm"))
+    def test_pruned_rows_byte_identical_across_backends(
+        self, tmp_path, backend
+    ):
+        jobs = sweep_jobs(
+            cross_read(),
+            policies=("static", "fcfs"),
+            queues=(1,),
+            capacities=(0, 1, 2, 3),
+        )
+        base_rows, base_summaries, _ = run_sweep(jobs)
+        store = WitnessStore(tmp_path / "w.json")
+        run_sweep(jobs, store)  # warm it up on the serial baseline
+        rows, summaries, session = run_sweep(
+            jobs, store, backend=backend, workers=2, chunk_size=2
+        )
+        assert rows == base_rows
+        assert summaries == base_summaries
+        assert session.witness_pruned == 4  # the whole static line
+        # Multiprocess backends ship no results, so nothing new mines.
+        assert session.witness_mined == 0
+
+
+class TestCheckpointComposition:
+    def test_interrupt_resume_with_store_stays_byte_identical(self, tmp_path):
+        jobs = sweep_jobs(
+            cross_read(),
+            policies=("static", "fcfs"),
+            queues=(1,),
+            capacities=(0, 1, 2, 3, 4, 5),
+        )
+        base_rows, base_summaries, _ = run_sweep(jobs)
+
+        store = WitnessStore(tmp_path / "w.json")
+        run_sweep(jobs, store)
+        store.save()
+
+        ck = str(tmp_path / "sweep.ckpt")
+        first = fresh_reducers()
+        warm = WitnessStore(tmp_path / "w.json")
+        stream = SweepSession(
+            SweepPlan(
+                jobs=jobs,
+                reducers=first,
+                witness_store=warm,
+                checkpoint=ck,
+                checkpoint_every=2,
+            )
+        ).stream()
+        head = list(itertools.islice(stream, 4))
+        stream.close()  # interrupt: the finally writes a snapshot
+
+        second = fresh_reducers()
+        tail = list(
+            SweepSession(
+                SweepPlan(
+                    jobs=jobs,
+                    reducers=second,
+                    witness_store=WitnessStore(tmp_path / "w.json"),
+                    checkpoint=ck,
+                    resume=True,
+                )
+            ).stream()
+        )
+        assert head + tail == base_rows
+        assert summaries_json(second) == base_summaries
+
+    def test_session_counters(self, tmp_path):
+        jobs = sweep_jobs(
+            cross_read(),
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 1, 2, 3),
+        )
+        store = WitnessStore()
+        _rows, _summaries, session = run_sweep(jobs, store)
+        # cap=0 and cap=1 mine (closed point, then the open ray that
+        # subsumes it); cap>=2 is covered by the ray and prunes.
+        assert session.witness_mined == 2
+        assert session.witness_pruned == 2
+        assert len(store) == 1
+
+    def test_mining_can_be_disabled(self):
+        jobs = sweep_jobs(
+            cross_read(), policies=("static",), queues=(1,), capacities=(0, 1)
+        )
+        store = WitnessStore()
+        _rows, _summaries, session = run_sweep(jobs, store, witness_mine=False)
+        assert session.witness_mined == 0
+        assert len(store) == 0
+
+
+class TestPlannerSeeding:
+    AXIS = (0, 1, 2, 3, 4)
+
+    def spec(self, store=None, **kwargs):
+        return PlanSpec(
+            burst_exchange(),
+            policies=("static",),
+            queues=(1,),
+            capacities=self.AXIS,
+            witness_store=store,
+            **kwargs,
+        )
+
+    def test_seeded_bisection_same_frontier_fewer_probes(self, tmp_path):
+        unseeded = FrontierPlanner(self.spec()).run()
+        exhaustive = FrontierPlanner(exhaustive_spec(self.spec())).run()
+        assert (
+            unseeded.lines[0].frontier_capacity
+            == exhaustive.lines[0].frontier_capacity
+            == 2
+        )
+
+        # Mine deadlock witnesses below the frontier via a plain sweep.
+        store = WitnessStore(tmp_path / "w.json")
+        run_sweep(
+            sweep_jobs(
+                burst_exchange(),
+                policies=("static",),
+                queues=(1,),
+                capacities=(0, 1),
+            ),
+            store,
+        )
+        store.save()
+
+        seeded = FrontierPlanner(
+            self.spec(store=WitnessStore(tmp_path / "w.json"))
+        ).run()
+        assert seeded.lines[0].frontier_capacity == 2
+        assert seeded.witness_seeded_lines == 1
+        # Seeding replaces the bottom probe with stored knowledge.
+        assert seeded.jobs_executed < unseeded.jobs_executed
+        # Probe rows still agree with the exhaustive grid at the same
+        # coordinates (row-exactness survives seeding).
+        by_coord = {
+            (r.policy, r.queues, r.capacity): r for r in exhaustive.rows
+        }
+        for row in seeded.rows:
+            assert row == by_coord[(row.policy, row.queues, row.capacity)]
+
+    def test_fully_dominated_line_skips_all_probes(self, tmp_path):
+        # Every capacity on the axis is witnessed deadlocked: the line
+        # resolves to "no frontier" without a single probe.
+        store = WitnessStore(tmp_path / "w.json")
+        run_sweep(
+            sweep_jobs(
+                cross_read(),
+                policies=("static",),
+                queues=(1,),
+                capacities=(0, 4),
+            ),
+            store,
+        )
+        store.save()
+        spec = PlanSpec(
+            cross_read(),
+            policies=("static",),
+            queues=(1,),
+            capacities=(0, 1, 2, 4),
+            witness_store=WitnessStore(tmp_path / "w.json"),
+        )
+        report = FrontierPlanner(spec).run()
+        assert report.lines[0].frontier_capacity is None
+        assert report.lines[0].jobs_executed == 0
+        assert report.jobs_executed == 0
+        assert report.witness_seeded_lines == 1
+
+    def test_report_dict_carries_witness_fields(self):
+        report = FrontierPlanner(self.spec()).run()
+        payload = report.as_dict()
+        assert payload["witness_seeded_lines"] == 0
+        assert payload["witness_pruned"] == 0
+        assert payload["witness_mined"] == 0
