@@ -220,6 +220,21 @@ def _witness_report(store: WitnessStore | None, session) -> None:
     )
 
 
+def _witness_json_fields(store: WitnessStore | None, session) -> dict:
+    """Witness counters for ``--json`` payloads (empty without a store).
+
+    Mining happens inside pool/shm/supervised workers too, so the
+    counters are meaningful on every backend, not just serial.
+    """
+    if store is None:
+        return {}
+    return {
+        "witness_mined": session.witness_mined,
+        "witness_pruned": session.witness_pruned,
+        "witness_stored": len(store),
+    }
+
+
 def _print_row(label: str, row) -> None:
     if row.error_kind is not None:
         print(f"{label:<28} infeasible {row.error_kind}: {row.error}")
@@ -284,6 +299,7 @@ def _cmd_sweep_stream(args, program, policies, queues, capacities) -> int:
         print(f"[{reducer.name}] {json.dumps(reducer.summary())}")
     if args.json:
         payload = {reducer.name: reducer.summary() for reducer in reducers}
+        payload.update(_witness_json_fields(store, session))
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
     return 0 if outcomes.completed == outcomes.total else 1
@@ -358,13 +374,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             {"label": label, "outcome": outcome, "time": t, "events": e}
             for label, outcome, t, e in rows
         ]
-        if extra_reducers:
-            # --quantiles upgrades the payload to an object so the
-            # reducer aggregates ride along with the per-run rows.
+        witness_fields = _witness_json_fields(store, session)
+        if extra_reducers or witness_fields:
+            # --quantiles / --witness-store upgrade the payload to an
+            # object so the aggregates ride along with the per-run rows.
             payload = {"runs": runs}
             payload.update(
                 {reducer.name: reducer.summary() for reducer in extra_reducers}
             )
+            payload.update(witness_fields)
         else:
             payload = runs
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")

@@ -24,8 +24,9 @@ The backend contract
 --------------------
 
 A backend (see :class:`repro.sweep.backends.ExecutionBackend`) maps an
-iterable of jobs to an *ordered* stream of ``(index, row, result)``
-records:
+iterable of jobs to an *ordered* stream of
+``(index, row, result, witness)`` records
+(:class:`~repro.sweep.backends.JobRecord`):
 
 * records arrive in job order, whatever the worker scheduling;
 * ``row`` — the job's :class:`~repro.sweep.summary.RunSummary` — must
@@ -34,9 +35,18 @@ records:
 * ``result`` is the full simulation result when the backend
   materializes results eagerly, else ``None`` and the session hydrates
   on demand (deterministic in-parent re-execution);
+* ``witness`` is a compact deadlock-certificate dict
+  (:meth:`~repro.witness.DeadlockWitness.as_dict`) mined *inside the
+  worker* when the session asked for it
+  (``WorkerContext.mine_witnesses``) and the job deadlocked, else
+  ``None`` — so summary-only backends warm the witness store at full
+  speed without shipping full results; the parent merges under the
+  store's subsumption rules;
 * worker processes apply the session's
-  :class:`~repro.sweep.backends.WorkerContext` (today: the persistent
-  analysis disk tier) before running jobs.
+  :class:`~repro.sweep.backends.WorkerContext` — the persistent
+  analysis disk tier, the single-host shared-memory analysis arena
+  (:mod:`repro.perf.shm_cache`), the mining flag, and any fault plan —
+  before running jobs.
 
 Built-in backends:
 
@@ -50,17 +60,29 @@ pool     Chunked ``multiprocessing.Pool`` with a bounded, ordered
 shm      Workers encode rows into a ``multiprocessing.shared_memory``
          arena; only string-overflow rows (pathological error
          messages) ride the pipe. Full results are never shipped:
-         handles re-execute on demand. The backend for sweeps where
-         shipping every full result is the bottleneck.
+         handles re-execute on demand. Accepts lazy job streams —
+         generator input is pulled incrementally, never materialized.
+         The backend for sweeps where shipping every full result is
+         the bottleneck.
 ======== ==============================================================
 
 The arena layout
 ----------------
 
-The ``shm`` backend's arena is ``n_jobs`` fixed-width slots of
+The ``shm`` backend's arena (:class:`~repro.sweep.arena.SummaryArena`)
+is a *segmented* sequence of fixed-width slots of
 :data:`~repro.sweep.arena.ROW_SIZE` (256) bytes, one per job, written by
 whichever worker ran that job (slots are disjoint — no locks) and
-decoded directly by the parent::
+decoded directly by the parent. Segments of
+:data:`~repro.sweep.arena.DEFAULT_SEGMENT_ROWS` slots are separate
+shared-memory blocks named ``{base}_s{k}`` (segment 0 keeps the base
+name), allocated on demand by the owner as the job stream advances
+(``ensure_rows``) and unlinked once every slot in them has been drained
+(``retire_below``) — so a streaming sweep's resident shared memory is
+bounded by the in-flight window, not the grid size, and ``n_jobs``
+never needs to be known up front. Workers attach lazily, mapping only
+the segments their chunks actually touch. Within a segment each slot
+is::
 
     offset  size  field
     ------  ----  -----------------------------------------------
@@ -142,9 +164,13 @@ capacity band is exactly the set of capacities whose run replays the
 witnessed trace. Pruning is restricted to
 :data:`~repro.sweep.planner.MONOTONE_POLICIES` (static); FCFS — where
 extra buffering can change the outcome, a pinned counterexample — is
-exempt by construction and always simulates. Skips and newly mined
-certificates are counted on the session (``witness_pruned`` /
-``witness_mined``), compose with ``--checkpoint``/``--resume``, and
+exempt by construction and always simulates. Mining runs in-process on
+the serial backend and *inside the workers* on pool/shm/supervised
+(the ``witness`` field of the backend contract), so cold multiprocess
+sweeps grow the store too. Skips and newly mined certificates are
+counted on the session (``witness_pruned`` / ``witness_mined``; both
+surface in ``repro sweep --json``), compose with
+``--checkpoint``/``--resume``, and
 seed the frontier planner's bisection bounds
 (:meth:`~repro.witness.WitnessStore.monotone_bound`).
 

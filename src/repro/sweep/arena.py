@@ -1,12 +1,23 @@
-"""Fixed-width RunSummary rows in a shared-memory arena.
+"""Fixed-width RunSummary rows in a growable shared-memory arena.
 
-The ``shm`` execution backend allocates one
-:class:`multiprocessing.shared_memory.SharedMemory` segment sized
-``n_jobs * ROW_SIZE`` bytes. Workers encode each finished job's
+The ``shm`` execution backend stores one row per job in shared memory.
+Storage is *segmented*: the arena is a sequence of
+:class:`multiprocessing.shared_memory.SharedMemory` segments, each
+holding :attr:`SummaryArena.segment_rows` fixed-width slots, allocated
+on demand as the owner calls :meth:`SummaryArena.ensure_rows`. A lazy
+job stream therefore never needs to be materialized to size the arena
+up front — peak shared memory is bounded by the handful of segments
+spanning the in-flight window, not by the sweep size, and fully drained
+segments are released early via :meth:`SummaryArena.retire_below`.
+
+Workers encode each finished job's
 :class:`~repro.sweep.summary.RunSummary` directly into the slot indexed
 by the job's position — slots are disjoint per job, so no locking is
 needed — and the parent decodes rows straight out of the mapping,
 eliminating the per-result pickle round-trip through the pool pipe.
+Worker attachments resolve segments lazily by derived name
+(``<base>``, ``<base>_s1``, ``<base>_s2``, ...), so a worker only maps
+the segments its chunk actually touches.
 
 Row layout (little-endian, :data:`ROW_SIZE` = 256 bytes per slot)::
 
@@ -59,6 +70,12 @@ _DEADLOCKED = 4
 _TIMED_OUT = 8
 _HAS_KIND = 16
 _HAS_ERROR = 32
+
+#: Rows per shared-memory segment when the caller does not choose.
+#: 2048 slots x 256 bytes = 512 KiB of *virtual* size per segment —
+#: tmpfs commits pages only as rows are written, so a mostly-unwritten
+#: trailing segment costs nearly nothing.
+DEFAULT_SEGMENT_ROWS = 2048
 
 #: int64 / int32 bounds a row's counters must fit (they always do in
 #: practice: times and event counts are simulation-bounded).
@@ -148,31 +165,128 @@ def decode_row(buf, slot: int, index: int) -> RunSummary:
 
 
 class SummaryArena:
-    """One shared-memory segment of ``n_rows`` fixed-width summary slots."""
+    """Fixed-width summary slots across growable shared-memory segments.
+
+    The owner (the backend parent) creates segment 0 and grows capacity
+    with :meth:`ensure_rows`; attachers (workers) resolve segments by
+    derived name on first touch. ``n_rows`` is the number of *valid*
+    slots — the bound :meth:`write_row`/:meth:`read_row` enforce — while
+    allocated capacity is always a whole number of segments.
+    """
 
     def __init__(
-        self, shm: shared_memory.SharedMemory, n_rows: int, owner: bool
+        self,
+        segments: list,
+        n_rows: int,
+        owner: bool,
+        segment_rows: int,
+        base_name: str,
     ) -> None:
-        self._shm = shm
+        self._segments = segments  # SharedMemory | None per segment index
         self.n_rows = n_rows
         self._owner = owner
+        self.segment_rows = segment_rows
+        self._base_name = base_name
+        self._retired = 0  # leading segments already closed + unlinked
+        #: High-water mark of simultaneously live (allocated, unretired)
+        #: segments — the arena's true peak shared-memory footprint in
+        #: units of ``segment_rows * ROW_SIZE`` bytes.
+        self.max_live_segments = 1
 
     @classmethod
-    def create(cls, n_rows: int) -> "SummaryArena":
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, n_rows) * ROW_SIZE
+    def create(
+        cls, n_rows: int, *, segment_rows: int | None = None
+    ) -> "SummaryArena":
+        """Allocate an owner arena with capacity for ``n_rows`` slots.
+
+        ``segment_rows`` defaults to :data:`DEFAULT_SEGMENT_ROWS`; it is
+        keyword-only so ``create(n)`` keeps its long-standing shape.
+        Segment 0 is always allocated (its auto-generated name is the
+        arena's :attr:`name`); further segments follow on demand.
+        """
+        rows = segment_rows if segment_rows is not None else DEFAULT_SEGMENT_ROWS
+        if rows < 1:
+            raise ReproError(f"segment_rows must be >= 1, got {rows}")
+        first = shared_memory.SharedMemory(
+            create=True, size=rows * ROW_SIZE
         )
-        return cls(shm, n_rows, owner=True)
+        arena = cls([first], 0, True, rows, first.name)
+        arena.ensure_rows(n_rows)
+        return arena
 
     @classmethod
-    def attach(cls, name: str, n_rows: int) -> "SummaryArena":
-        return cls(
-            shared_memory.SharedMemory(name=name), n_rows, owner=False
-        )
+    def attach(
+        cls,
+        name: str,
+        n_rows: int,
+        *,
+        segment_rows: int | None = None,
+        lazy: bool = False,
+    ) -> "SummaryArena":
+        """Attach to an existing arena by its base (segment 0) name.
+
+        With ``lazy`` unset, segment 0 is opened eagerly so attaching to
+        an unlinked arena raises :class:`FileNotFoundError` immediately.
+        Streaming workers pass ``lazy=True``: the parent may already
+        have retired segment 0 by the time a late chunk dispatches, and
+        that chunk's slots live in later segments anyway — segments are
+        then only mapped when a slot in them is touched.
+        """
+        rows = segment_rows if segment_rows is not None else DEFAULT_SEGMENT_ROWS
+        if lazy:
+            return cls([None], n_rows, False, rows, name)
+        first = shared_memory.SharedMemory(name=name)
+        return cls([first], n_rows, False, rows, name)
 
     @property
     def name(self) -> str:
-        return self._shm.name
+        """The base name workers attach by (segment 0's name)."""
+        return self._base_name
+
+    def _seg_name(self, seg: int) -> str:
+        return self._base_name if seg == 0 else f"{self._base_name}_s{seg}"
+
+    def ensure_rows(self, n_rows: int) -> None:
+        """Grow capacity (owner only) so slots ``[0, n_rows)`` exist."""
+        if not self._owner:
+            raise ReproError("only the arena owner can grow it")
+        while len(self._segments) * self.segment_rows < n_rows:
+            seg = len(self._segments)
+            self._segments.append(
+                shared_memory.SharedMemory(
+                    create=True,
+                    name=self._seg_name(seg),
+                    size=self.segment_rows * ROW_SIZE,
+                )
+            )
+        if n_rows > self.n_rows:
+            self.n_rows = n_rows
+        live = len(self._segments) - self._retired
+        if live > self.max_live_segments:
+            self.max_live_segments = live
+
+    def retire_below(self, n_rows: int) -> None:
+        """Release segments wholly below row ``n_rows`` (owner only).
+
+        The streaming backend calls this after draining a chunk: every
+        slot below the drain point has been decoded and will never be
+        read or written again, so its segment is closed *and unlinked*
+        — tmpfs pages are freed immediately, keeping a long stream's
+        peak shared memory at a few live segments regardless of sweep
+        size. Touching a retired slot afterwards is a hard error.
+        """
+        if not self._owner:
+            raise ReproError("only the arena owner can retire segments")
+        while (
+            self._retired < len(self._segments)
+            and (self._retired + 1) * self.segment_rows <= n_rows
+        ):
+            handle = self._segments[self._retired]
+            if handle is not None:
+                handle.close()
+                handle.unlink()
+                self._segments[self._retired] = None
+            self._retired += 1
 
     def _check(self, slot: int) -> None:
         if not 0 <= slot < self.n_rows:
@@ -180,10 +294,33 @@ class SummaryArena:
                 f"arena slot {slot} out of range [0, {self.n_rows})"
             )
 
+    def _segment(self, seg: int):
+        """The mapped segment holding ``seg``, attaching lazily."""
+        if seg < self._retired:
+            raise ReproError(
+                f"arena segment {seg} was already retired"
+            )
+        while seg >= len(self._segments):
+            self._segments.append(None)
+        handle = self._segments[seg]
+        if handle is None:
+            # Only attachers have unmapped live segments; the owner
+            # allocates every segment in ensure_rows.
+            try:
+                handle = shared_memory.SharedMemory(name=self._seg_name(seg))
+            except FileNotFoundError:
+                raise ArenaSlotUnwritten(
+                    f"shm arena segment {seg} does not exist "
+                    "(never allocated, or already retired)"
+                ) from None
+            self._segments[seg] = handle
+        return handle
+
     def write_row(self, slot: int, row: RunSummary) -> bool:
         """Encode ``row`` at ``slot``; False when its strings overflow."""
         self._check(slot)
-        return encode_row(self._shm.buf, slot, row)
+        handle = self._segment(slot // self.segment_rows)
+        return encode_row(handle.buf, slot % self.segment_rows, row)
 
     def read_row(self, slot: int, index: int | None = None) -> RunSummary:
         """Decode the row at ``slot`` (``index`` defaults to the slot).
@@ -194,7 +331,12 @@ class SummaryArena:
         path catches exactly that and requeues the job.
         """
         self._check(slot)
-        return decode_row(self._shm.buf, slot, slot if index is None else index)
+        handle = self._segment(slot // self.segment_rows)
+        return decode_row(
+            handle.buf,
+            slot % self.segment_rows,
+            slot if index is None else index,
+        )
 
     def clear_slot(self, slot: int) -> None:
         """Zero a slot back to the unwritten state.
@@ -204,26 +346,31 @@ class SummaryArena:
         ``write_row`` then publishes atomically over a clean slot.
         """
         self._check(slot)
-        start = slot * ROW_SIZE
-        self._shm.buf[start:start + ROW_SIZE] = bytes(ROW_SIZE)
+        handle = self._segment(slot // self.segment_rows)
+        start = (slot % self.segment_rows) * ROW_SIZE
+        handle.buf[start:start + ROW_SIZE] = bytes(ROW_SIZE)
 
     def close(self) -> None:
-        """Unmap the segment in this process.
+        """Unmap every attached segment in this process.
 
-        Worker-side attachments register the segment name with the
+        Worker-side attachments register each segment name with the
         resource tracker exactly like the owner did; the tracker's
         cache is a per-name set shared (via fork) by the whole pool, so
         those duplicate registrations coalesce and the owner's
-        :meth:`unlink` clears the single entry. Do NOT unregister here:
-        that would delete the owner's registration out from under it
-        and forfeit crash cleanup.
+        :meth:`unlink` (or :meth:`retire_below`) clears the single
+        entry. Do NOT unregister here: that would delete the owner's
+        registration out from under it and forfeit crash cleanup.
         """
-        self._shm.close()
+        for handle in self._segments:
+            if handle is not None:
+                handle.close()
 
     def unlink(self) -> None:
-        """Destroy the segment (owner only, after every worker closed)."""
+        """Destroy every live segment (owner only, after workers closed)."""
         if self._owner:
-            self._shm.unlink()
+            for handle in self._segments:
+                if handle is not None:
+                    handle.unlink()
 
     def __enter__(self) -> "SummaryArena":
         return self

@@ -4,7 +4,8 @@ The backend contract
 --------------------
 
 A backend turns an iterable of :class:`~repro.sweep.jobs.SimJob` into an
-ordered stream of :class:`JobRecord` triples ``(index, row, result)``:
+ordered stream of :class:`JobRecord` tuples ``(index, row, result,
+witness)``:
 
 * records MUST be yielded in job order (index 0, 1, 2, ...);
 * ``row`` is the job's :class:`~repro.sweep.summary.RunSummary` and MUST
@@ -21,6 +22,15 @@ ordered stream of :class:`JobRecord` triples ``(index, row, result)``:
   the session uses such free results opportunistically, e.g. to mine
   deadlock witnesses off a streamed run — but consumers MUST NOT rely
   on it: multiprocess backends ship ``None`` on the summary-only path;
+* ``witness`` is the worker-side mining hook: with
+  ``WorkerContext.mine_witnesses`` set, multiprocess workers mine each
+  deadlocked result *in the worker* (where the full result exists
+  anyway) via :func:`~repro.sweep.jobs.mine_witness_payload` and attach
+  the compact certificate dict — the parent merges it into the witness
+  store under the usual two-way subsumption, so summary-only streams
+  mine at full speed too. Backends that ship the full ``result`` MAY
+  leave ``witness`` ``None`` (the parent mines from the result); a
+  record never needs both;
 * with ``collect_errors`` unset, the first failing job's exception MUST
   propagate to the consumer (no silent loss);
 * worker processes MUST apply the :class:`WorkerContext` before running
@@ -53,11 +63,18 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 
 class JobRecord(NamedTuple):
-    """One finished job: its index, summary row and optional payload."""
+    """One finished job: index, summary row and optional payloads.
+
+    ``witness`` is a compact :meth:`~repro.witness.certificate.
+    DeadlockWitness.as_dict` payload mined inside a worker (see the
+    backend contract above); ``None`` whenever mining is off, the job
+    did not deadlock, or the backend ships the full ``result`` instead.
+    """
 
     index: int
     row: RunSummary
     result: "SimulationResult | BatchError | None"
+    witness: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -75,12 +92,23 @@ class WorkerContext:
     disk_cache_max_bytes: int | None = None
     fault_plan: FaultPlan | None = None
     crossing_backend: str | None = None
+    #: Mine deadlock witnesses inside workers (see the backend contract:
+    #: the full result exists there anyway, so mining is free) and ship
+    #: the compact dicts back on each :class:`JobRecord`.
+    mine_witnesses: bool = False
+    #: Name of the parent's shared-memory analysis arena
+    #: (:mod:`repro.perf.shm_cache`); workers attach once and resolve
+    #: analysis fingerprints with zero filesystem I/O.
+    shm_cache: str | None = None
 
     @classmethod
     def capture(
         cls,
         disk_cache: str | None = None,
         fault_plan: FaultPlan | None = None,
+        *,
+        mine_witnesses: bool = False,
+        shm_cache: str | None = None,
     ) -> "WorkerContext":
         """Snapshot the parent's per-process configuration.
 
@@ -95,29 +123,28 @@ class WorkerContext:
         environment and resolve it themselves. ``fault_plan`` rides
         along verbatim: it is the injection channel for the
         deterministic fault harness (:mod:`repro.sweep.fault`).
+        ``mine_witnesses`` and ``shm_cache`` are session decisions (a
+        witness store is attached; a shared-memory analysis arena was
+        published), not ambient state, so the session passes them
+        explicitly.
         """
         from repro.core.crossing import configured_crossing_backend
 
         crossing_backend = configured_crossing_backend()
-        if disk_cache is not None:
-            return cls(
-                disk_cache=disk_cache,
-                fault_plan=fault_plan,
-                crossing_backend=crossing_backend,
-            )
-        from repro.perf.disk_cache import active_disk_cache_config
+        disk_cache_max_bytes = None
+        if disk_cache is None:
+            from repro.perf.disk_cache import active_disk_cache_config
 
-        active = active_disk_cache_config()
-        if active is None:
-            return cls(
-                fault_plan=fault_plan, crossing_backend=crossing_backend
-            )
-        directory, max_bytes = active
+            active = active_disk_cache_config()
+            if active is not None:
+                disk_cache, disk_cache_max_bytes = active
         return cls(
-            disk_cache=directory,
-            disk_cache_max_bytes=max_bytes,
+            disk_cache=disk_cache,
+            disk_cache_max_bytes=disk_cache_max_bytes,
             fault_plan=fault_plan,
             crossing_backend=crossing_backend,
+            mine_witnesses=mine_witnesses,
+            shm_cache=shm_cache,
         )
 
     def apply(self) -> None:
@@ -126,7 +153,11 @@ class WorkerContext:
         Installing the fault plan is inert outside supervised workers:
         only the supervised worker loop calls the plan's ``maybe_*``
         hooks, so the parent (which applies its own context too) can
-        never fire an injected crash or hang.
+        never fire an injected crash or hang. Attaching the
+        shared-memory analysis arena is best-effort: a failed attach
+        (the parent already exited, a torn header) degrades to "no shm
+        tier" inside :func:`repro.perf.shm_cache.attach_shm_cache`,
+        never to a failed worker.
         """
         if self.disk_cache is not None:
             from repro.perf.disk_cache import configure_disk_cache
@@ -138,6 +169,10 @@ class WorkerContext:
             from repro.core.crossing import configure_crossing_backend
 
             configure_crossing_backend(self.crossing_backend)
+        if self.shm_cache is not None:
+            from repro.perf.shm_cache import attach_shm_cache
+
+            attach_shm_cache(self.shm_cache)
         fault_mod.install(self.fault_plan)
 
 

@@ -32,7 +32,12 @@ from repro.sweep.backends import (
     WorkerContext,
     register_backend,
 )
-from repro.sweep.jobs import SimJob, iter_chunks, run_job
+from repro.sweep.jobs import (
+    SimJob,
+    iter_chunks,
+    mine_witness_payload,
+    run_job,
+)
 from repro.sweep.summary import summarize_result
 
 
@@ -48,7 +53,12 @@ def _run_chunk(
     for index, job in chunk:
         result = run_job(job, collect_errors)
         row = summarize_result(index, job, result)
-        records.append(JobRecord(index, row, result if want_results else None))
+        witness = (
+            mine_witness_payload(job, result) if ctx.mine_witnesses else None
+        )
+        records.append(
+            JobRecord(index, row, result if want_results else None, witness)
+        )
     return records
 
 

@@ -8,19 +8,28 @@ parent deserializes all of them again. Here the parent instead allocates
 a :class:`~repro.sweep.arena.SummaryArena` of fixed-width rows, workers
 encode each finished job's :class:`~repro.sweep.summary.RunSummary`
 directly into the job's slot (disjoint slots, no locking), and the only
-thing a chunk returns through the pipe is its list of *overflow* rows —
-rows whose strings exceed the arena's fixed fields, empty in practice.
+things a chunk returns through the pipe are its *overflow* rows — rows
+whose strings exceed the arena's fixed fields, empty in practice — and
+any witness certificates it mined.
+
+The arena is segmented and grown on demand (:meth:`SummaryArena.
+ensure_rows`), so ``jobs`` may be a lazy generator: the parent sizes
+capacity one chunk ahead of dispatch and retires fully-drained segments
+behind the window (:meth:`SummaryArena.retire_below`). Peak shared
+memory is therefore a few live segments — bounded by the in-flight
+window, not the sweep length — and the job list is never materialized.
+(The fault-tolerant path still materializes: the supervisor requeues
+failed jobs by random access.)
 
 Full results are never materialized by this backend: the session wraps
 each row in a :class:`~repro.sweep.plan.ResultHandle` that re-executes
 the (deterministic) job in the parent on first access, against a warm
-analysis cache. A million-run sweep therefore costs one 256-byte slot
-per run plus the handful of full hydrations actually inspected.
+analysis cache. A million-run sweep therefore costs a bounded window of
+256-byte slots plus the handful of full hydrations actually inspected.
 """
 
 from __future__ import annotations
 
-import functools
 import multiprocessing
 from collections import deque
 from typing import Iterable, Iterator
@@ -34,7 +43,12 @@ from repro.sweep.backends import (
     register_backend,
 )
 from repro.sweep.backends.pool import _PicklabilityCache
-from repro.sweep.jobs import SimJob, iter_chunks, run_job
+from repro.sweep.jobs import (
+    SimJob,
+    iter_chunks,
+    mine_witness_payload,
+    run_job,
+)
 from repro.sweep.summary import RunSummary, summarize_result
 
 
@@ -42,28 +56,45 @@ def _fill_arena(
     arena: SummaryArena,
     chunk: list[tuple[int, SimJob]],
     collect_errors: bool,
-) -> list[tuple[int, RunSummary]]:
-    """Run a chunk, writing rows into ``arena``; return the overflow."""
+    mine: bool,
+) -> tuple[list[tuple[int, RunSummary]], list[tuple[int, dict]]]:
+    """Run a chunk, writing rows into ``arena``.
+
+    Returns ``(overflow, mined)``: rows whose strings did not fit a slot
+    (shipped through the pipe instead), and the compact witness dicts
+    mined from deadlocked results when ``mine`` is set.
+    """
     overflow: list[tuple[int, RunSummary]] = []
+    mined: list[tuple[int, dict]] = []
     for index, job in chunk:
-        row = summarize_result(index, job, run_job(job, collect_errors))
+        result = run_job(job, collect_errors)
+        row = summarize_result(index, job, result)
         if not arena.write_row(index, row):
             overflow.append((index, row))
-    return overflow
+        if mine:
+            witness = mine_witness_payload(job, result)
+            if witness is not None:
+                mined.append((index, witness))
+    return overflow, mined
 
 
 def _run_chunk_shm(
     chunk: list[tuple[int, SimJob]],
     arena_name: str,
     n_rows: int,
+    segment_rows: int,
     collect_errors: bool,
     ctx: WorkerContext,
-) -> list[tuple[int, RunSummary]]:
+) -> tuple[list[tuple[int, RunSummary]], list[tuple[int, dict]]]:
     """Worker entry point: rows go to the arena, overflow to the pipe."""
     ctx.apply()
-    arena = SummaryArena.attach(arena_name, n_rows)
+    # Lazy attach: the parent may already have retired early segments
+    # this chunk will never touch.
+    arena = SummaryArena.attach(
+        arena_name, n_rows, segment_rows=segment_rows, lazy=True
+    )
     try:
-        return _fill_arena(arena, chunk, collect_errors)
+        return _fill_arena(arena, chunk, collect_errors, ctx.mine_witnesses)
     finally:
         arena.close()
 
@@ -85,21 +116,20 @@ class ShmBackend(ExecutionBackend):
         ctx: WorkerContext,
         tolerance: Tolerance | None = None,
     ) -> Iterator[JobRecord]:
-        # The arena is sized up front, so the job list must materialize;
-        # peak memory is the jobs themselves plus ROW_SIZE bytes per job
-        # (full results never accumulate regardless of sweep size).
-        job_list = list(jobs)
-        n = len(job_list)
-        if n == 0:
-            return
         probe = _PicklabilityCache()
         if tolerance is not None:
             # Fault-tolerant path: supervised workers still write rows
             # into the shared arena; the supervisor decodes each slot on
             # acknowledgement and requeues any job whose slot reads back
-            # unwritten (a dead worker or a torn write).
+            # unwritten (a dead worker or a torn write). Supervision
+            # requeues by random access into the job list, so this path
+            # materializes it — only the fast path below streams.
             from repro.sweep.backends.supervise import run_supervised
 
+            job_list = list(jobs)
+            n = len(job_list)
+            if n == 0:
+                return
             arena = SummaryArena.create(n)
             try:
                 yield from run_supervised(
@@ -117,22 +147,17 @@ class ShmBackend(ExecutionBackend):
                 arena.close()
                 arena.unlink()
             return
-        arena = SummaryArena.create(n)
+        arena = SummaryArena.create(0)
         try:
-            run_chunk = functools.partial(
-                _run_chunk_shm,
-                arena_name=arena.name,
-                n_rows=n,
-                collect_errors=collect_errors,
-                ctx=ctx,
-            )
             def run_chunk_local(
                 chunk: list[tuple[int, SimJob]]
-            ) -> list[tuple[int, RunSummary]]:
+            ) -> tuple[list, list]:
                 # In-process fallback for unpicklable chunks: write
                 # through the owning arena handle directly (attaching a
                 # second handle would confuse the resource tracker).
-                return _fill_arena(arena, chunk, collect_errors)
+                return _fill_arena(
+                    arena, chunk, collect_errors, ctx.mine_witnesses
+                )
 
             max_pending = workers * 2
             with multiprocessing.Pool(processes=workers) as pool:
@@ -140,20 +165,42 @@ class ShmBackend(ExecutionBackend):
 
                 def drain_one() -> Iterator[JobRecord]:
                     chunk, pending = window.popleft()
-                    overflow = (
+                    payload = (
                         pending.get() if hasattr(pending, "get") else pending
                     )
+                    overflow, mined = payload
                     spilled = dict(overflow)
+                    witnesses = dict(mined)
                     for index, _job in chunk:
                         row = spilled.get(index)
                         if row is None:
                             row = arena.read_row(index)
-                        yield JobRecord(index, row, None)
+                        yield JobRecord(index, row, None, witnesses.get(index))
+                    # Every slot at or below this chunk is decoded now;
+                    # release the segments behind the window.
+                    arena.retire_below(chunk[-1][0] + 1)
 
-                for chunk in iter_chunks(job_list, chunk_size):
+                for chunk in iter_chunks(jobs, chunk_size):
+                    # Grow capacity one chunk ahead of dispatch: workers
+                    # attach lazily, so the segments must exist before
+                    # the chunk can run.
+                    arena.ensure_rows(chunk[-1][0] + 1)
                     if probe.chunk_picklable(chunk):
                         window.append(
-                            (chunk, pool.apply_async(run_chunk, (chunk,)))
+                            (
+                                chunk,
+                                pool.apply_async(
+                                    _run_chunk_shm,
+                                    (
+                                        chunk,
+                                        arena.name,
+                                        arena.n_rows,
+                                        arena.segment_rows,
+                                        collect_errors,
+                                        ctx,
+                                    ),
+                                ),
+                            )
                         )
                     else:
                         window.append((chunk, run_chunk_local(chunk)))

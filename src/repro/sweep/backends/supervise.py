@@ -53,6 +53,7 @@ execution because their programs cannot pickle.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 from multiprocessing.connection import wait as _conn_wait
 from typing import Iterator, Sequence
@@ -67,9 +68,24 @@ from repro.sweep.jobs import (
     BatchError,
     SimJob,
     iter_chunks,
+    mine_witness_payload,
     run_job,
 )
 from repro.sweep.summary import summarize_result, timeout_row
+
+#: What ``conn.send`` raises when an exception *payload* cannot pickle
+#: (closures in args, exotic __reduce__): the same classes the disk
+#: cache narrows its stores to. Transport failures (``BrokenPipeError``,
+#: ``OSError``) are NOT in this set — a dead parent must propagate to
+#: the worker loop's exit handler, not trigger a pointless resend — and
+#: bug-class exceptions (``MemoryError``) must never be swallowed.
+_UNPICKLABLE_PAYLOAD = (
+    pickle.PicklingError,
+    TypeError,
+    AttributeError,
+    ValueError,
+    RecursionError,
+)
 
 
 def _worker_main(
@@ -80,23 +96,34 @@ def _worker_main(
     collect_errors: bool,
     arena_name: str | None,
     n_rows: int,
+    segment_rows: int,
 ) -> None:
     """Child process loop: run chunks from the pipe until told to stop.
 
     Message protocol (child -> parent)::
 
         ("start", index)              about to run job `index`
-        ("row", index, row, result)   job finished; row is None when it
-                                      was published to the arena instead
-        ("error", index, exc)         job raised (collect_errors off or a
+        ("row", index, row, result, witness)
+                                      job finished; row is None when it
+                                      was published to the arena instead;
+                                      witness is the compact certificate
+                                      dict mined in-worker (or None)
+        ("error", index, exc, dropped)
+                                      job raised (collect_errors off or a
                                       non-Repro bug); parent re-raises in
-                                      job order
+                                      job order. dropped is True when the
+                                      original exception payload could
+                                      not pickle and a summary RuntimeError
+                                      rides in its place (counted in
+                                      Supervisor.payload_drops)
         ("done", chunk_id)            chunk finished, worker is idle
     """
     ctx.apply()
     plan = fault_mod.active_plan()
     arena = (
-        SummaryArena.attach(arena_name, n_rows)
+        SummaryArena.attach(
+            arena_name, n_rows, segment_rows=segment_rows, lazy=True
+        )
         if arena_name is not None
         else None
     )
@@ -113,10 +140,15 @@ def _worker_main(
                     plan.maybe_hang(index)
                 try:
                     result = run_job(job, collect_errors)
+                except MemoryError:
+                    # Bug-class, not data: let the worker die — crash
+                    # recovery requeues the job with bounded retries
+                    # instead of shipping an OOM as an ordinary row.
+                    raise
                 except Exception as exc:
                     try:
-                        conn.send(("error", index, exc))
-                    except Exception:  # unpicklable exception payload
+                        conn.send(("error", index, exc, False))
+                    except _UNPICKLABLE_PAYLOAD:
                         conn.send(
                             (
                                 "error",
@@ -124,18 +156,38 @@ def _worker_main(
                                 RuntimeError(
                                     f"{type(exc).__name__}: {exc}"
                                 ),
+                                True,
                             )
                         )
                     continue
                 row = summarize_result(index, job, result)
+                witness = (
+                    mine_witness_payload(job, result)
+                    if ctx.mine_witnesses
+                    else None
+                )
                 if arena is not None:
                     published = arena.write_row(index, row)
                     if published and plan is not None:
                         published = not plan.maybe_corrupt(arena, index)
-                    conn.send(("row", index, None if published else row, None))
+                    conn.send(
+                        (
+                            "row",
+                            index,
+                            None if published else row,
+                            None,
+                            witness,
+                        )
+                    )
                 else:
                     conn.send(
-                        ("row", index, row, result if want_results else None)
+                        (
+                            "row",
+                            index,
+                            row,
+                            result if want_results else None,
+                            witness,
+                        )
                     )
             conn.send(("done", chunk_id))
     except (EOFError, BrokenPipeError):  # parent went away: just exit
@@ -211,6 +263,14 @@ class Supervisor:
         self._attempts: dict[int, int] = {}
         self._completed: dict[int, JobRecord | _Raise] = {}
         self._workers: list[_Worker] = []
+        #: Exceptions whose payload could not cross the pipe: the worker
+        #: shipped a summary RuntimeError in place of the original (see
+        #: the worker protocol), and each such substitution counts here.
+        self.payload_drops = 0
+
+    def stats(self) -> dict[str, int]:
+        """Observability counters for this supervised run."""
+        return {"payload_drops": self.payload_drops}
 
     # -- worker lifecycle -------------------------------------------------
 
@@ -225,6 +285,7 @@ class Supervisor:
                 self.collect_errors,
                 self.arena.name if self.arena is not None else None,
                 self.arena.n_rows if self.arena is not None else 0,
+                self.arena.segment_rows if self.arena is not None else 0,
             ),
             daemon=True,
         )
@@ -342,7 +403,7 @@ class Supervisor:
             worker.current = msg[1]
             worker.started_at = now
         elif tag == "row":
-            _tag, index, row, result = msg
+            _tag, index, row, result, witness = msg
             if row is None:
                 # Arena mode: decode the acknowledged slot right away; a
                 # torn write reads as unwritten and costs one retry.
@@ -356,10 +417,12 @@ class Supervisor:
                         index, "crash", "arena slot unwritten", now
                     )
                     return
-            self._record(index, JobRecord(index, row, result))
+            self._record(index, JobRecord(index, row, result, witness))
             worker.current = None
         elif tag == "error":
-            _tag, index, exc = msg
+            _tag, index, exc, dropped = msg
+            if dropped:
+                self.payload_drops += 1
             self._record(index, _Raise(exc))
             worker.current = None
         elif tag == "done":
@@ -391,6 +454,11 @@ class Supervisor:
         for index, job in items:
             result = run_job(job, self.collect_errors)
             row = summarize_result(index, job, result)
+            witness = (
+                mine_witness_payload(job, result)
+                if self.ctx.mine_witnesses
+                else None
+            )
             # The record carries the row directly (no arena round-trip
             # needed in-parent), matching the unsupervised fallback.
             self._record(
@@ -401,6 +469,7 @@ class Supervisor:
                     result
                     if self.want_results and self.arena is None
                     else None,
+                    witness,
                 ),
             )
 

@@ -156,6 +156,30 @@ def witness_row(index: int, job: SimJob, witness) -> "RunSummary":
     )
 
 
+def mine_witness_payload(job: SimJob, result) -> dict | None:
+    """Mine one finished job into a compact certificate dict, or ``None``.
+
+    The worker-side half of the witness-mining hook: multiprocess
+    workers hold the full :class:`~repro.sim.result.SimulationResult`
+    in-process anyway, so they normalize deadlocks into
+    :class:`~repro.witness.certificate.DeadlockWitness` payloads locally
+    and ship only the compact dict over the pipe/future channel. Every
+    soundness refusal lives in :func:`~repro.witness.certificate.
+    mine_witness` (non-deadlocks, non-monotone policies, overridden or
+    extensible queue configs return ``None``), so a worker can never
+    mine a certificate the parent would have refused.
+    """
+    if not getattr(result, "deadlocked", False):
+        return None
+    # Imported lazily: repro.witness imports this module at module scope.
+    from repro.witness import mine_witness
+
+    witness = mine_witness(job, result)
+    if witness is None:
+        return None
+    return witness.as_dict()
+
+
 def job_fingerprint(job: SimJob) -> str:
     """A content fingerprint of one job: program + every run parameter.
 

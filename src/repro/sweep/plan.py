@@ -65,10 +65,11 @@ class SweepPlan:
     """Everything a sweep needs: jobs, labels, reducers, backend, knobs.
 
     ``jobs`` may be any iterable (a lazy generator feeds
-    :meth:`SweepSession.stream` without materializing; the ``shm``
-    backend and :meth:`SweepSession.run` materialize it). ``backend``
-    ``None`` resolves to ``serial`` for ``workers == 1`` and ``pool``
-    otherwise.
+    :meth:`SweepSession.stream` without materializing — on every
+    backend, the ``shm`` arena included, which grows and retires
+    segments behind the in-flight window; :meth:`SweepSession.run` and
+    fault-tolerant execution materialize it). ``backend`` ``None``
+    resolves to ``serial`` for ``workers == 1`` and ``pool`` otherwise.
 
     Fault tolerance is opt-in: setting any of ``job_timeout_s``,
     ``max_retries`` or ``fault_plan`` routes the multiprocess backends
@@ -91,7 +92,10 @@ class SweepPlan:
     ``witness_mine`` (the default), deadlocked results that come back
     attached to records (always on the serial backend, on eager
     full-result backends under :meth:`SweepSession.iter_handles`) are
-    mined into new certificates. Only monotone policies are ever pruned
+    mined into new certificates — and multiprocess workers mine their
+    own deadlocks in-process, shipping compact certificate dicts on
+    each record, so summary-only ``pool``/``shm`` streams warm the
+    store at full speed too. Only monotone policies are ever pruned
     or mined (FCFS is exempt by construction — see
     :mod:`repro.witness.certificate`); composing with ``checkpoint`` is
     safe because pruned jobs are marked done like simulated ones and
@@ -224,7 +228,36 @@ class SweepSession:
         # Constructing the Tolerance up front validates the knobs
         # (negative retries, non-positive timeouts) at session creation.
         self.tolerance = self._make_tolerance()
-        self.ctx = WorkerContext.capture(plan.disk_cache, plan.fault_plan)
+        multiprocess = self.backend.name != "serial"
+        # Worker-side mining: multiprocess workers hold each full result
+        # in-process anyway, so with a store attached they normalize
+        # deadlocks into compact certificates locally and the parent
+        # merges them (see _witness_records). The serial backend ships
+        # full results, so the parent mines those directly instead.
+        mine_workers = (
+            multiprocess
+            and plan.witness_store is not None
+            and plan.witness_mine
+        )
+        shm_name: str | None = None
+        if multiprocess:
+            # Publish the parent's warm analyses into the shared-memory
+            # tier so workers resolve fingerprints with no filesystem
+            # I/O. Best-effort: ensure_shm_cache returns None when the
+            # tier is disabled or /dev/shm is unusable.
+            from repro.perf.shm_cache import ensure_shm_cache
+
+            shm_name = ensure_shm_cache()
+            if shm_name is not None:
+                from repro.perf.analysis_cache import GLOBAL_ANALYSIS_CACHE
+
+                GLOBAL_ANALYSIS_CACHE.publish_shm()
+        self.ctx = WorkerContext.capture(
+            plan.disk_cache,
+            plan.fault_plan,
+            mine_witnesses=mine_workers,
+            shm_cache=shm_name,
+        )
         # The parent applies the context too: in-process execution and
         # result hydration must see the same disk tier as the workers.
         # (Fault plans are inert outside the supervised worker loop, so
@@ -293,8 +326,12 @@ class SweepSession:
         full result attached (always on the serial backend — see the
         backend contract) have their deadlock diagnoses normalized into
         new certificates when ``plan.witness_mine`` is set. Multiprocess
-        summary-only streams ship no results, so they prune but do not
-        mine.
+        summary-only streams ship no results, but their workers mine
+        in-process (``WorkerContext.mine_witnesses``) and attach the
+        compact certificate dict to each record; the parent rehydrates
+        and merges it under the store's usual two-way subsumption.
+        Witness-first precedence — a record is never mined from both its
+        witness and its result — keeps ``witness_mined`` an exact count.
         """
         from collections import deque
 
@@ -318,10 +355,15 @@ class SweepSession:
             while synth and synth[0][0] < original:
                 index, row = synth.popleft()
                 yield JobRecord(index, row, None)
-            if mine and record.result is not None:
-                mined = self._mine(job, record.result)
-                if mined:
-                    self.witness_mined += 1
+            if mine:
+                if record.witness is not None:
+                    from repro.witness import DeadlockWitness
+
+                    if store.add(DeadlockWitness.from_dict(record.witness)):
+                        self.witness_mined += 1
+                elif record.result is not None:
+                    if self._mine(job, record.result):
+                        self.witness_mined += 1
             row = record.row
             if row.index != original:
                 row = dataclasses.replace(row, index=original)
@@ -603,8 +645,9 @@ def simulate_stream(
     results also never cross the pool pipe), fed through every reducer,
     and yielded in job order. Peak memory is bounded by
     ``workers * chunk_size`` in-flight jobs, independent of sweep size
-    (plus one 256-byte arena slot per job under the ``shm`` backend,
-    which must materialize the job list to size its arena).
+    (the ``shm`` backend too: its segmented arena holds 256-byte slots
+    only for the in-flight window, growing ahead of dispatch and
+    retiring drained segments behind it).
 
     Args:
         jobs: the jobs to run, lazily consumed.

@@ -530,6 +530,57 @@ class TestWitnessCli:
         assert main(["witness", "prune", store]) == 0
         assert "pruned 0" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("backend", ("pool", "shm"))
+    def test_json_carries_witness_counters_per_backend(
+        self, crossread_file, tmp_path, capsys, backend
+    ):
+        # Worker-side mining makes the counters meaningful on every
+        # backend: a cold multiprocess sweep must report nonzero mined.
+        store = str(tmp_path / "w.json")
+        out_path = tmp_path / "sweep.json"
+        multiproc = ["--backend", backend, "--workers", "2"]
+        assert main(
+            ["sweep", crossread_file, "--witness-store", store,
+             "--json", str(out_path)] + self.GRID + multiproc
+        ) == 1
+        cold = json.loads(out_path.read_text())
+        assert cold["witness_mined"] >= 1
+        assert cold["witness_mined"] + cold["witness_pruned"] == 8
+        assert cold["witness_stored"] >= 1
+        assert len(cold["runs"]) == 16
+
+        assert main(
+            ["sweep", crossread_file, "--witness-store", store,
+             "--json", str(out_path)] + self.GRID + multiproc
+        ) == 1
+        warm = json.loads(out_path.read_text())
+        assert warm["witness_pruned"] == 8  # the whole static line
+        assert warm["witness_mined"] == 0
+        capsys.readouterr()
+
+    def test_stream_json_carries_witness_counters(
+        self, crossread_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "w.json")
+        out_path = tmp_path / "stream.json"
+        assert main(
+            ["sweep", crossread_file, "--witness-store", store, "--stream",
+             "--json", str(out_path)] + self.GRID
+        ) == 1
+        payload = json.loads(out_path.read_text())
+        assert {"outcomes", "makespan", "deadlock-rate"} <= set(payload)
+        assert payload["witness_mined"] >= 1
+        assert payload["witness_mined"] + payload["witness_pruned"] == 8
+        capsys.readouterr()
+
+    def test_json_shape_unchanged_without_store(self, crossread_file, tmp_path):
+        out_path = tmp_path / "plain.json"
+        main(
+            ["sweep", crossread_file, "--json", str(out_path)] + self.GRID
+        )
+        payload = json.loads(out_path.read_text())
+        assert isinstance(payload, list) and len(payload) == 16
+
     def test_frontier_with_store_reports_seeding(
         self, crossread_file, tmp_path, capsys
     ):

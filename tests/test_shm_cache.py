@@ -1,0 +1,224 @@
+"""The shared-memory analysis tier (`repro.perf.shm_cache`).
+
+Covers the arena contract directly — publish/load roundtrip, the
+per-process deserialization memo, newest-slot-wins superseding,
+full-table/heap drops, torn-blob rejection, the single-writer pid
+guard, attach failure modes — and the tier's integration with
+``AnalysisCache.lookup``/``AnalysisEntry.persist``: a disk-served
+entry is published into the arena on the next persist (how a warm
+disk cache populates shared memory), while a shm-served entry never
+writes *back* to disk (the worker steady state must be free of
+filesystem I/O; regression for the per-revisit rewrite).
+"""
+
+import os
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro import ArrayConfig, ArrayProgram, Message, R, W
+from repro.arch.routing import default_router
+from repro.arch.topology import ExplicitLinear
+from repro.perf.analysis_cache import (
+    GLOBAL_ANALYSIS_CACHE,
+    AnalysisKey,
+    clear_analysis_cache,
+)
+from repro.perf.disk_cache import active_disk_cache, configure_disk_cache
+from repro.perf.shm_cache import (
+    ENV_VAR,
+    ShmAnalysisCache,
+    active_shm_cache,
+    attach_shm_cache,
+    ensure_shm_cache,
+    shm_cache_stats,
+)
+
+
+def small_key(n: int) -> AnalysisKey:
+    return AnalysisKey(
+        program=f"prog{n}",
+        topology="topo",
+        router="router",
+        queue_capacity=0,
+        allow_extension=False,
+    )
+
+
+def tiny_program(tag: str = "t") -> ArrayProgram:
+    return ArrayProgram(
+        ["A", "B"],
+        [Message("M", "A", "B", 1)],
+        {"A": [W("M", constant=1.0)], "B": [R("M", into=tag)]},
+    )
+
+
+def lookup_tiny(program, config):
+    topology = ExplicitLinear(tuple(program.cells))
+    return GLOBAL_ANALYSIS_CACHE.lookup(
+        program, topology, default_router(topology), config
+    )
+
+
+class TestArenaContract:
+    def test_publish_load_roundtrip_and_memo(self):
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=4096)
+        reader = None
+        try:
+            key = small_key(1)
+            artifacts = {"routes": {"M": ("A", "B")}, "has_capacities": False}
+            assert owner.publish(key, artifacts)
+            reader = ShmAnalysisCache.attach(owner.name)
+            loaded = reader.load(key)
+            assert loaded == artifacts
+            # Second load is a memo hit: same object, no deserialization.
+            assert reader.load(key) is loaded
+            assert reader.memo_hits == 1
+            assert reader.load(small_key(2)) is None
+            assert reader.misses == 1
+        finally:
+            if reader is not None:
+                reader.close()
+            owner.close()
+            owner.unlink()
+
+    def test_supersede_newest_wins_and_identical_republish_noop(self):
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=4096)
+        reader = None
+        try:
+            key = small_key(1)
+            assert owner.publish(key, {"v": 1})
+            assert owner.publish(key, {"v": 1})  # byte-identical: no-op
+            assert owner.publishes == 1
+            assert owner.publish(key, {"v": 2})  # superseding slot
+            assert owner.publishes == 2
+            reader = ShmAnalysisCache.attach(owner.name)
+            assert reader.load(key) == {"v": 2}
+        finally:
+            if reader is not None:
+                reader.close()
+            owner.close()
+            owner.unlink()
+
+    def test_full_table_and_full_heap_drop(self):
+        owner = ShmAnalysisCache.create(max_entries=1, heap_bytes=4096)
+        try:
+            assert owner.publish(small_key(1), {"v": 1})
+            assert not owner.publish(small_key(2), {"v": 2})
+            assert owner.full_drops == 1
+        finally:
+            owner.close()
+            owner.unlink()
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=16)
+        try:
+            assert not owner.publish(small_key(1), {"v": "x" * 64})
+            assert owner.full_drops == 1
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_torn_blob_rejected_as_miss(self):
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=4096)
+        reader = None
+        try:
+            key = small_key(1)
+            assert owner.publish(key, {"v": 1})
+            owner._shm.buf[owner._heap_off] ^= 0xFF
+            reader = ShmAnalysisCache.attach(owner.name)
+            assert reader.load(key) is None
+            assert reader.rejected == 1
+            assert reader.misses == 1
+        finally:
+            if reader is not None:
+                reader.close()
+            owner.close()
+            owner.unlink()
+
+    def test_unpicklable_artifacts_degrade_to_unpublished(self):
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=4096)
+        try:
+            assert not owner.publish(small_key(1), {"fn": lambda: None})
+            assert owner.store_errors == 1
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_only_owner_pid_publishes(self):
+        owner = ShmAnalysisCache.create(max_entries=8, heap_bytes=4096)
+        try:
+            owner._owner_pid = os.getpid() + 1  # pose as a forked child
+            assert not owner.publish(small_key(1), {"v": 1})
+        finally:
+            owner._owner_pid = os.getpid()
+            owner.close()
+            owner.unlink()
+
+    def test_attach_failure_modes(self):
+        assert attach_shm_cache("repro-no-such-segment") is None
+        foreign = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(ValueError, match="unrecognized header"):
+                ShmAnalysisCache.attach(foreign.name)
+            assert attach_shm_cache(foreign.name) is None
+        finally:
+            foreign.close()
+            foreign.unlink()
+
+
+class TestProcessState:
+    def test_env_var_disables_tier(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "0")
+        assert ensure_shm_cache() is None
+        assert shm_cache_stats() is None
+
+    def test_ensure_is_idempotent_per_process(self):
+        name = ensure_shm_cache()
+        assert name is not None
+        assert ensure_shm_cache() == name
+        assert active_shm_cache() is not None
+
+
+class TestLookupIntegration:
+    def test_disk_served_entry_publishes_to_shm_on_persist(self, tmp_path):
+        program, config = tiny_program(), ArrayConfig()
+        configure_disk_cache(tmp_path)
+        try:
+            entry = lookup_tiny(program, config)
+            entry.routes
+            entry.competing
+            assert entry.persist()  # stores to the disk tier
+            clear_analysis_cache()
+            assert ensure_shm_cache() is not None
+            reloaded = lookup_tiny(program, config)  # served from disk
+            assert not reloaded.persist()  # disk already synced...
+            assert active_shm_cache().publishes == 1  # ...but shm published
+            clear_analysis_cache()
+            lookup_tiny(program, config)
+            assert active_shm_cache().hits == 1  # now served from the arena
+        finally:
+            configure_disk_cache(None)
+            clear_analysis_cache()
+
+    def test_shm_served_entry_never_writes_back_to_disk(self, tmp_path):
+        """Regression: the worker steady state must not rewrite the
+        disk tier on every LRU-thrashed revisit of a shm-served entry."""
+        program, config = tiny_program(), ArrayConfig()
+        configure_disk_cache(tmp_path)
+        try:
+            assert ensure_shm_cache() is not None
+            entry = lookup_tiny(program, config)
+            entry.routes
+            entry.competing
+            assert entry.persist()  # publishes to shm + stores to disk
+            disk = active_disk_cache()
+            stores_before = disk.stats()["stores"]
+            for _ in range(3):  # thrashed revisits
+                clear_analysis_cache()
+                revisit = lookup_tiny(program, config)
+                assert revisit.routes == entry.routes
+                assert not revisit.persist()
+            assert disk.stats()["stores"] == stores_before
+            assert active_shm_cache().hits == 3
+        finally:
+            configure_disk_cache(None)
+            clear_analysis_cache()

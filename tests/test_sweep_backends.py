@@ -308,6 +308,196 @@ class TestArenaCodec:
             )
 
 
+class TestSegmentedArena:
+    """Segment-boundary edges of the growable arena."""
+
+    def test_boundary_slots_roundtrip_across_segments(self):
+        arena = SummaryArena.create(10, segment_rows=4)
+        try:
+            # Last slot of segment 0, first of segment 1, last valid slot.
+            for slot in (3, 4, 9):
+                assert arena.write_row(slot, _row(index=slot, time=slot))
+                assert arena.read_row(slot).time == slot
+            with pytest.raises(ReproError, match="out of range"):
+                arena.read_row(10)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_segment_rows_must_be_positive(self):
+        with pytest.raises(ReproError, match="segment_rows"):
+            SummaryArena.create(1, segment_rows=0)
+
+    def test_attacher_maps_segments_lazily_and_closes_them_all(self):
+        arena = SummaryArena.create(9, segment_rows=4)
+        try:
+            for slot in range(9):
+                assert arena.write_row(slot, _row(index=slot, events=slot))
+            other = SummaryArena.attach(arena.name, 9, segment_rows=4)
+            try:
+                got = [other.read_row(slot).events for slot in range(9)]
+                assert got == list(range(9))
+            finally:
+                other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_unwritten_slot_in_lazily_attached_segment(self):
+        arena = SummaryArena.create(8, segment_rows=4)
+        try:
+            other = SummaryArena.attach(
+                arena.name, 8, segment_rows=4, lazy=True
+            )
+            try:
+                with pytest.raises(ReproError, match="never written"):
+                    other.read_row(5)  # segment 1 exists, slot untouched
+            finally:
+                other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_unallocated_segment_reads_as_unwritten(self):
+        from repro.errors import ArenaSlotUnwritten
+
+        arena = SummaryArena.create(4, segment_rows=4)  # only segment 0
+        try:
+            other = SummaryArena.attach(
+                arena.name, 12, segment_rows=4, lazy=True
+            )
+            try:
+                with pytest.raises(ArenaSlotUnwritten, match="does not exist"):
+                    other.read_row(8)  # segment 2 was never allocated
+            finally:
+                other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_overflow_refusal_in_later_segment(self):
+        arena = SummaryArena.create(6, segment_rows=2)
+        try:
+            big = _row(
+                completed=False,
+                error_kind="E",
+                error="e" * (ERROR_CAP + 1),
+            )
+            assert not arena.write_row(5, big)  # slot in segment 2
+            with pytest.raises(ReproError, match="never written"):
+                arena.read_row(5)
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_retire_below_frees_leading_segments(self):
+        arena = SummaryArena.create(0, segment_rows=2)
+        try:
+            arena.ensure_rows(6)  # segments 0, 1, 2
+            assert arena.max_live_segments == 3
+            for slot in range(6):
+                assert arena.write_row(slot, _row(index=slot))
+            arena.retire_below(4)  # segments 0 and 1 are fully drained
+            with pytest.raises(ReproError, match="retired"):
+                arena.read_row(1)
+            assert arena.read_row(4).index == 4
+            # The freed segment names are really gone from the host.
+            with pytest.raises(FileNotFoundError):
+                SummaryArena.attach(f"{arena.name}_s1", 2, segment_rows=2)
+            # Growth after retirement tracks *live* segments only.
+            arena.ensure_rows(8)
+            assert arena.max_live_segments == 3
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_only_owner_grows_or_retires(self):
+        arena = SummaryArena.create(2, segment_rows=2)
+        try:
+            other = SummaryArena.attach(arena.name, 2, segment_rows=2)
+            try:
+                with pytest.raises(ReproError, match="owner"):
+                    other.ensure_rows(4)
+                with pytest.raises(ReproError, match="owner"):
+                    other.retire_below(2)
+            finally:
+                other.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestShmStreaming:
+    """The shm backend consumes a lazy job stream without materializing.
+
+    Acceptance edges: generator input produces byte-identical rows to a
+    materialized list, the stream is pulled incrementally (never more
+    than the in-flight window ahead of the consumer), and peak shared
+    memory stays at a few live segments however long the sweep is.
+    """
+
+    def test_generator_rows_byte_identical_to_list(self):
+        jobs = [
+            SimJob(fig7_program(), policy=policy)
+            for policy in ("ordered", "fcfs")
+        ] * 3
+
+        plan_list = SweepPlan(
+            jobs=jobs, backend="shm", workers=2, chunk_size=2
+        )
+        plan_gen = SweepPlan(
+            jobs=iter(jobs), backend="shm", workers=2, chunk_size=2
+        )
+        assert list(SweepSession(plan_gen).stream()) == list(
+            SweepSession(plan_list).stream()
+        )
+
+    def test_stream_pulled_incrementally_with_bounded_segments(
+        self, monkeypatch
+    ):
+        import repro.sweep.arena as arena_mod
+
+        monkeypatch.setattr(arena_mod, "DEFAULT_SEGMENT_ROWS", 2)
+        captured = []
+        real_create = arena_mod.SummaryArena.create.__func__
+
+        def recording_create(cls, n_rows, **kwargs):
+            arena = real_create(cls, n_rows, **kwargs)
+            captured.append(arena)
+            return arena
+
+        monkeypatch.setattr(
+            arena_mod.SummaryArena, "create", classmethod(recording_create)
+        )
+
+        n_jobs, workers, chunk = 24, 2, 2
+        pulled = 0
+
+        def gen():
+            nonlocal pulled
+            for _ in range(n_jobs):
+                pulled += 1
+                yield SimJob(fig7_program())
+
+        plan = SweepPlan(
+            jobs=gen(), backend="shm", workers=workers, chunk_size=chunk
+        )
+        seen = 0
+        # The dispatch window holds workers*2 chunks plus the one being
+        # built; anything pulled beyond that would mean materializing.
+        bound = (workers * 2 + 1) * chunk
+        for _row_ in SweepSession(plan).stream():
+            seen += 1
+            assert pulled <= seen + bound
+        assert seen == n_jobs
+        assert pulled == n_jobs
+        [arena] = captured
+        assert arena.n_rows == n_jobs
+        # Peak footprint: the in-flight window's worth of segments (each
+        # 2 rows here), nowhere near the 12 a materialized arena needs.
+        assert arena.max_live_segments <= bound // 2 + 1
+
+
 class TestShmOverflowSpill:
     def test_long_error_rows_spill_to_pipe_and_stay_exact(self, monkeypatch):
         """Rows the arena cannot hold must arrive via the pipe, unaltered."""
@@ -331,6 +521,31 @@ class TestShmOverflowSpill:
         assert [row.index for row in rows] == [0, 1, 2, 3]
         assert rows[0].error == long_error and rows[2].error == long_error
         assert rows[1].error is None and rows[3].error is None
+
+    def test_spill_from_non_first_segment(self, monkeypatch):
+        """Overflow rows spill through the pipe from *later* segments too."""
+        import repro.sweep.arena as arena_mod
+        import repro.sweep.backends.shm as shm_mod
+
+        monkeypatch.setattr(arena_mod, "DEFAULT_SEGMENT_ROWS", 2)
+        long_error = "x" * (ERROR_CAP + 50)
+        real_summarize = shm_mod.summarize_result
+
+        def lying_summarize(index, job, result):
+            row = real_summarize(index, job, result)
+            if index >= 4:  # slots in segment 2 and beyond
+                return RunSummary(
+                    **{**row.__dict__, "error_kind": "Fake", "error": long_error}
+                )
+            return row
+
+        monkeypatch.setattr(shm_mod, "summarize_result", lying_summarize)
+        jobs = [SimJob(fig7_program()) for _ in range(6)]
+        plan = SweepPlan(jobs=iter(jobs), backend="shm", workers=2, chunk_size=2)
+        rows = list(SweepSession(plan).stream())
+        assert [row.index for row in rows] == list(range(6))
+        assert rows[4].error == long_error and rows[5].error == long_error
+        assert rows[0].error is None and rows[3].error is None
 
     def test_unpicklable_chunk_falls_back_in_process(self):
         from repro import COMPUTE, ArrayProgram, Message, R, W

@@ -189,6 +189,101 @@ class TestTimeouts:
         ]
 
 
+class PlainBoom(Exception):
+    """A picklable non-Repro bug: must cross the pipe verbatim."""
+
+
+class UnpicklableBoom(Exception):
+    """An exception whose payload defeats pickling (closure attribute)."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.payload = lambda: None
+
+
+def _raise_plain(value):
+    raise PlainBoom("original message intact")
+
+
+def _raise_unpicklable(value):
+    raise UnpicklableBoom("kaboom with context")
+
+
+def _raise_memory_error(value):
+    raise MemoryError("injected bug-class failure")
+
+
+def _compute_job(fn) -> SimJob:
+    """A job whose simulation calls ``fn`` (a module-level, picklable
+    callable) on a received value — the worker-side error injection."""
+    from repro import COMPUTE, ArrayProgram, Message, R, W
+
+    program = ArrayProgram(
+        ["C1", "C2"],
+        [Message("A", "C1", "C2", 1)],
+        {
+            "C1": [W("A", constant=2.0)],
+            "C2": [R("A", into="x"), COMPUTE("y", fn, ["x"])],
+        },
+    )
+    return SimJob(program)
+
+
+class TestWorkerErrorNarrowing:
+    """The worker's except blocks are narrowed, not blanket.
+
+    Three pinned behaviors: a picklable bug crosses the pipe verbatim;
+    an exception whose *payload* cannot pickle is substituted with a
+    summary ``RuntimeError`` and counted in ``payload_drops``; and
+    :exc:`MemoryError` is bug-class — it kills the worker (crash
+    recovery territory) instead of being shipped as an ordinary error.
+    """
+
+    def _supervisor(self, jobs, **tol):
+        from repro.sweep.backends import WorkerContext
+        from repro.sweep.backends.supervise import Supervisor
+
+        return Supervisor(
+            jobs,
+            want_results=False,
+            collect_errors=True,
+            workers=1,
+            chunk_size=1,
+            ctx=WorkerContext.capture(),
+            tolerance=Tolerance(**tol),
+        )
+
+    def test_picklable_error_crosses_verbatim(self):
+        sup = self._supervisor([_compute_job(_raise_plain)])
+        with pytest.raises(PlainBoom, match="original message intact"):
+            list(sup.run())
+        assert sup.stats()["payload_drops"] == 0
+
+    def test_unpicklable_payload_substituted_and_counted(self):
+        sup = self._supervisor(
+            [SimJob(fig7_program()), _compute_job(_raise_unpicklable)]
+        )
+        records = []
+        with pytest.raises(RuntimeError, match="UnpicklableBoom: kaboom"):
+            for record in sup.run():
+                records.append(record)
+        # The healthy job's row still made it out, in order.
+        assert [r.index for r in records] == [0]
+        assert sup.stats()["payload_drops"] == 1
+
+    def test_memory_error_kills_the_worker_not_the_contract(self):
+        sup = self._supervisor(
+            [SimJob(fig7_program()), _compute_job(_raise_memory_error)],
+            max_retries=0,
+        )
+        rows = [record.row for record in sup.run()]
+        # The MemoryError was never shipped as data: the worker died and
+        # the job was quarantined through crash recovery instead.
+        assert rows[1].error_kind == WORKER_CRASH_KIND
+        assert rows[0].completed
+        assert sup.stats()["payload_drops"] == 0
+
+
 class TestArenaFaults:
     def test_corrupt_slot_requeued(self, baseline, tmp_path):
         jobs, base_rows, base_summaries = baseline
@@ -329,3 +424,45 @@ class TestArenaCleanup:
         next(stream)
         stream.close()
         self._assert_unlinked(names)
+
+
+class TestFaultPlanUnits:
+    """The FaultPlan pieces that fire inside workers, tested in-parent."""
+
+    def test_iterable_spec_normalizes_to_fire_once(self, tmp_path):
+        from repro.sweep.fault import FaultPlan
+
+        plan = FaultPlan(spool=str(tmp_path), hang=[3, 7], hang_s=0.0)
+        assert plan.hang == {3: 1, 7: 1}
+
+    def test_invalid_entries_rejected(self, tmp_path):
+        from repro.errors import ConfigError
+        from repro.sweep.fault import FaultPlan
+
+        with pytest.raises(ConfigError, match="index >= 0"):
+            FaultPlan(spool=str(tmp_path), crash={-1: 1})
+        with pytest.raises(ConfigError, match="times >= 1"):
+            FaultPlan(spool=str(tmp_path), crash={0: 0})
+
+    def test_hang_fires_exactly_times_then_runs_clean(self, tmp_path):
+        from repro.sweep.fault import FaultPlan
+
+        plan = FaultPlan(spool=str(tmp_path), hang={5: 1}, hang_s=0.0)
+        plan.maybe_hang(5)  # armed: claims attempt 0 and sleeps (0s)
+        assert (tmp_path / "hang-5-0").exists()
+        plan.maybe_hang(5)  # exhausted: claims attempt 1, no sleep
+        assert (tmp_path / "hang-5-1").exists()
+        plan.maybe_hang(0)  # unarmed index: no marker at all
+        assert not (tmp_path / "hang-0-0").exists()
+
+    def test_install_and_active_plan_round_trip(self, tmp_path):
+        from repro.sweep.fault import FaultPlan, active_plan, install
+
+        assert active_plan() is None
+        plan = FaultPlan(spool=str(tmp_path))
+        install(plan)
+        try:
+            assert active_plan() is plan
+        finally:
+            install(None)
+        assert active_plan() is None

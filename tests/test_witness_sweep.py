@@ -145,8 +145,67 @@ class TestBackendDifferential:
         assert rows == base_rows
         assert summaries == base_summaries
         assert session.witness_pruned == 4  # the whole static line
-        # Multiprocess backends ship no results, so nothing new mines.
+        # The warm store withholds every static job, and worker-side
+        # mining refuses FCFS (non-monotone), so nothing new mines.
         assert session.witness_mined == 0
+
+
+class TestWorkerMining:
+    """Cold multiprocess sweeps mine in-worker, matching serial exactly.
+
+    The capacity axis runs *descending*, so the first-mined certificate
+    (highest capacity, open ray: peak occupancy 0) subsumes every later
+    one on every backend — the post-subsumption stores must therefore be
+    *equal* to serial's, not merely equivalent, regardless of how far
+    ahead a backend pulled jobs before the first certificate landed.
+    """
+
+    def jobs(self):
+        return sweep_jobs(
+            cross_read(),
+            policies=("static",),
+            queues=(1,),
+            capacities=tuple(range(7, -1, -1)),
+        )
+
+    @staticmethod
+    def dump(store):
+        return [w.as_dict() for w in store.witnesses()]
+
+    def test_serial_baseline_interleaves_mining_and_pruning(self):
+        store = WitnessStore()
+        _rows, _summaries, session = run_sweep(self.jobs(), store)
+        # cap=7 simulates and mines the open ray; caps 6..0 all prune.
+        assert session.witness_mined == 1
+        assert session.witness_pruned == 7
+        assert len(store) == 1
+
+    @pytest.mark.parametrize(
+        "backend,extra",
+        [
+            ("pool", {}),
+            ("shm", {}),
+            # max_retries engages the supervised executor underneath.
+            ("pool", {"max_retries": 1}),
+        ],
+        ids=("pool", "shm", "supervised"),
+    )
+    def test_cold_store_matches_serial_post_subsumption(self, backend, extra):
+        jobs = self.jobs()
+        base_rows, base_summaries, _ = run_sweep(jobs)
+        serial_store = WitnessStore()
+        run_sweep(jobs, serial_store)
+
+        store = WitnessStore()
+        rows, summaries, session = run_sweep(
+            jobs, store, backend=backend, workers=2, chunk_size=2, **extra
+        )
+        assert rows == base_rows
+        assert summaries == base_summaries
+        # Summary-only streams ship no results, so a nonzero mined count
+        # can only have come through the worker-side witness payloads.
+        assert session.witness_mined == 1
+        assert self.dump(store) == self.dump(serial_store)
 
 
 class TestCheckpointComposition:
@@ -301,3 +360,53 @@ class TestPlannerSeeding:
         assert payload["witness_seeded_lines"] == 0
         assert payload["witness_pruned"] == 0
         assert payload["witness_mined"] == 0
+
+
+class TestMinePayloadUnit:
+    """The worker-side mining hook, exercised directly in-parent."""
+
+    def test_completed_run_yields_no_payload(self):
+        from repro import ArrayConfig
+        from repro.sweep.jobs import SimJob, mine_witness_payload
+
+        job = SimJob(
+            burst_exchange(),
+            config=ArrayConfig(queue_capacity=2),
+            policy="static",
+        )
+        result = job.run()
+        assert result.completed
+        assert mine_witness_payload(job, result) is None
+
+    def test_deadlocked_static_run_yields_certificate_dict(self):
+        from repro.sweep.jobs import SimJob, mine_witness_payload
+        from repro.witness import DeadlockWitness
+
+        job = SimJob(cross_read(), policy="static")
+        result = job.run()
+        assert result.deadlocked
+        payload = mine_witness_payload(job, result)
+        assert isinstance(payload, dict)
+        # The compact dict round-trips into the same certificate the
+        # parent would have mined from the full result.
+        assert DeadlockWitness.from_dict(payload).as_dict() == payload
+
+    def test_fcfs_refusal_propagates_as_none(self):
+        from repro.sweep.jobs import SimJob, mine_witness_payload
+
+        job = SimJob(cross_read(), policy="fcfs")
+        result = job.run()
+        assert result.deadlocked
+        assert mine_witness_payload(job, result) is None
+
+    def test_job_fingerprint_covers_register_files(self):
+        from repro.sweep.jobs import SimJob, job_fingerprint
+
+        bare = SimJob(cross_read())
+        seeded = SimJob(
+            cross_read(), registers={"A": {"x": 1.0}, "B": {"y": None}}
+        )
+        assert job_fingerprint(seeded) != job_fingerprint(bare)
+        assert job_fingerprint(seeded) == job_fingerprint(
+            SimJob(cross_read(), registers={"B": {"y": None}, "A": {"x": 1.0}})
+        )
